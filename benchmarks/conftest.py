@@ -1,0 +1,22 @@
+"""Session fixtures shared by the figure/table benchmarks."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from harness import SuiteResults, run_full_suite  # noqa: E402
+
+_CACHE: dict[str, SuiteResults] = {}
+
+
+@pytest.fixture(scope="session")
+def suite_results() -> SuiteResults:
+    """The full 16-matrix x 3-config x 2-family evaluation, run once."""
+    if "suite" not in _CACHE:
+        _CACHE["suite"] = run_full_suite()
+    return _CACHE["suite"]

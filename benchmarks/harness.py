@@ -1,0 +1,157 @@
+"""Shared harness for the figure/table reproduction benchmarks.
+
+One full execution of the evaluation (16 matrices x {HYPRE, AmgT-FP64,
+AmgT-Mixed}) is expensive, and several figures consume the same runs, so
+``run_full_suite`` executes everything once per pytest session and the
+benches read from the cached :class:`SuiteResults`.
+
+The NVIDIA execution is priced on both A100 and H100 (the recorded work is
+device-independent; only the cost model changes); the MI210 execution is
+separate because the kernels take different paths there (no matrix cores,
+FP32 coarse levels).
+
+Environment knobs:
+
+* ``REPRO_BENCH_ITERATIONS`` — V-cycle count (default 50, the paper's).
+  Simulated per-iteration cost is constant, so speedup ratios are
+  iteration-count invariant; smaller values only shorten wall time.
+* ``REPRO_BENCH_MATRICES`` — comma-separated subset of suite names.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.amg.cycle import SolveParams
+from repro.amg.hierarchy import SetupParams
+from repro.gpu import CostModel, get_device
+from repro.hypre.backends import make_backend
+from repro.hypre.boomeramg import BoomerAMG
+from repro.matrices import load_suite_matrix, suite_names
+from repro.perf.timeline import PerformanceLog
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: The three solver configurations of Fig. 7.
+CONFIGS = [("hypre", "fp64"), ("amgt", "fp64"), ("amgt", "mixed")]
+
+CONFIG_LABELS = {
+    ("hypre", "fp64"): "HYPRE (FP64)",
+    ("amgt", "fp64"): "AmgT (FP64)",
+    ("amgt", "mixed"): "AmgT (Mixed)",
+}
+
+
+def bench_iterations() -> int:
+    return int(os.environ.get("REPRO_BENCH_ITERATIONS", "50"))
+
+
+def bench_matrices() -> list[str]:
+    raw = os.environ.get("REPRO_BENCH_MATRICES", "")
+    if raw.strip():
+        return [n.strip() for n in raw.split(",") if n.strip()]
+    return suite_names()
+
+
+@dataclass
+class RunResult:
+    """One (matrix, config, device-family) execution."""
+
+    matrix: str
+    backend: str
+    precision: str
+    device_family: str  # "nvidia" or "amd"
+    levels: int
+    iterations: int
+    relres: float
+    #: Per-device phase summaries: device name -> PerformanceLog.summary().
+    summaries: dict[str, dict] = field(default_factory=dict)
+    #: H100-priced per-call time sequences (Fig. 8); empty for AMD runs.
+    spgemm_calls_us: list[float] = field(default_factory=list)
+    spmv_calls_us: list[float] = field(default_factory=list)
+
+
+@dataclass
+class SuiteResults:
+    """All cached executions, keyed by (matrix, backend, precision, family)."""
+
+    runs: dict[tuple, RunResult] = field(default_factory=dict)
+    iterations: int = 50
+
+    def get(self, matrix: str, backend: str, precision: str,
+            family: str = "nvidia") -> RunResult:
+        return self.runs[(matrix, backend, precision, family)]
+
+    def matrices(self) -> list[str]:
+        return sorted({k[0] for k in self.runs}, key=bench_matrices().index)
+
+    def total_us(self, matrix, backend, precision, device) -> float:
+        family = "amd" if device == "MI210" else "nvidia"
+        s = self.get(matrix, backend, precision, family).summaries[device]
+        return s["setup_us"] + s["solve_us"]
+
+
+def _price_log(perf: PerformanceLog, device: str) -> dict:
+    """Re-price every record of *perf* on *device* and return the summary."""
+    cost = CostModel(get_device(device))
+    for rec in perf.records:
+        rec.price(cost)
+    return perf.summary()
+
+
+def _run_one(matrix_name: str, a, backend_name: str, precision: str,
+             family: str, iterations: int) -> RunResult:
+    device = "A100" if family == "nvidia" else "MI210"
+    backend = make_backend(backend_name, get_device(device), precision=precision)
+    driver = BoomerAMG(backend, SetupParams())
+    driver.setup(a)
+    _, stats = driver.solve(
+        np.ones(a.nrows),
+        params=SolveParams(max_iterations=iterations, tolerance=0.0),
+    )
+    run = RunResult(
+        matrix=matrix_name,
+        backend=backend_name,
+        precision=precision,
+        device_family=family,
+        levels=driver.hierarchy.num_levels,
+        iterations=stats.iterations,
+        relres=stats.final_relative_residual,
+    )
+    if family == "nvidia":
+        for device in ("A100", "H100"):
+            run.summaries[device] = _price_log(driver.perf, device)
+        # the H100 pricing is last, so the per-call sequences are H100's
+        run.spgemm_calls_us = driver.perf.kernel_times("spgemm", "setup")
+        run.spmv_calls_us = driver.perf.kernel_times("spmv", "solve")
+    else:
+        run.summaries["MI210"] = _price_log(driver.perf, "MI210")
+    return run
+
+
+def run_full_suite(iterations: int | None = None,
+                   matrices: list[str] | None = None) -> SuiteResults:
+    """Execute the whole evaluation once; called by the session fixture."""
+    iterations = iterations if iterations is not None else bench_iterations()
+    matrices = matrices if matrices is not None else bench_matrices()
+    results = SuiteResults(iterations=iterations)
+    for name in matrices:
+        a = load_suite_matrix(name)
+        for backend_name, precision in CONFIGS:
+            for family in ("nvidia", "amd"):
+                run = _run_one(name, a, backend_name, precision, family,
+                               iterations)
+                results.runs[(name, backend_name, precision, family)] = run
+    return results
+
+
+def write_results(filename: str, text: str) -> str:
+    """Persist a harness printout under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, filename)
+    with open(path, "w") as fh:
+        fh.write(text)
+    return path

@@ -1,0 +1,61 @@
+"""Figures 1 and 2: phase time breakdowns of the HYPRE baseline on H100.
+
+Fig. 1: the three SpGEMM calls per level take on average 59.22% of the
+setup phase.  Fig. 2: SpMV takes on average 80.23% of the solve phase.
+The reproduction prints per-matrix percentages and asserts the averages
+land in the same regime (SpGEMM the dominant setup kernel, SpMV the
+dominant solve kernel).
+"""
+
+import numpy as np
+
+from harness import write_results
+
+
+def _percentages(suite_results, phase_key, kernel_key):
+    rows = []
+    for name in suite_results.matrices():
+        s = suite_results.get(name, "hypre", "fp64").summaries["H100"]
+        total = s[phase_key]
+        kernel = s[kernel_key]
+        rows.append((name, 100.0 * kernel / total if total else 0.0))
+    return rows
+
+
+def test_fig1_setup_breakdown(benchmark, suite_results):
+    rows = benchmark.pedantic(
+        lambda: _percentages(suite_results, "setup_us", "setup_spgemm_us"),
+        rounds=1, iterations=1,
+    )
+    avg = float(np.mean([p for _, p in rows]))
+    lines = ["Fig. 1 reproduction: SpGEMM share of HYPRE setup time (H100)",
+             f"{'matrix':18s} {'SpGEMM % of setup':>18s}"]
+    lines += [f"{n:18s} {p:17.1f}%" for n, p in rows]
+    lines.append(f"{'AVERAGE':18s} {avg:17.1f}%   (paper: 59.22%)")
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_results("fig1.txt", text)
+
+    # Shape assertions: SpGEMM dominates setup on average, and the average
+    # lands in the paper's regime.
+    assert 40.0 <= avg <= 80.0
+    # SpGEMM is the single largest setup component for most matrices.
+    assert sum(p > 33.0 for _, p in rows) >= len(rows) * 0.75
+
+
+def test_fig2_solve_breakdown(benchmark, suite_results):
+    rows = benchmark.pedantic(
+        lambda: _percentages(suite_results, "solve_us", "solve_spmv_us"),
+        rounds=1, iterations=1,
+    )
+    avg = float(np.mean([p for _, p in rows]))
+    lines = ["Fig. 2 reproduction: SpMV share of HYPRE solve time (H100)",
+             f"{'matrix':18s} {'SpMV % of solve':>16s}"]
+    lines += [f"{n:18s} {p:15.1f}%" for n, p in rows]
+    lines.append(f"{'AVERAGE':18s} {avg:15.1f}%   (paper: 80.23%)")
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_results("fig2.txt", text)
+
+    assert 60.0 <= avg <= 95.0
+    assert all(p > 40.0 for _, p in rows)

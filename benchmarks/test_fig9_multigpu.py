@@ -1,0 +1,106 @@
+"""Figure 9: the three solvers on eight (simulated) A100 GPUs.
+
+Paper geomeans: AmgT(FP64) 1.35x (up to 1.84x) over HYPRE; AmgT(Mixed)
+1.06x over AmgT(FP64).  The multi-GPU gains are smaller than single-GPU
+because the shared communication term dilutes the kernel-time advantage —
+the shape this bench asserts.
+
+The distributed runs execute every rank's kernels in-process, so this
+bench uses fewer V-cycles than Fig. 7 (simulated per-cycle cost is
+constant; ratios are iteration-invariant) and the Fig. 9 matrix subset can
+be narrowed with REPRO_BENCH_MATRICES.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.dist import ParAMGSolver
+from repro.matrices import load_suite_matrix
+from repro.perf.report import geomean
+
+from harness import bench_matrices, write_results
+
+FIG9_ITERATIONS = int(os.environ.get("REPRO_FIG9_ITERATIONS", "10"))
+NUM_RANKS = 8
+
+
+@pytest.fixture(scope="module")
+def multigpu_results():
+    out = {}
+    for name in bench_matrices():
+        a = load_suite_matrix(name)
+        per_config = {}
+        for backend, precision in (("hypre", "fp64"), ("amgt", "fp64"),
+                                    ("amgt", "mixed")):
+            solver = ParAMGSolver(num_ranks=NUM_RANKS, backend=backend,
+                                  device="A100", precision=precision)
+            solver.setup(a)
+            _, report = solver.solve(np.ones(a.nrows),
+                                     max_iterations=FIG9_ITERATIONS)
+            per_config[(backend, precision)] = report
+        out[name] = per_config
+    return out
+
+
+def test_fig9_multigpu(benchmark, multigpu_results):
+    data = benchmark.pedantic(lambda: multigpu_results, rounds=1, iterations=1)
+
+    amgt_vs_hypre, mixed_vs_fp64 = {}, {}
+    lines = [
+        f"Fig. 9 reproduction: 8x A100 (simulated), {FIG9_ITERATIONS} V-cycles",
+        f"{'matrix':18s} {'HYPRE us':>10s} {'AmgT64 us':>10s} {'AmgTmx us':>10s} "
+        f"{'comm %':>7s} {'A/H':>6s} {'mx/64':>6s}",
+    ]
+    for name, per_config in data.items():
+        t_h = per_config[("hypre", "fp64")].total_us
+        t_a = per_config[("amgt", "fp64")].total_us
+        t_m = per_config[("amgt", "mixed")].total_us
+        amgt_vs_hypre[name] = t_h / t_a
+        mixed_vs_fp64[name] = t_a / t_m
+        comm_pct = 100.0 * per_config[("amgt", "fp64")].comm_us / t_a
+        lines.append(
+            f"{name:18s} {t_h:10.0f} {t_a:10.0f} {t_m:10.0f} "
+            f"{comm_pct:6.1f}% {amgt_vs_hypre[name]:6.2f} {mixed_vs_fp64[name]:6.2f}"
+        )
+
+    g_total = geomean(amgt_vs_hypre.values())
+    g_mixed = geomean(mixed_vs_fp64.values())
+    lines.append(
+        f"{'GEOMEAN':18s} {'':10s} {'':10s} {'':10s} {'':7s} "
+        f"{g_total:6.2f} {g_mixed:6.2f}   (paper: 1.35 / 1.06)"
+    )
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_results("fig9.txt", text)
+
+    # Shape: AmgT still wins under distribution, and mixed helps a little.
+    assert g_total > 1.05
+    assert g_mixed >= 0.98
+
+
+def test_fig9_speedup_diluted_vs_single_gpu(multigpu_results, suite_results):
+    """The multi-GPU AmgT-vs-HYPRE geomean must not exceed the single-GPU
+    one: communication is common to both solvers (Amdahl)."""
+    multi = geomean(
+        per[("hypre", "fp64")].total_us / per[("amgt", "fp64")].total_us
+        for per in multigpu_results.values()
+    )
+    single = geomean(
+        suite_results.total_us(n, "hypre", "fp64", "A100")
+        / suite_results.total_us(n, "amgt", "fp64", "A100")
+        for n in suite_results.matrices()
+    )
+    assert multi <= single * 1.05
+
+
+def test_fig9_numerics_match_serial(multigpu_results):
+    """Distribution must not change the iterates (checked in unit tests at
+    small scale; here just sanity-check residuals are finite/consistent)."""
+    for per_config in multigpu_results.values():
+        rr = {k: r.relative_residual for k, r in per_config.items()}
+        assert all(np.isfinite(v) for v in rr.values())
+        # fp64 solvers agree bitwise-ish
+        assert rr[("hypre", "fp64")] == pytest.approx(rr[("amgt", "fp64")],
+                                                      rel=1e-10)

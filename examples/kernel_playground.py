@@ -1,0 +1,58 @@
+"""Kernel playground: watch the hybrid SpGEMM/SpMV pick execution paths.
+
+Sweeps tile density on synthetic block matrices and shows, per matrix,
+which fraction of the work the SpGEMM numeric phase sends to the
+tensor-core vs CUDA-core path (the popcount >= 10 rule of Alg. 4), and
+which schedule/core combination the SpMV preprocessing selects
+(Sec. IV.D.1).  This is the mechanism behind every headline speedup in
+the paper.
+
+Run:  python examples/kernel_playground.py
+"""
+
+import numpy as np
+
+from repro.formats import csr_to_mbsr
+from repro.gpu import CostModel, get_device
+from repro.kernels import build_spmv_plan, mbsr_spgemm, mbsr_spmv
+from repro.kernels.baseline import csr_spgemm, csr_spmv
+from repro.matrices import poisson2d, random_block_spd
+
+
+def main() -> None:
+    device = get_device("H100")
+    cost = CostModel(device)
+    cases = {
+        "5-pt Poisson (sparse tiles)": poisson2d(40),
+        "block SPD d=0.01 (dense tiles)": random_block_spd(320, 4, 0.01, seed=1),
+        "block SPD d=0.05 (denser)": random_block_spd(320, 4, 0.05, seed=2),
+    }
+    print(f"{'matrix':32s} {'nnz/tile':>8s} {'SpGEMM tc/cuda pairs':>22s} "
+          f"{'SpMV path':>14s} {'SpGEMM vs CSR':>14s} {'SpMV vs CSR':>12s}")
+    for name, a in cases.items():
+        m = csr_to_mbsr(a)
+        x = np.ones(a.ncols)
+
+        c_m, rec_g = mbsr_spgemm(m, m)
+        _, rec_gb = csr_spgemm(a, a)
+        t_g = rec_g.price(cost)
+        t_gb = rec_gb.price(cost)
+
+        plan = build_spmv_plan(m)
+        _, rec_v = mbsr_spmv(m, x, plan=plan)
+        _, rec_vb = csr_spmv(a, x)
+        t_v = rec_v.price(cost)
+        t_vb = rec_vb.price(cost)
+
+        print(
+            f"{name:32s} {m.avg_nnz_blc:8.2f} "
+            f"{rec_g.detail['tc_pairs']:>10d}/{rec_g.detail['cuda_pairs']:<10d} "
+            f"{plan.kernel_path:>14s} {t_gb / t_g:13.2f}x {t_vb / t_v:11.2f}x"
+        )
+    print("\nDense tiles clear the popcount>=10 threshold and ride the "
+          "tensor cores; sparse stencils stay on CUDA cores — the hybrid "
+          "never loses to a one-path kernel.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Nonsymmetric systems: AmgT as a GMRES / BiCGStab preconditioner.
+
+The evaluation suite contains nonsymmetric operators (venkat25's
+convection-dominated CFD class, TSOPF's power-flow systems) where CG does
+not apply.  This example assembles an upwinded convection-diffusion
+problem and compares unpreconditioned GMRES/BiCGStab against their
+AmgT-V-cycle-preconditioned versions.
+
+Run:  python examples/nonsymmetric_krylov.py
+"""
+
+import numpy as np
+
+from repro import AmgTSolver
+from repro.matrices import convection_diffusion_2d
+from repro.solvers import bicgstab, gmres
+
+
+def main() -> None:
+    a = convection_diffusion_2d(32, velocity=(1.0, 0.4), diffusion=0.1)
+    rng = np.random.default_rng(11)
+    b = rng.normal(size=a.nrows)
+    print(f"convection-diffusion 32x32 (upwind): n={a.nrows}, nnz={a.nnz}")
+    d = a.to_dense()
+    print(f"nonsymmetry |A - A^T|_max = {np.abs(d - d.T).max():.3f}\n")
+
+    solver = AmgTSolver(backend="amgt", device="H100", precision="fp64")
+    solver.setup(a)
+    precond = solver.as_preconditioner()
+
+    print(f"{'solver':28s} {'iterations':>10s} {'converged':>9s} {'relres':>10s}")
+    for name, fn, pre in [
+        ("GMRES(30)", gmres, None),
+        ("GMRES(30) + AmgT", gmres, precond),
+        ("BiCGStab", bicgstab, None),
+        ("BiCGStab + AmgT", bicgstab, precond),
+    ]:
+        res = fn(a, b, preconditioner=pre, tolerance=1e-9, max_iterations=800)
+        print(f"{name:28s} {res.iterations:10d} {str(res.converged):>9s} "
+              f"{res.final_relative_residual:10.2e}")
+
+    print("\nOne V-cycle per Krylov iteration collapses the iteration count "
+          "— the preconditioned-solver scenario of the paper's Sec. II.B.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""AmgT as a PCG preconditioner on a structural elasticity problem.
+
+The paper motivates AMG with preconditioned Krylov solves (Sec. II.B):
+each PCG iteration applies one V-cycle, multiplying the SpMV traffic.
+This example assembles a 2-D plane-stress elasticity system (the problem
+class of cant / msdoor / ldoor in Table II), compares unpreconditioned CG
+against AmgT-preconditioned CG, and shows the dense 2x2 node blocks that
+send the mBSR kernels down the tensor-core path.
+
+Run:  python examples/pcg_elasticity.py
+"""
+
+import numpy as np
+
+from repro import AmgTSolver, pcg
+from repro.formats import csr_to_mbsr
+from repro.formats.bitmap import bitmap_popcount
+from repro.matrices import elasticity_2d
+
+
+def main() -> None:
+    a = elasticity_2d(24, nu=0.3)
+    rng = np.random.default_rng(7)
+    b = rng.normal(size=a.nrows)
+    print(f"elasticity 24x24 mesh: n={a.nrows}, nnz={a.nnz}")
+
+    # Tile-density profile: why this problem class uses tensor cores.
+    mbsr = csr_to_mbsr(a)
+    pops = bitmap_popcount(mbsr.blc_map)
+    print(
+        f"mBSR tiles={mbsr.blc_num}, avg nnz/tile={mbsr.avg_nnz_blc:.2f}, "
+        f"tiles at tensor-core threshold (>=10 nnz): "
+        f"{(pops >= 10).mean() * 100:.1f}%\n"
+    )
+
+    plain = pcg(a, b, tolerance=1e-8, max_iterations=2000)
+    print(f"CG  (no preconditioner): iters={plain.iterations:5d} "
+          f"converged={plain.converged}")
+
+    solver = AmgTSolver(backend="amgt", device="A100", precision="fp64")
+    solver.setup(a)
+    pre = pcg(a, b, preconditioner=solver.as_preconditioner(),
+              tolerance=1e-8, max_iterations=200)
+    print(f"PCG (AmgT V-cycle)     : iters={pre.iterations:5d} "
+          f"converged={pre.converged}")
+
+    x_err = np.linalg.norm(a.matvec(pre.x) - b) / np.linalg.norm(b)
+    print(f"\nfinal residual (direct check): {x_err:.2e}")
+    summary = solver.performance.summary()
+    print(f"simulated SpMV calls inside the preconditioner: "
+          f"{summary['spmv_calls']}")
+
+
+if __name__ == "__main__":
+    main()

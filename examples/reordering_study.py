@@ -1,0 +1,63 @@
+"""Reordering study: how node ordering decides tensor-core eligibility.
+
+mBSR's per-tile bitmaps make kernel behaviour a function of *where* the
+nonzeros sit, not just how many there are.  This example scrambles an
+elasticity matrix (destroying the dense 2x2 node blocks), shows the tile
+density collapse — and with it the tensor-core path — then recovers it
+with reverse Cuthill-McKee, comparing simulated SpMV/SpGEMM times at each
+stage.
+
+Run:  python examples/reordering_study.py
+"""
+
+import numpy as np
+
+from repro.formats.convert import csr_to_mbsr
+from repro.gpu import CostModel, get_device
+from repro.kernels import mbsr_spgemm, mbsr_spmv
+from repro.matrices import elasticity_2d
+from repro.matrices.analysis import profile_matrix, tile_density_histogram
+from repro.matrices.reorder import bandwidth, permute_symmetric, rcm_ordering
+from repro.perf.figures import sparkline
+
+
+def report(label, a, cost):
+    m = csr_to_mbsr(a)
+    p = profile_matrix(m)
+    hist = tile_density_histogram(m)
+    x = np.ones(a.ncols)
+    _, rec_v = mbsr_spmv(m, x)
+    _, rec_g = mbsr_spgemm(m, m)
+    print(
+        f"{label:12s} bw={bandwidth(a):5d} tiles={m.blc_num:6d} "
+        f"nnz/tile={m.avg_nnz_blc:5.2f} {sparkline(hist.tolist()):17s} "
+        f"path={p.spmv_path:13s} SpMV={rec_v.price(cost):6.1f}us "
+        f"SpGEMM={rec_g.price(cost):7.1f}us"
+    )
+
+
+def main() -> None:
+    cost = CostModel(get_device("H100"))
+    a = elasticity_2d(28)
+    rng = np.random.default_rng(4)
+    print(f"elasticity 28x28 mesh: n={a.nrows}, nnz={a.nnz}\n")
+    print(f"{'ordering':12s} {'':8s} {'':12s} {'':14s} "
+          f"{'tile density 0..16':17s}")
+
+    report("natural", a, cost)
+    scrambled = permute_symmetric(a, rng.permutation(a.nrows))
+    report("scrambled", scrambled, cost)
+    recovered = permute_symmetric(scrambled, rcm_ordering(scrambled))
+    report("RCM", recovered, cost)
+
+    print(
+        "\nScrambling smears the 2x2 node blocks across tiles: density"
+        "\ncollapses (10.1 -> 1.1 nnz/tile), the tile count explodes, and"
+        "\nboth kernels pay for it (SpGEMM ~15x slower).  RCM re-clusters"
+        "\nthe entries and recovers nearly all of the lost density and"
+        "\ntime — node ordering is part of the mBSR performance contract."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Suite overview: structural profiles of the 16 Table-II analogs.
+
+Prints, for every evaluation matrix, the structural quantities that steer
+AmgT's adaptive kernels — average nonzeros per tile (the tensor-core
+threshold), the tile-density histogram as a sparkline, the block-row
+variation (the load-balancing trigger) — next to the paper's metadata, so
+you can see at a glance *why* each matrix takes the paths it takes.
+
+Run:  python examples/suite_overview.py
+"""
+
+from repro.matrices import SUITE, load_suite_matrix, suite_names
+from repro.matrices.analysis import profile_matrix, tile_density_histogram
+from repro.perf.figures import sparkline
+
+
+def main() -> None:
+    print(f"{'matrix':18s} {'class':34s} {'n':>6s} {'nnz':>7s} "
+          f"{'nnz/tile':>8s} {'density 0..16':13s} {'var':>5s} {'path':>13s}")
+    for name in suite_names():
+        entry = SUITE[name]
+        a = load_suite_matrix(name)
+        p = profile_matrix(a)
+        hist = tile_density_histogram(a)
+        print(
+            f"{name:18s} {entry.problem_class[:34]:34s} {p.shape[0]:6d} "
+            f"{p.nnz:7d} {p.avg_nnz_blc:8.2f} {sparkline(hist.tolist()):13s} "
+            f"{p.variation:5.2f} {p.spmv_path:>13s}"
+        )
+    print(
+        "\nDense-tile FEM matrices (nnz/tile >= 10) ride the tensor cores;"
+        "\nstencil and graph matrices stay on CUDA cores; the power-network"
+        "\nanalog's hub rows (variation > 0.5) trigger the load-balanced"
+        "\nschedule — the three adaptive decisions of Sec. IV."
+    )
+
+
+if __name__ == "__main__":
+    main()

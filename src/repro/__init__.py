@@ -1,0 +1,53 @@
+"""repro — a reproduction of *AmgT: Algebraic Multigrid Solver on Tensor
+Cores* (SC 2024).
+
+The package implements the paper's full system on a simulated GPU
+substrate:
+
+* the **mBSR** unified sparse format (4x4 tiles + per-tile bitmaps),
+* the hybrid tensor-core / CUDA-core **SpGEMM** and **SpMV** kernels,
+* the complete **AMG** setup and solve phases (PMIS, extended+i
+  interpolation via SpGEMM, Galerkin products, L1-Jacobi V-cycles),
+* **mixed precision** per-level schedules (FP64 / FP32 / FP16),
+* a **HYPRE-style** integration layer with a vendor-CSR baseline,
+* a **multi-GPU** simulation layer, and
+* the analytical **cost model** standing in for A100 / H100 / MI210
+  hardware.
+
+Quickstart::
+
+    import numpy as np
+    from repro import AmgTSolver
+    from repro.matrices import poisson2d
+
+    A = poisson2d(64)
+    solver = AmgTSolver(backend="amgt", device="H100", precision="mixed")
+    solver.setup(A)
+    result = solver.solve(np.ones(A.nrows), tolerance=1e-8)
+    print(result.iterations, result.relative_residual)
+    print(solver.performance.summary())
+"""
+
+from repro.amg.solver import AmgTSolver, SolveResult
+from repro.amg.hierarchy import SetupParams, amg_setup
+from repro.amg.cycle import SolveParams
+from repro.formats import CSRMatrix, MBSRMatrix
+from repro.gpu import get_device, list_devices, Precision
+from repro.solvers import pcg
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AmgTSolver",
+    "SolveResult",
+    "SetupParams",
+    "SolveParams",
+    "amg_setup",
+    "CSRMatrix",
+    "MBSRMatrix",
+    "get_device",
+    "list_devices",
+    "Precision",
+    "pcg",
+    "__version__",
+]

@@ -1,0 +1,223 @@
+"""The M-level setup phase (Alg. 1) and the Fig. 6 data flow.
+
+``amg_setup`` iterates coarsening -> interpolation -> Galerkin product
+until the grid is small enough or the level cap is reached.  All matrix
+products go through an injected SpGEMM callable, so the same driver serves
+the CSR baseline and the mBSR/tensor-core AmgT backend; the hypre layer
+wraps the kernels with format conversions (CSR2MBSR before the products,
+MBSR2CSR after RAP) and timing, mirroring the numbered steps of Fig. 6.
+
+Levels are numbered from 0 (finest).  Level k holds ``A^k`` plus the
+operators ``P^k`` (interpolation from level k+1) and ``R^k = (P^k)^T``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.amg.coarse import CoarseSolver
+from repro.amg.coarsen import pmis_coarsen
+from repro.amg.galerkin import galerkin_product
+from repro.amg.interp import build_interpolation
+from repro.amg.smoothers import l1_jacobi_diagonal
+from repro.amg.strength import strength_of_connection
+from repro.formats.csr import CSRMatrix
+
+__all__ = ["SetupParams", "AMGLevel", "AMGHierarchy", "amg_setup"]
+
+SpGEMMFn = Callable[[CSRMatrix, CSRMatrix], CSRMatrix]
+
+
+@dataclass(frozen=True)
+class SetupParams:
+    """Setup-phase configuration (defaults = the paper's Sec. V.A)."""
+
+    strength_threshold: float = 0.25
+    max_row_sum: float = 0.8
+    max_levels: int = 7
+    max_coarse_size: int = 3
+    #: ``'classical'`` (the paper's configuration: C/F splitting +
+    #: interpolation) or ``'aggregation'`` (smoothed aggregation, the
+    #: AmgX-style family of the related work).
+    amg_family: str = "classical"
+    #: ``'pmis'`` (the paper's configuration), ``'hmis'`` or
+    #: ``'aggressive'`` (HYPRE's agg_num_levels-style two-stage PMIS).
+    coarsen_method: str = "pmis"
+    interp_method: str = "extended+i"
+    trunc_factor: float = 0.1
+    max_elmts: int = 4
+    coarse_solver: str = "direct"
+    seed: int = 0
+    #: Stop coarsening when a level keeps more than this fraction of the
+    #: previous level's unknowns (coarsening stagnation guard).
+    min_coarsen_rate: float = 0.9
+
+
+@dataclass
+class AMGLevel:
+    """One level of the hierarchy."""
+
+    index: int
+    a: CSRMatrix
+    #: Interpolation to this level from the next coarser one (None on the
+    #: coarsest level).
+    p: CSRMatrix | None = None
+    #: Restriction R = P^T (None on the coarsest level).
+    r: CSRMatrix | None = None
+    #: Reciprocal of the L1-Jacobi smoothing diagonal.
+    dinv: np.ndarray | None = None
+    cf_marker: np.ndarray | None = None
+    #: Lazily-computed per-level data (e.g. Chebyshev eigenvalue bounds).
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return self.a.nrows
+
+
+@dataclass
+class AMGHierarchy:
+    """The output of the setup phase."""
+
+    levels: list[AMGLevel]
+    coarse_solver: CoarseSolver
+    params: SetupParams
+    #: Number of SpGEMM calls the setup performed (3 per non-coarsest level
+    #: when extended+i interpolation is used: 1 interp + 2 Galerkin).
+    spgemm_calls: int = 0
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    def operator_complexity(self) -> float:
+        """sum(nnz(A_k)) / nnz(A_0) — the standard AMG grid-complexity metric."""
+        base = self.levels[0].a.nnz
+        if base == 0:
+            return 1.0
+        return sum(lvl.a.nnz for lvl in self.levels) / base
+
+    def describe(self) -> str:
+        lines = [
+            f"AMG hierarchy: {self.num_levels} levels, "
+            f"operator complexity {self.operator_complexity():.2f}"
+        ]
+        for lvl in self.levels:
+            lines.append(f"  level {lvl.index}: n={lvl.n}, nnz={lvl.a.nnz}")
+        return "\n".join(lines)
+
+
+def amg_setup(
+    a: CSRMatrix,
+    params: SetupParams | None = None,
+    spgemm: SpGEMMFn | None = None,
+    *,
+    on_level_built: Callable[[int, CSRMatrix], None] | None = None,
+) -> AMGHierarchy:
+    """Run the M-level setup phase on *a*.
+
+    Parameters
+    ----------
+    a:
+        The fine-level matrix (square CSR).
+    params:
+        Setup configuration; defaults to the paper's.
+    spgemm:
+        Injected SpGEMM used for interpolation and the Galerkin product.
+    on_level_built:
+        Optional callback invoked with ``(level_index, A_level)`` as each
+        coarse matrix is produced (the hypre layer uses it for per-level
+        bookkeeping such as format conversions).
+    """
+    if a.nrows != a.ncols:
+        raise ValueError("AMG requires a square matrix")
+    params = params or SetupParams()
+    if params.amg_family == "aggregation":
+        from repro.amg.aggregation import sa_setup
+
+        return sa_setup(a, params, spgemm=spgemm)
+    if params.amg_family != "classical":
+        raise ValueError(f"unknown amg_family {params.amg_family!r}")
+    levels: list[AMGLevel] = []
+    current = a
+    spgemm_calls = 0
+
+    while True:
+        level = AMGLevel(index=len(levels), a=current)
+        level.dinv = 1.0 / l1_jacobi_diagonal(current)
+        levels.append(level)
+
+        if len(levels) >= params.max_levels:
+            break
+        if current.nrows <= params.max_coarse_size:
+            break
+
+        strength = strength_of_connection(
+            current, params.strength_threshold, params.max_row_sum
+        )
+        if strength.nnz == 0:
+            break  # nothing to coarsen on
+        if params.coarsen_method == "pmis":
+            coarsening = pmis_coarsen(strength, seed=params.seed + level.index)
+        elif params.coarsen_method == "hmis":
+            from repro.amg.coarsen import hmis_coarsen
+
+            coarsening = hmis_coarsen(strength, seed=params.seed + level.index)
+        elif params.coarsen_method == "aggressive":
+            from repro.amg.coarsen import aggressive_coarsen
+
+            coarsening = aggressive_coarsen(
+                strength, seed=params.seed + level.index
+            )
+        else:
+            raise ValueError(
+                f"unknown coarsen_method {params.coarsen_method!r}"
+            )
+        nc = coarsening.n_coarse
+        if nc == 0 or nc >= current.nrows * params.min_coarsen_rate or nc == current.nrows:
+            break
+        level.cf_marker = coarsening.cf_marker
+
+        def counting_spgemm(x: CSRMatrix, y: CSRMatrix) -> CSRMatrix:
+            nonlocal spgemm_calls
+            spgemm_calls += 1
+            fn = spgemm
+            if fn is None:
+                from repro.kernels.baseline import csr_spgemm
+
+                return csr_spgemm(x, y)[0]
+            return fn(x, y)
+
+        p = build_interpolation(
+            current,
+            strength,
+            coarsening.cf_marker,
+            method=params.interp_method,
+            trunc_factor=params.trunc_factor,
+            max_elmts=params.max_elmts,
+            spgemm=counting_spgemm if params.interp_method == "extended+i" else None,
+        )
+        if params.interp_method != "extended+i":
+            # direct interpolation performs no SpGEMM, but the paper's flow
+            # (and our accounting) always uses the MM-based method; keep
+            # the counter consistent for the alternative path too.
+            pass
+        r = p.transpose()
+        coarse = galerkin_product(r, current, p, spgemm=counting_spgemm,
+                                  drop_tol=0.0)
+        level.p = p
+        level.r = r
+        if on_level_built is not None:
+            on_level_built(len(levels), coarse)
+        current = coarse
+
+    coarse_solver = CoarseSolver(levels[-1].a, method=params.coarse_solver)
+    return AMGHierarchy(
+        levels=levels,
+        coarse_solver=coarse_solver,
+        params=params,
+        spgemm_calls=spgemm_calls,
+    )

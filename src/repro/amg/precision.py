@@ -1,0 +1,54 @@
+"""Per-level precision schedules for mixed-precision AMG.
+
+AmgT adopts the three-precision configuration of Tsai, Beams & Anzt (2023):
+FP64 on the finest level, FP32 on the second level, FP16 on every coarser
+level.  On devices without usable FP16 matrix instructions (MI210) the
+schedule degrades FP16 to FP32, matching Sec. V.F of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.counters import Precision
+from repro.gpu.specs import DeviceSpec
+
+__all__ = ["PrecisionSchedule"]
+
+
+@dataclass(frozen=True)
+class PrecisionSchedule:
+    """Maps a grid level (0 = finest) to a compute precision."""
+
+    #: Explicit per-level precisions for the first levels; deeper levels
+    #: reuse the last entry.
+    levels: tuple[Precision, ...]
+    name: str = "custom"
+
+    @classmethod
+    def uniform(cls, precision: Precision = Precision.FP64) -> "PrecisionSchedule":
+        """All levels at one precision (the AmgT (FP64) configuration)."""
+        return cls(levels=(precision,), name=precision.value)
+
+    @classmethod
+    def mixed(cls, device: DeviceSpec | None = None) -> "PrecisionSchedule":
+        """The Tsai et al. three-precision configuration.
+
+        FP64 / FP32 / FP16..., with FP16 demoted to FP32 when the device
+        cannot run FP16 kernels (AMD MI210).
+        """
+        coarse = Precision.FP16
+        if device is not None and not device.fp16_supported:
+            coarse = Precision.FP32
+        return cls(levels=(Precision.FP64, Precision.FP32, coarse), name="mixed")
+
+    def for_level(self, level: int) -> Precision:
+        """Precision of grid *level* (0-based, 0 = finest)."""
+        if level < 0:
+            raise ValueError("level must be non-negative")
+        if level < len(self.levels):
+            return self.levels[level]
+        return self.levels[-1]
+
+    def describe(self, num_levels: int) -> list[str]:
+        return [self.for_level(k).value for k in range(num_levels)]

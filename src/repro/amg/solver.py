@@ -1,0 +1,193 @@
+"""The standalone AmgT solver — the library's primary public API.
+
+``AmgTSolver`` bundles the setup and solve phases behind one object:
+
+>>> from repro import AmgTSolver
+>>> from repro.matrices import poisson2d
+>>> import numpy as np
+>>> A = poisson2d(32)
+>>> solver = AmgTSolver(backend="amgt", device="H100", precision="fp64")
+>>> solver.setup(A)                                     # doctest: +ELLIPSIS
+<repro.amg.solver.AmgTSolver object at ...>
+>>> b = np.ones(A.nrows)
+>>> result = solver.solve(b, tolerance=1e-8)
+>>> result.converged
+True
+
+Backends:
+
+* ``"amgt"`` — the paper's solver: mBSR format, hybrid tensor-core /
+  CUDA-core SpGEMM and SpMV, with the Fig. 6 format-conversion data flow.
+* ``"hypre"`` — the baseline: HYPRE-style CSR data flow calling
+  vendor-style (cuSPARSE/rocSPARSE) kernels.
+
+``precision="fp64"`` runs everything in double precision;
+``precision="mixed"`` applies the Tsai et al. schedule (FP64 / FP32 /
+FP16..., FP32 on devices without FP16 support).
+
+Every simulated kernel call is recorded with its analytical cost on the
+chosen device; ``solver.performance`` exposes the phase breakdowns the
+paper's figures are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.amg.cycle import SolveParams, SolveStats
+from repro.amg.hierarchy import AMGHierarchy, SetupParams
+from repro.formats.csr import CSRMatrix
+from repro.gpu.specs import DeviceSpec, get_device
+from repro.hypre.backends import make_backend
+from repro.hypre.boomeramg import BoomerAMG
+from repro.perf.timeline import PerformanceLog
+
+__all__ = ["AmgTSolver", "SolveResult"]
+
+
+@dataclass
+class SolveResult:
+    """Outcome of :meth:`AmgTSolver.solve`."""
+
+    x: np.ndarray
+    stats: SolveStats
+    performance: PerformanceLog
+
+    @property
+    def converged(self) -> bool:
+        return self.stats.converged
+
+    @property
+    def iterations(self) -> int:
+        return self.stats.iterations
+
+    @property
+    def relative_residual(self) -> float:
+        return self.stats.final_relative_residual
+
+
+class AmgTSolver:
+    """Algebraic multigrid solver with pluggable (simulated) GPU backends."""
+
+    def __init__(
+        self,
+        backend: str = "amgt",
+        device: str | DeviceSpec = "H100",
+        precision: str = "fp64",
+        setup_params: SetupParams | None = None,
+    ):
+        if backend not in ("amgt", "hypre"):
+            raise ValueError(f"unknown backend {backend!r}; use 'amgt' or 'hypre'")
+        if precision not in ("fp64", "mixed"):
+            raise ValueError(f"unknown precision {precision!r}; use 'fp64' or 'mixed'")
+        self.device = device if isinstance(device, DeviceSpec) else get_device(device)
+        self.backend_name = backend
+        self.precision_name = precision
+        self.setup_params = setup_params or SetupParams()
+        self._driver: BoomerAMG | None = None
+
+    # ------------------------------------------------------------------
+    def setup(self, a: CSRMatrix) -> "AmgTSolver":
+        """Run the setup phase (Alg. 1) on *a*."""
+        backend = make_backend(
+            self.backend_name, self.device, precision=self.precision_name
+        )
+        self._driver = BoomerAMG(backend, self.setup_params)
+        self._driver.setup(a)
+        return self
+
+    @property
+    def hierarchy(self) -> AMGHierarchy:
+        if self._driver is None or self._driver.hierarchy is None:
+            raise RuntimeError("call setup() before accessing the hierarchy")
+        return self._driver.hierarchy
+
+    @property
+    def performance(self) -> PerformanceLog:
+        if self._driver is None:
+            raise RuntimeError("call setup() first")
+        return self._driver.perf
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        b: np.ndarray,
+        x0: np.ndarray | None = None,
+        max_iterations: int = 50,
+        tolerance: float = 0.0,
+        cycle_type: str = "V",
+        smoother: str = "l1-jacobi",
+    ) -> SolveResult:
+        """Run multigrid cycles (Alg. 2) until *tolerance* or the cap.
+
+        ``cycle_type`` selects V (the paper's configuration), W or F
+        cycles; ``smoother`` selects ``'l1-jacobi'`` (paper default),
+        ``'chebyshev'`` or ``'gauss-seidel'``.
+        """
+        if self._driver is None:
+            raise RuntimeError("call setup() before solve()")
+        params = SolveParams(
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+            cycle_type=cycle_type,
+            smoother=smoother,
+        )
+        x, stats = self._driver.solve(b, x0=x0, params=params)
+        return SolveResult(x=x, stats=stats, performance=self._driver.perf)
+
+    # ------------------------------------------------------------------
+    def solve_krylov(
+        self,
+        b: np.ndarray,
+        method: str = "pcg",
+        tolerance: float = 1e-8,
+        max_iterations: int = 500,
+        x0: np.ndarray | None = None,
+    ):
+        """Krylov solve preconditioned by one V-cycle per application.
+
+        Unlike composing :func:`repro.solvers.pcg` with
+        :meth:`as_preconditioner` manually, this routes the *outer* matvec
+        through the backend kernels as well, so the performance log
+        accounts for every SpMV of the preconditioned iteration — the
+        "preconditioners often include a number of SpMV calls" scenario of
+        Sec. II.B.  Returns the Krylov result object.
+        """
+        if self._driver is None:
+            raise RuntimeError("call setup() before solve_krylov()")
+        from repro.solvers import bicgstab, gmres, pcg
+
+        solvers = {"pcg": pcg, "gmres": gmres, "bicgstab": bicgstab}
+        if method not in solvers:
+            raise ValueError(
+                f"unknown Krylov method {method!r}; use one of {sorted(solvers)}"
+            )
+        driver = self._driver
+        wrapped = driver._wrapped[0]["A"]
+
+        def matvec(v: np.ndarray) -> np.ndarray:
+            return driver.backend.matvec_device(wrapped, v, driver.perf,
+                                                "solve", 0)
+
+        return solvers[method](
+            matvec,
+            np.asarray(b, dtype=np.float64),
+            preconditioner=driver.precondition,
+            x0=x0,
+            tolerance=tolerance,
+            max_iterations=max_iterations,
+        )
+
+    # ------------------------------------------------------------------
+    def as_preconditioner(self):
+        """Return ``M(r) -> z``: one V-cycle applied to *r* (for PCG)."""
+        if self._driver is None:
+            raise RuntimeError("call setup() before building a preconditioner")
+        driver = self._driver
+
+        def apply(r: np.ndarray) -> np.ndarray:
+            return driver.precondition(r)
+
+        return apply

@@ -1,0 +1,237 @@
+"""Command-line interface.
+
+Three subcommands mirror the library's main uses::
+
+    python -m repro solve  --matrix thermal1 --backend amgt --device H100
+    python -m repro bench  --matrices thermal1,cant --iterations 10
+    python -m repro info   [--device H100] [--matrix cant]
+
+``solve`` runs one AMG solve (optionally as a Krylov preconditioner) and
+prints convergence plus the simulated phase times; ``bench`` prints the
+Fig. 7-style three-way comparison for a matrix subset; ``info`` dumps the
+device registry and suite metadata.  ``--matrix`` accepts a suite name
+(Table II analog), ``poisson2d:N`` / ``poisson3d:N`` grid shorthands, or a
+path to a MatrixMarket file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "load_matrix_arg"]
+
+
+def load_matrix_arg(spec: str):
+    """Resolve a ``--matrix`` argument to a CSRMatrix."""
+    from repro.matrices import (
+        load_suite_matrix,
+        poisson2d,
+        poisson3d,
+        read_matrix_market,
+        suite_names,
+    )
+
+    if spec in suite_names():
+        return load_suite_matrix(spec)
+    if ":" in spec:
+        kind, _, size = spec.partition(":")
+        try:
+            n = int(size)
+        except ValueError:
+            raise SystemExit(f"invalid grid size in --matrix {spec!r}")
+        if kind == "poisson2d":
+            return poisson2d(n)
+        if kind == "poisson3d":
+            return poisson3d(n)
+        raise SystemExit(f"unknown generator {kind!r} in --matrix")
+    import os
+
+    if os.path.exists(spec):
+        return read_matrix_market(spec)
+    raise SystemExit(
+        f"--matrix {spec!r} is neither a suite name, a generator spec "
+        f"(poisson2d:N / poisson3d:N), nor an existing file"
+    )
+
+
+def _cmd_solve(args) -> int:
+    from repro import AmgTSolver, SetupParams
+    from repro.solvers import bicgstab, gmres, pcg
+
+    a = load_matrix_arg(args.matrix)
+    rng = np.random.default_rng(args.seed)
+    b = rng.normal(size=a.nrows) if args.random_rhs else np.ones(a.nrows)
+
+    solver = AmgTSolver(backend=args.backend, device=args.device,
+                        precision=args.precision,
+                        setup_params=SetupParams(amg_family=args.amg_family))
+    solver.setup(a)
+    print(solver.hierarchy.describe())
+
+    if args.krylov == "none":
+        res = solver.solve(b, tolerance=args.tolerance,
+                           max_iterations=args.max_iterations)
+        iters, converged = res.iterations, res.converged
+        relres = res.relative_residual
+    else:
+        krylov = {"pcg": pcg, "gmres": gmres, "bicgstab": bicgstab}[args.krylov]
+        kres = krylov(a, b, preconditioner=solver.as_preconditioner(),
+                      tolerance=args.tolerance or 1e-8,
+                      max_iterations=args.max_iterations)
+        iters, converged = kres.iterations, kres.converged
+        relres = kres.final_relative_residual
+
+    print(f"\n{args.krylov if args.krylov != 'none' else 'V-cycle'}: "
+          f"iterations={iters} converged={converged} relres={relres:.3e}")
+    s = solver.performance.summary()
+    print(f"simulated setup {s['setup_us']:.1f}us "
+          f"(SpGEMM {s['setup_spgemm_us']:.1f}us, "
+          f"conversions {s['setup_conversion_us']:.1f}us), "
+          f"solve {s['solve_us']:.1f}us (SpMV {s['solve_spmv_us']:.1f}us)")
+    return 0 if converged or args.tolerance == 0.0 else 1
+
+
+def _cmd_bench(args) -> int:
+    from repro import AmgTSolver
+    from repro.perf.report import format_table, geomean
+
+    names = [n.strip() for n in args.matrices.split(",") if n.strip()]
+    rows = []
+    speedups, mixed_gains = [], []
+    for name in names:
+        a = load_matrix_arg(name)
+        totals = {}
+        for backend, prec in (("hypre", "fp64"), ("amgt", "fp64"), ("amgt", "mixed")):
+            s = AmgTSolver(backend=backend, device=args.device, precision=prec)
+            s.setup(a)
+            s.solve(np.ones(a.nrows), max_iterations=args.iterations)
+            summ = s.performance.summary()
+            totals[(backend, prec)] = summ["total_us"]
+        sp = totals[("hypre", "fp64")] / totals[("amgt", "fp64")]
+        mx = totals[("amgt", "fp64")] / totals[("amgt", "mixed")]
+        speedups.append(sp)
+        mixed_gains.append(mx)
+        rows.append([name, totals[("hypre", "fp64")], totals[("amgt", "fp64")],
+                     totals[("amgt", "mixed")], sp, mx])
+    print(format_table(
+        ["matrix", "HYPRE us", "AmgT64 us", "AmgTmx us", "speedup", "mixed"],
+        rows,
+    ))
+    from repro.perf.figures import grouped_bars
+
+    print()
+    print(grouped_bars(
+        {
+            row[0]: {"HYPRE (FP64)": row[1], "AmgT (FP64)": row[2],
+                     "AmgT (Mixed)": row[3]}
+            for row in rows
+        },
+        title=f"total simulated time on {args.device} (Fig. 7 layout)",
+    ))
+    print(f"\ngeomean AmgT(FP64) vs HYPRE on {args.device}: "
+          f"{geomean(speedups):.2f}x; AmgT(Mixed) vs FP64: "
+          f"{geomean(mixed_gains):.2f}x")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from repro.gpu import get_device, list_devices
+    from repro.gpu.counters import Precision
+    from repro.matrices import SUITE, suite_names
+
+    if args.device:
+        d = get_device(args.device)
+        print(f"{d.name} ({d.vendor}, {d.notes})")
+        for p in Precision:
+            print(f"  {p.value}: scalar {d.cuda_tflops[p]:.1f} TFlops, "
+                  f"matrix-unit {d.tensor_tflops[p]:.1f} TFlops")
+        print(f"  memory: {d.mem_gb:.0f} GB @ {d.mem_bw_tbs:.2f} TB/s")
+        print(f"  MMA 8x8x4 compatible: {d.mma_shape_compatible}; "
+              f"FP16 kernels: {d.fp16_supported}")
+        return 0
+    if args.matrix:
+        e = SUITE.get(args.matrix)
+        if e is None:
+            raise SystemExit(f"unknown suite matrix {args.matrix!r}")
+        print(f"{e.name} ({e.group}): {e.problem_class}")
+        print(f"  paper: n={e.paper_order}, nnz={e.paper_nnz}, "
+              f"levels={e.paper_levels}, #SpGEMM={e.paper_spgemm}, "
+              f"#SpMV={e.paper_spmv}")
+        a = e.generator()
+        print(f"  analog: n={a.nrows}, nnz={a.nnz}")
+        return 0
+    print("devices:", ", ".join(list_devices()))
+    print("suite matrices:", ", ".join(suite_names()))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.matrices.analysis import profile_matrix, tile_density_histogram
+    from repro.perf.figures import sparkline
+
+    a = load_matrix_arg(args.matrix)
+    profile = profile_matrix(a)
+    print(profile.describe())
+    hist = tile_density_histogram(a)
+    if hist.sum():
+        print(f"  tile-density histogram (0..16 nnz): "
+              f"{sparkline(hist.tolist())}")
+        tc_share = hist[10:].sum() / hist.sum()
+        print(f"  tensor-core-eligible tiles: {tc_share:.1%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="AmgT reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve", help="run one AMG (or AMG-preconditioned) solve")
+    p.add_argument("--matrix", required=True,
+                   help="suite name, poisson2d:N / poisson3d:N, or .mtx path")
+    p.add_argument("--backend", choices=["amgt", "hypre"], default="amgt")
+    p.add_argument("--device", choices=["A100", "H100", "MI210"], default="H100")
+    p.add_argument("--precision", choices=["fp64", "mixed"], default="fp64")
+    p.add_argument("--amg-family", choices=["classical", "aggregation"],
+                   default="classical")
+    p.add_argument("--krylov", choices=["none", "pcg", "gmres", "bicgstab"],
+                   default="none")
+    p.add_argument("--tolerance", type=float, default=1e-8)
+    p.add_argument("--max-iterations", type=int, default=50)
+    p.add_argument("--random-rhs", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser("bench", help="three-way Fig. 7-style comparison")
+    p.add_argument("--matrices", default="thermal1,cant",
+                   help="comma-separated suite names or generator specs")
+    p.add_argument("--device", choices=["A100", "H100", "MI210"], default="H100")
+    p.add_argument("--iterations", type=int, default=10)
+    p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("info", help="device / suite metadata")
+    p.add_argument("--device", default=None)
+    p.add_argument("--matrix", default=None)
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser(
+        "profile", help="structural profile of a matrix (kernel-path prediction)"
+    )
+    p.add_argument("--matrix", required=True,
+                   help="suite name, poisson2d:N / poisson3d:N, or .mtx path")
+    p.set_defaults(func=_cmd_profile)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

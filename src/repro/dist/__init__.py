@@ -1,0 +1,30 @@
+"""Multi-GPU simulation layer (the Fig. 9 experiment).
+
+AmgT inherits HYPRE's distributed execution: matrices are partitioned into
+contiguous row blocks (one per GPU), each rank stores a *diag* block (the
+columns it owns) and an *offd* block (external columns, hypre's ParCSR
+layout), and every SpMV performs a halo exchange of the needed x entries
+before the local kernels run.
+
+Without eight A100s we simulate the ranks in-process: the local kernels are
+the same simulated kernels as the single-GPU path (each priced on its own
+device cost model), and :class:`repro.dist.comm.SimComm` prices messages
+with an alpha-beta (latency + bytes/bandwidth) model of NVLink-class
+links.  Per-step simulated time is ``max over ranks of local time + comm
+time`` — the bulk-synchronous bound HYPRE's data flow obeys.
+"""
+
+from repro.dist.partition import RowPartition, partition_rows
+from repro.dist.comm import SimComm, CommCost
+from repro.dist.par_csr import ParCSRMatrix
+from repro.dist.par_solver import ParAMGSolver, ParSolveReport
+
+__all__ = [
+    "RowPartition",
+    "partition_rows",
+    "SimComm",
+    "CommCost",
+    "ParCSRMatrix",
+    "ParAMGSolver",
+    "ParSolveReport",
+]

@@ -1,0 +1,89 @@
+"""Simulated inter-GPU communication with an alpha-beta cost model.
+
+Every halo exchange is priced as ``alpha + bytes / beta`` per message,
+with the per-step communication time taken as the maximum over ranks of
+their posted message costs (bulk-synchronous neighbour exchange).  The
+default constants approximate NVLink/NVSwitch-class links between eight
+A100s (a few microseconds of latency, ~200 GB/s effective per-pair
+bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CommCost", "SimComm"]
+
+
+@dataclass(frozen=True)
+class CommCost:
+    """Alpha-beta link model.
+
+    Real NVLink-class message latency is several microseconds; like the
+    kernel-launch overhead (see ``DeviceSpec.launch_overhead_us``), the
+    default alpha is scaled down by the reproduction's 30-100x matrix
+    scale factor so the communication-to-computation ratio of the paper's
+    eight-A100 testbed is preserved at laptop problem sizes.
+    """
+
+    #: Per-message latency in microseconds (scaled; see class docstring).
+    alpha_us: float = 0.15
+    #: Effective point-to-point bandwidth in bytes per microsecond
+    #: (200 GB/s = 2.0e5 B/us).
+    beta_bytes_per_us: float = 2.0e5
+
+    def message_us(self, nbytes: float) -> float:
+        if nbytes <= 0:
+            return 0.0
+        return self.alpha_us + nbytes / self.beta_bytes_per_us
+
+
+@dataclass
+class SimComm:
+    """Accumulates the simulated communication time of a distributed run."""
+
+    num_ranks: int
+    cost: CommCost = field(default_factory=CommCost)
+    total_comm_us: float = 0.0
+    messages: int = 0
+    bytes_moved: float = 0.0
+
+    def exchange(self, bytes_per_pair: np.ndarray) -> float:
+        """One neighbour exchange step.
+
+        ``bytes_per_pair[src, dst]`` is the payload from rank *src* to rank
+        *dst*.  Messages of one exchange overlap (non-blocking sends/recvs
+        posted together), so a rank's cost is one latency term plus its
+        aggregate send+receive volume at link bandwidth; the step time is
+        the maximum over ranks — what a bulk-synchronous halo exchange
+        waits for.
+        """
+        bpp = np.asarray(bytes_per_pair, dtype=np.float64)
+        if bpp.shape != (self.num_ranks, self.num_ranks):
+            raise ValueError(
+                f"expected ({self.num_ranks}, {self.num_ranks}) byte matrix, got {bpp.shape}"
+            )
+        np.fill_diagonal(bpp, 0.0)
+        sent = bpp.sum(axis=1)
+        received = bpp.sum(axis=0)
+        volume = sent + received
+        active = volume > 0
+        per_rank = np.where(active, self.cost.alpha_us, 0.0) + (
+            volume / self.cost.beta_bytes_per_us
+        )
+        self.messages += int(np.count_nonzero(bpp))
+        self.bytes_moved += float(bpp.sum())
+        step = float(per_rank.max()) if self.num_ranks else 0.0
+        self.total_comm_us += step
+        return step
+
+    def allreduce_us(self, nbytes: float) -> float:
+        """Price one allreduce (ring model: 2 * (p-1) message steps)."""
+        steps = 2 * max(self.num_ranks - 1, 0)
+        t = steps * self.cost.message_us(max(nbytes / max(self.num_ranks, 1), 1.0))
+        self.total_comm_us += t
+        self.messages += steps
+        self.bytes_moved += nbytes
+        return t

@@ -1,0 +1,53 @@
+"""Row partitioning for the simulated multi-GPU runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RowPartition", "partition_rows"]
+
+
+@dataclass(frozen=True)
+class RowPartition:
+    """Contiguous row-block ownership, hypre style.
+
+    ``starts`` has length ``num_ranks + 1``; rank r owns rows
+    ``[starts[r], starts[r+1])`` (and the matching columns for square
+    matrices).
+    """
+
+    starts: np.ndarray
+
+    @property
+    def num_ranks(self) -> int:
+        return self.starts.shape[0] - 1
+
+    @property
+    def n(self) -> int:
+        return int(self.starts[-1])
+
+    def owner_of(self, index: int | np.ndarray):
+        """Rank(s) owning global row/column *index*."""
+        return np.searchsorted(self.starts, index, side="right") - 1
+
+    def local_size(self, rank: int) -> int:
+        return int(self.starts[rank + 1] - self.starts[rank])
+
+    def local_range(self, rank: int) -> tuple[int, int]:
+        return int(self.starts[rank]), int(self.starts[rank + 1])
+
+
+def partition_rows(n: int, num_ranks: int) -> RowPartition:
+    """Balanced contiguous partition of *n* rows over *num_ranks* ranks."""
+    if num_ranks < 1:
+        raise ValueError("num_ranks must be positive")
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    base, rem = divmod(n, num_ranks)
+    sizes = np.full(num_ranks, base, dtype=np.int64)
+    sizes[:rem] += 1
+    starts = np.zeros(num_ranks + 1, dtype=np.int64)
+    np.cumsum(sizes, out=starts[1:])
+    return RowPartition(starts)

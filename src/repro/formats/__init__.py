@@ -1,0 +1,48 @@
+"""Sparse matrix storage formats.
+
+* :mod:`repro.formats.bitmap` — 16-bit tile bitmaps and their algebra
+  (popcount, boolean 4x4 tile products), the primitive that distinguishes
+  mBSR from classic BSR.
+* :mod:`repro.formats.csr` — compressed sparse row, the interchange format
+  HYPRE components (coarsening, coarsest-level solve) operate on.
+* :mod:`repro.formats.mbsr` — the paper's unified format: 4x4 tiles, a
+  bitmap per tile.
+* :mod:`repro.formats.bsr` — classic block sparse row, used only for the
+  Fig. 10 conversion-cost comparison against cuSPARSE's CSR->BSR.
+* :mod:`repro.formats.convert` — conversions between the formats with
+  operation counting for the cost model.
+"""
+
+from repro.formats.bitmap import (
+    BLOCK_SIZE,
+    bitmap_from_dense,
+    bitmap_multiply,
+    bitmap_popcount,
+    bitmap_to_mask,
+    bitmap_transpose,
+)
+from repro.formats.csr import CSRMatrix
+from repro.formats.mbsr import MBSRMatrix
+from repro.formats.bsr import BSRMatrix
+from repro.formats.convert import (
+    bsr_to_csr,
+    csr_to_bsr,
+    csr_to_mbsr,
+    mbsr_to_csr,
+)
+
+__all__ = [
+    "BLOCK_SIZE",
+    "bitmap_from_dense",
+    "bitmap_multiply",
+    "bitmap_popcount",
+    "bitmap_to_mask",
+    "bitmap_transpose",
+    "CSRMatrix",
+    "MBSRMatrix",
+    "BSRMatrix",
+    "csr_to_mbsr",
+    "mbsr_to_csr",
+    "csr_to_bsr",
+    "bsr_to_csr",
+]

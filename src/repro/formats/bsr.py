@@ -1,0 +1,83 @@
+"""Classic block sparse row (BSR) with 4x4 tiles.
+
+BSR appears in the reproduction only as the comparison point of Fig. 10:
+cuSPARSE converts CSR to BSR before blocked kernels, while AmgT converts to
+mBSR.  The two formats differ by one array (the bitmap), which is why the
+paper finds the two conversion costs nearly identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.formats.bitmap import BLOCK_SIZE
+from repro.formats.mbsr import block_rows
+
+__all__ = ["BSRMatrix"]
+
+_INDEX_DTYPE = np.int64
+
+
+@dataclass
+class BSRMatrix:
+    """A sparse matrix stored as dense 4x4 tiles (no bitmaps)."""
+
+    shape: tuple[int, int]
+    blc_ptr: np.ndarray
+    blc_idx: np.ndarray
+    blc_val: np.ndarray
+    _trusted: bool = field(default=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.shape = (int(self.shape[0]), int(self.shape[1]))
+        self.blc_ptr = np.ascontiguousarray(self.blc_ptr, dtype=_INDEX_DTYPE)
+        self.blc_idx = np.ascontiguousarray(self.blc_idx, dtype=_INDEX_DTYPE)
+        self.blc_val = np.ascontiguousarray(self.blc_val)
+        if self.blc_val.ndim == 2 and self.blc_val.shape[1] == BLOCK_SIZE * BLOCK_SIZE:
+            self.blc_val = self.blc_val.reshape(-1, BLOCK_SIZE, BLOCK_SIZE)
+        if not self._trusted:
+            self._validate()
+
+    def _validate(self) -> None:
+        mb = block_rows(self.shape[0])
+        if self.blc_ptr.shape[0] != mb + 1:
+            raise ValueError("blc_ptr length mismatch")
+        blc_num = int(self.blc_ptr[-1])
+        if self.blc_idx.shape[0] != blc_num:
+            raise ValueError("blc_idx length mismatch")
+        if self.blc_val.shape != (blc_num, BLOCK_SIZE, BLOCK_SIZE):
+            raise ValueError("blc_val shape mismatch")
+
+    @property
+    def mb(self) -> int:
+        return block_rows(self.shape[0])
+
+    @property
+    def nb(self) -> int:
+        return block_rows(self.shape[1])
+
+    @property
+    def blc_num(self) -> int:
+        return int(self.blc_ptr[-1])
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.blc_val.dtype
+
+    def block_row_ids(self) -> np.ndarray:
+        counts = np.diff(self.blc_ptr)
+        return np.repeat(np.arange(self.mb, dtype=_INDEX_DTYPE), counts)
+
+    def to_dense(self) -> np.ndarray:
+        padded = np.zeros(
+            (self.mb * BLOCK_SIZE, self.nb * BLOCK_SIZE),
+            dtype=np.result_type(self.dtype, np.float64),
+        )
+        rows = self.block_row_ids()
+        for t in range(self.blc_num):
+            r0 = rows[t] * BLOCK_SIZE
+            c0 = self.blc_idx[t] * BLOCK_SIZE
+            padded[r0 : r0 + BLOCK_SIZE, c0 : c0 + BLOCK_SIZE] += self.blc_val[t]
+        return padded[: self.shape[0], : self.shape[1]]

@@ -1,0 +1,175 @@
+"""Format conversions of the AmgT data flow (Fig. 6, steps 4 and 5).
+
+``CSR2MBSR`` runs before every SpGEMM-consuming step of the setup phase and
+``MBSR2CSR`` after every Galerkin product; the data flow calls a conversion
+``2 * #levels - 1`` times.  Each conversion returns a
+:class:`ConversionStats` describing the simulated work (entries touched,
+bytes read/written) so the cost model can price it; Fig. 10 compares the
+CSR->mBSR cost against cuSPARSE's CSR->BSR, which differs only by the
+bitmap array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.bitmap import BLOCK_SIZE, bitmap_to_mask
+from repro.formats.bsr import BSRMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.mbsr import MBSRMatrix, block_rows
+from repro.util.prefix_sum import counts_to_ptr
+
+__all__ = [
+    "ConversionStats",
+    "csr_to_mbsr",
+    "mbsr_to_csr",
+    "csr_to_bsr",
+    "bsr_to_csr",
+]
+
+_INDEX_DTYPE = np.int64
+
+
+@dataclass
+class ConversionStats:
+    """Simulated work of one format conversion."""
+
+    kind: str
+    nnz: int
+    blc_num: int
+    bytes_read: int
+    bytes_written: int
+
+    @property
+    def bytes_total(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+
+def _tile_layout(csr: CSRMatrix):
+    """Shared CSR->tiles analysis: tile ids and within-tile slots per nnz."""
+    rows = csr.row_ids()
+    cols = csr.indices
+    brow = rows // BLOCK_SIZE
+    bcol = cols // BLOCK_SIZE
+    slot = (rows % BLOCK_SIZE) * BLOCK_SIZE + (cols % BLOCK_SIZE)
+    nb = block_rows(csr.ncols)
+    key = brow * nb + bcol
+    order = np.argsort(key, kind="stable")
+    skey = key[order]
+    new = np.ones(skey.shape[0], dtype=bool)
+    if skey.shape[0]:
+        new[1:] = skey[1:] != skey[:-1]
+    tile_of_entry = np.cumsum(new) - 1 if skey.shape[0] else skey
+    tile_keys = skey[new] if skey.shape[0] else skey
+    return order, slot, tile_of_entry, tile_keys, nb
+
+
+def csr_to_mbsr(csr: CSRMatrix, *, return_stats: bool = False):
+    """``AmgT_CSR2mBSR``: tile the matrix and build per-tile bitmaps.
+
+    Vectorised two-pass construction mirroring the GPU kernel: pass 1 counts
+    distinct tiles per block-row (building ``blc_ptr`` with a prefix sum),
+    pass 2 scatters values into tile slots and ORs slot bits into ``blc_map``.
+    """
+    order, slot, tile_of_entry, tile_keys, nb = _tile_layout(csr)
+    mb = block_rows(csr.nrows)
+    blc_num = tile_keys.shape[0]
+
+    tile_rows = tile_keys // nb
+    tile_cols = tile_keys % nb
+    counts = np.bincount(tile_rows, minlength=mb)
+    blc_ptr = counts_to_ptr(counts)
+
+    blc_val = np.zeros((blc_num, BLOCK_SIZE, BLOCK_SIZE), dtype=csr.data.dtype)
+    blc_map = np.zeros(blc_num, dtype=np.uint16)
+
+    sslot = slot[order]
+    svals = csr.data[order]
+    flat = blc_val.reshape(blc_num, BLOCK_SIZE * BLOCK_SIZE)
+    np.add.at(flat, (tile_of_entry, sslot), svals)
+    np.bitwise_or.at(blc_map, tile_of_entry, (1 << sslot.astype(np.uint32)).astype(np.uint16))
+
+    out = MBSRMatrix((csr.nrows, csr.ncols), blc_ptr, tile_cols, blc_val, blc_map, _trusted=True)
+    if not return_stats:
+        return out
+    itemsize = csr.data.dtype.itemsize
+    stats = ConversionStats(
+        kind="csr2mbsr",
+        nnz=csr.nnz,
+        blc_num=blc_num,
+        # read the CSR triplet arrays
+        bytes_read=csr.nnz * (itemsize + 8) + (csr.nrows + 1) * 8,
+        # write blc_ptr, blc_idx, blc_val (dense tiles), blc_map (the only
+        # array BSR lacks: 2 bytes per tile)
+        bytes_written=(mb + 1) * 8 + blc_num * 8 + blc_num * 16 * itemsize + blc_num * 2,
+    )
+    return out, stats
+
+
+def csr_to_bsr(csr: CSRMatrix, *, return_stats: bool = False):
+    """cuSPARSE-style CSR->BSR (Fig. 10 comparison point)."""
+    order, slot, tile_of_entry, tile_keys, nb = _tile_layout(csr)
+    mb = block_rows(csr.nrows)
+    blc_num = tile_keys.shape[0]
+    tile_rows = tile_keys // nb
+    tile_cols = tile_keys % nb
+    counts = np.bincount(tile_rows, minlength=mb)
+    blc_ptr = counts_to_ptr(counts)
+    blc_val = np.zeros((blc_num, BLOCK_SIZE, BLOCK_SIZE), dtype=csr.data.dtype)
+    flat = blc_val.reshape(blc_num, BLOCK_SIZE * BLOCK_SIZE)
+    np.add.at(flat, (tile_of_entry, slot[order]), csr.data[order])
+    out = BSRMatrix((csr.nrows, csr.ncols), blc_ptr, tile_cols, blc_val, _trusted=True)
+    if not return_stats:
+        return out
+    itemsize = csr.data.dtype.itemsize
+    stats = ConversionStats(
+        kind="csr2bsr",
+        nnz=csr.nnz,
+        blc_num=blc_num,
+        bytes_read=csr.nnz * (itemsize + 8) + (csr.nrows + 1) * 8,
+        bytes_written=(mb + 1) * 8 + blc_num * 8 + blc_num * 16 * itemsize,
+    )
+    return out, stats
+
+
+def mbsr_to_csr(mbsr: MBSRMatrix, *, return_stats: bool = False):
+    """``MBSR2CSR``: expand bitmap slots back to scalar CSR entries."""
+    mask = bitmap_to_mask(mbsr.blc_map)  # (blc_num, 4, 4)
+    tile_ids, rr, cc = np.nonzero(mask)
+    brow = mbsr.block_row_ids()[tile_ids]
+    bcol = mbsr.blc_idx[tile_ids]
+    rows = brow * BLOCK_SIZE + rr
+    cols = bcol * BLOCK_SIZE + cc
+    vals = mbsr.blc_val[tile_ids, rr, cc]
+    keep = (rows < mbsr.nrows) & (cols < mbsr.ncols)
+    out = CSRMatrix.from_coo(
+        rows[keep], cols[keep], vals[keep], mbsr.shape, sum_duplicates=False
+    )
+    if not return_stats:
+        return out
+    itemsize = mbsr.blc_val.dtype.itemsize
+    stats = ConversionStats(
+        kind="mbsr2csr",
+        nnz=out.nnz,
+        blc_num=mbsr.blc_num,
+        bytes_read=mbsr.blc_num * (16 * itemsize + 8 + 2) + (mbsr.mb + 1) * 8,
+        bytes_written=out.nnz * (itemsize + 8) + (out.nrows + 1) * 8,
+    )
+    return out, stats
+
+
+def bsr_to_csr(bsr: BSRMatrix) -> CSRMatrix:
+    """Expand a BSR matrix to CSR, dropping explicit zeros."""
+    blc_num = bsr.blc_num
+    tile_ids, rr, cc = np.nonzero(bsr.blc_val)
+    brow = bsr.block_row_ids()[tile_ids]
+    bcol = bsr.blc_idx[tile_ids]
+    rows = brow * BLOCK_SIZE + rr
+    cols = bcol * BLOCK_SIZE + cc
+    vals = bsr.blc_val[tile_ids, rr, cc]
+    keep = (rows < bsr.shape[0]) & (cols < bsr.shape[1])
+    return CSRMatrix.from_coo(
+        rows[keep], cols[keep], vals[keep], bsr.shape, sum_duplicates=False
+    )

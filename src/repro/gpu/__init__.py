@@ -1,0 +1,38 @@
+"""Simulated GPU substrate.
+
+The paper measures AmgT on NVIDIA A100/H100 and AMD MI210 GPUs.  Without
+that hardware we replace wall-clock measurement with a two-part substitute:
+
+1. :mod:`repro.gpu.mma` executes the exact fragment algebra of the tensor
+   core ``mma`` instruction (8x8x4 shape, FP64/FP32/FP16-with-FP32-accumulate
+   semantics) in NumPy, so every numeric result flows through the same
+   operation the hardware would perform.
+2. :mod:`repro.gpu.cost` prices the work recorded in
+   :class:`repro.gpu.counters.KernelCounters` with an analytical
+   roofline-style model parameterised by the Table I peaks (per-core-type,
+   per-precision TFlops and memory bandwidth).
+
+This keeps the *shape* of every performance comparison — which core type
+wins for which tile density, how much FP16 helps on coarse grids, why MI210
+sees no mixed-precision gain — while the absolute times are model outputs,
+not measurements.
+"""
+
+from repro.gpu.specs import DeviceSpec, get_device, list_devices, A100, H100, MI210
+from repro.gpu.counters import KernelCounters, Precision
+from repro.gpu.mma import MMAUnit, mma_884
+from repro.gpu.cost import CostModel
+
+__all__ = [
+    "DeviceSpec",
+    "get_device",
+    "list_devices",
+    "A100",
+    "H100",
+    "MI210",
+    "KernelCounters",
+    "Precision",
+    "MMAUnit",
+    "mma_884",
+    "CostModel",
+]

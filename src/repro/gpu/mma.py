@@ -1,0 +1,93 @@
+"""The 8x8x4 matrix-multiply-accumulate (MMA) unit.
+
+AmgT targets the smallest FP64 tensor-core shape, ``m8n8k4``: fragment A is
+8x4, fragment B is 4x8, and the instruction computes ``C += A @ B`` into an
+8x8 accumulator spread across the 32 threads of a warp.  Both hybrid kernels
+assemble fragments from 4x4 mBSR tiles:
+
+* SpGEMM replicates one A-tile into both halves of ``fragA`` and packs two
+  valid B-tiles side by side in ``fragB``, then keeps only the top half of
+  the 8x8 result (the bottom half duplicates it) — "we only use half of the
+  results obtained from the tensor cores" (Sec. IV.C).
+* SpMV packs two consecutive A-tiles vertically in ``fragA`` and the two
+  matching x-vector slices diagonally in ``fragB``, then extracts the
+  diagonal 4-vectors of the accumulator (Fig. 5).
+
+:func:`mma_884` emulates the instruction with NumPy matmuls in the requested
+precision, using FP32 accumulation for FP16 inputs (tensor-core semantics).
+:class:`MMAUnit` wraps it with issue counting for the cost model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.counters import KernelCounters, Precision
+
+__all__ = ["mma_884", "MMAUnit", "FRAG_M", "FRAG_N", "FRAG_K"]
+
+FRAG_M, FRAG_N, FRAG_K = 8, 8, 4
+
+
+def mma_884(
+    frag_c: np.ndarray,
+    frag_a: np.ndarray,
+    frag_b: np.ndarray,
+    precision: Precision = Precision.FP64,
+) -> np.ndarray:
+    """One (batched) MMA: ``C += A @ B`` with tensor-core rounding.
+
+    Parameters
+    ----------
+    frag_c:
+        Accumulator, shape ``(..., 8, 8)``, in the accumulate dtype.
+    frag_a:
+        Shape ``(..., 8, 4)``.
+    frag_b:
+        Shape ``(..., 4, 8)``.
+    precision:
+        Input precision.  FP16 inputs accumulate in FP32; FP32/FP64
+        accumulate at input precision.
+
+    Returns
+    -------
+    np.ndarray
+        The updated accumulator (also written in place when dtypes allow).
+    """
+    if frag_a.shape[-2:] != (FRAG_M, FRAG_K):
+        raise ValueError(f"fragA must end in (8, 4), got {frag_a.shape}")
+    if frag_b.shape[-2:] != (FRAG_K, FRAG_N):
+        raise ValueError(f"fragB must end in (4, 8), got {frag_b.shape}")
+    if frag_c.shape[-2:] != (FRAG_M, FRAG_N):
+        raise ValueError(f"fragC must end in (8, 8), got {frag_c.shape}")
+    in_dtype = precision.np_dtype
+    acc_dtype = precision.accum_dtype
+    a = np.asarray(frag_a, dtype=in_dtype)
+    b = np.asarray(frag_b, dtype=in_dtype)
+    # The hardware multiplies at input precision and adds into the
+    # accumulator at accumulate precision.
+    prod = (a.astype(acc_dtype) @ b.astype(acc_dtype)).astype(acc_dtype)
+    out = np.asarray(frag_c, dtype=acc_dtype)
+    out = out + prod
+    if isinstance(frag_c, np.ndarray) and frag_c.dtype == acc_dtype:
+        frag_c[...] = out
+    return out
+
+
+class MMAUnit:
+    """An MMA issue port that counts instructions into a counter set."""
+
+    def __init__(self, counters: KernelCounters | None = None):
+        self.counters = counters if counters is not None else KernelCounters()
+
+    def mma(
+        self,
+        frag_c: np.ndarray,
+        frag_a: np.ndarray,
+        frag_b: np.ndarray,
+        precision: Precision = Precision.FP64,
+    ) -> np.ndarray:
+        """Issue (a batch of) MMA instructions and count them."""
+        batch = int(np.prod(frag_a.shape[:-2])) if frag_a.ndim > 2 else 1
+        self.counters.add_mma(precision, batch)
+        return mma_884(frag_c, frag_a, frag_b, precision)

@@ -1,0 +1,31 @@
+"""HYPRE-style integration layer (Sec. IV.F).
+
+The paper incorporates AmgT into HYPRE by adding the mBSR arrays (prefix
+``AmgT_mBSR_``) to ``hypre_CSRMatrix`` and routing
+``hypre_CSRMatrixMultiplyDevice`` / ``hypre_CSRMatrixMatvecDevice2``
+through the AmgT kernels after an ``AmgT_CSR2mBSR`` conversion.  This
+package mirrors that structure:
+
+* :class:`repro.hypre.csr_matrix.HypreCSRMatrix` — a CSR matrix that can
+  lazily carry its mBSR twin;
+* :mod:`repro.hypre.backends` — the kernel backends: ``hypre`` (vendor
+  CSR kernels, the baseline) and ``amgt`` (mBSR tensor-core kernels, FP64
+  or mixed precision);
+* :class:`repro.hypre.boomeramg.BoomerAMG` — the AMG driver that plays the
+  role of BoomerAMG: it runs the shared setup/solve algorithms while every
+  SpGEMM/SpMV goes through the chosen backend, recording the Fig. 6 format
+  conversions and per-call simulated timings.
+"""
+
+from repro.hypre.csr_matrix import HypreCSRMatrix
+from repro.hypre.backends import KernelBackend, HypreBackend, AmgTBackend, make_backend
+from repro.hypre.boomeramg import BoomerAMG
+
+__all__ = [
+    "HypreCSRMatrix",
+    "KernelBackend",
+    "HypreBackend",
+    "AmgTBackend",
+    "make_backend",
+    "BoomerAMG",
+]

@@ -1,0 +1,227 @@
+"""Kernel backends: the baseline HYPRE path and the AmgT path.
+
+A backend owns a device, a cost model and a precision schedule, and
+exposes the two device entry points of the HYPRE integration:
+
+* :meth:`KernelBackend.matmul_device` — ``hypre_CSRMatrixMultiplyDevice``;
+* :meth:`KernelBackend.matvec_device` — ``hypre_CSRMatrixMatvecDevice2``.
+
+Both append priced :class:`~repro.kernels.record.KernelRecord` entries to
+the supplied :class:`~repro.perf.timeline.PerformanceLog`.
+
+:class:`HypreBackend` calls the vendor-style CSR kernels (cuSPARSE on
+NVIDIA devices, rocSPARSE on AMD) in FP64 — the paper's baseline.
+
+:class:`AmgTBackend` implements the Fig. 6 data flow: operands are
+converted to mBSR once (conversion cost recorded on first touch), kernels
+run at the per-level precision of the schedule, and MI210's incompatible
+matrix-core shapes force the CUDA-core paths (Sec. V.F).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.convert import mbsr_to_csr
+from repro.formats.csr import CSRMatrix
+from repro.gpu.cost import CostModel
+from repro.gpu.counters import KernelCounters, Precision
+from repro.gpu.specs import DeviceSpec
+from repro.hypre.csr_matrix import HypreCSRMatrix
+from repro.kernels.baseline import csr_spgemm, csr_spmv
+from repro.kernels.record import KernelRecord
+from repro.kernels.spgemm import mbsr_spgemm
+from repro.kernels.spmv import mbsr_spmv
+from repro.amg.precision import PrecisionSchedule
+from repro.perf.timeline import PerformanceLog
+
+__all__ = ["KernelBackend", "HypreBackend", "AmgTBackend", "make_backend"]
+
+
+class KernelBackend:
+    """Common machinery of the two backends."""
+
+    name: str = "abstract"
+
+    def __init__(self, device: DeviceSpec, schedule: PrecisionSchedule):
+        self.device = device
+        self.cost = CostModel(device)
+        self.schedule = schedule
+
+    # -- interface ------------------------------------------------------
+    def matmul_device(
+        self,
+        a: HypreCSRMatrix,
+        b: HypreCSRMatrix,
+        perf: PerformanceLog,
+        phase: str,
+        level: int,
+        *,
+        is_rap_result: bool = False,
+    ) -> HypreCSRMatrix:
+        raise NotImplementedError
+
+    def matvec_device(
+        self,
+        a: HypreCSRMatrix,
+        x: np.ndarray,
+        perf: PerformanceLog,
+        phase: str,
+        level: int,
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- shared helpers ---------------------------------------------------
+    def record_other(
+        self,
+        perf: PerformanceLog,
+        phase: str,
+        level: int,
+        name: str,
+        *,
+        bytes_moved: float,
+        flops: float = 0.0,
+        launches: int = 1,
+    ) -> KernelRecord:
+        """Charge non-kernel AMG work (coarsening, vector ops, ...)."""
+        rec = KernelRecord(kernel=name, backend=self.name, precision=Precision.FP64)
+        rec.counters.add_bytes(read=bytes_moved * 0.6, written=bytes_moved * 0.4)
+        rec.counters.add_flops(Precision.FP64, flops)
+        rec.counters.launches = launches
+        rec.phase, rec.level = phase, level
+        rec.price(self.cost, "generic")
+        perf.append(rec)
+        return rec
+
+
+class HypreBackend(KernelBackend):
+    """The baseline: HYPRE calling vendor CSR kernels in FP64."""
+
+    def __init__(self, device: DeviceSpec):
+        super().__init__(device, PrecisionSchedule.uniform(Precision.FP64))
+        self.vendor = "cusparse" if device.vendor == "NVIDIA" else "rocsparse"
+        self.name = "hypre"
+
+    def matmul_device(self, a, b, perf, phase, level, *, is_rap_result=False):
+        a = HypreCSRMatrix.wrap(a)
+        b = HypreCSRMatrix.wrap(b)
+        c, rec = csr_spgemm(a.csr, b.csr, Precision.FP64, backend=self.vendor)
+        rec.phase, rec.level = phase, level
+        rec.price(self.cost)
+        perf.append(rec)
+        return HypreCSRMatrix(csr=c)
+
+    def matvec_device(self, a, x, perf, phase, level):
+        a = HypreCSRMatrix.wrap(a)
+        y, rec = csr_spmv(a.csr, x, Precision.FP64, backend=self.vendor)
+        rec.phase, rec.level = phase, level
+        rec.price(self.cost)
+        perf.append(rec)
+        return np.asarray(y, dtype=np.float64)
+
+
+class AmgTBackend(KernelBackend):
+    """The AmgT path: mBSR kernels on tensor + CUDA cores."""
+
+    def __init__(self, device: DeviceSpec, precision: str = "fp64"):
+        if precision == "mixed":
+            schedule = PrecisionSchedule.mixed(device)
+        elif precision == "fp64":
+            schedule = PrecisionSchedule.uniform(Precision.FP64)
+        else:
+            raise ValueError(f"unknown precision mode {precision!r}")
+        super().__init__(device, schedule)
+        self.name = "amgt"
+        self.precision_mode = precision
+        #: Matrix-core availability decides the kernels' core selection.
+        self.allow_tensor_cores = device.mma_shape_compatible
+        #: Devices without a usable low-precision data path (MI210) compute
+        #: coarse levels in FP32 but keep the matrices FP64-resident, so
+        #: the kernels are charged FP64 memory traffic — which is why the
+        #: paper finds AmgT (FP64) and AmgT (Mixed) nearly identical there.
+        self.storage_itemsize = None if device.fp16_supported else 8
+
+    # -- conversions ------------------------------------------------------
+    def _ensure_mbsr(self, mat: HypreCSRMatrix, perf, phase, level):
+        """AmgT_CSR2mBSR with one-time cost recording (unified format)."""
+        mbsr, stats = mat.amgt_csr2mbsr()
+        if stats is not None:
+            rec = KernelRecord(kernel="csr2mbsr", backend=self.name,
+                               precision=Precision.FP64)
+            rec.counters.add_bytes(read=stats.bytes_read, written=stats.bytes_written)
+            rec.counters.launches = 2  # analysis + fill, as in cuSPARSE csr2bsr
+            rec.phase, rec.level = phase, level
+            rec.price(self.cost, "amgt_convert")
+            perf.append(rec)
+        return mbsr
+
+    def _record_mbsr2csr(self, result: HypreCSRMatrix, perf, phase, level):
+        from repro.formats.convert import ConversionStats
+
+        mbsr = result.mbsr
+        itemsize = 8
+        rec = KernelRecord(kernel="mbsr2csr", backend=self.name, precision=Precision.FP64)
+        rec.counters.add_bytes(
+            read=mbsr.blc_num * (16 * itemsize + 8 + 2),
+            written=result.csr.nnz * (itemsize + 8) + (result.csr.nrows + 1) * 8,
+        )
+        rec.counters.launches = 2
+        rec.phase, rec.level = phase, level
+        rec.price(self.cost, "amgt_convert")
+        perf.append(rec)
+
+    # -- kernels ----------------------------------------------------------
+    def matmul_device(self, a, b, perf, phase, level, *, is_rap_result=False):
+        a = HypreCSRMatrix.wrap(a)
+        b = HypreCSRMatrix.wrap(b)
+        am = self._ensure_mbsr(a, perf, phase, level)
+        bm = self._ensure_mbsr(b, perf, phase, level)
+        prec = self.schedule.for_level(level)
+        am = a.mbsr_at_precision(prec)
+        bm = b.mbsr_at_precision(prec)
+        cm, rec = mbsr_spgemm(am, bm, prec, out_dtype=np.float64,
+                              storage_itemsize=self.storage_itemsize)
+        if not self.allow_tensor_cores and rec.detail.get("tc_pairs"):
+            # MI210: the fragment shapes do not fit the matrix cores, so
+            # the warp-level pairs execute on scalar cores instead; reprice
+            # the MMA issues as scalar tile products (2*4*4*4 flops each).
+            mma = rec.counters.mma_issues[prec]
+            rec.counters.mma_issues[prec] = 0.0
+            rec.counters.add_flops(prec, mma * 2 * 2 * 64.0)
+        rec.phase, rec.level = phase, level
+        rec.price(self.cost)
+        perf.append(rec)
+        # The product is born in mBSR; the CSR twin is derived for the CSR
+        # components.  Only RAP results pay a recorded MBSR2CSR (Fig. 6
+        # step 5); other products stay on the device in mBSR.
+        csr = mbsr_to_csr(cm).eliminate_zeros(0.0)
+        out = HypreCSRMatrix(csr=csr)
+        # Cache an exactly-consistent mBSR twin (structure of csr).
+        out.amgt_csr2mbsr()
+        out.conversion_stats = None
+        if is_rap_result:
+            self._record_mbsr2csr(out, perf, phase, level)
+        return out
+
+    def matvec_device(self, a, x, perf, phase, level):
+        a = HypreCSRMatrix.wrap(a)
+        self._ensure_mbsr(a, perf, phase, level)
+        prec = self.schedule.for_level(level)
+        am = a.mbsr_at_precision(prec)
+        plan = a.spmv_plan(self.allow_tensor_cores)
+        y, rec = mbsr_spmv(am, np.asarray(x, dtype=np.float64), prec, plan,
+                           allow_tensor_cores=self.allow_tensor_cores,
+                           storage_itemsize=self.storage_itemsize)
+        rec.phase, rec.level = phase, level
+        rec.price(self.cost)
+        perf.append(rec)
+        return np.asarray(y, dtype=np.float64)
+
+
+def make_backend(name: str, device: DeviceSpec, precision: str = "fp64") -> KernelBackend:
+    """Factory: ``'hypre'`` (always FP64) or ``'amgt'`` (fp64 / mixed)."""
+    if name == "hypre":
+        return HypreBackend(device)
+    if name == "amgt":
+        return AmgTBackend(device, precision=precision)
+    raise ValueError(f"unknown backend {name!r}")

@@ -1,0 +1,93 @@
+"""``hypre_CSRMatrix`` with the AmgT mBSR extension arrays.
+
+The paper's integration adds the four mBSR arrays (``AmgT_mBSR_BlcPtr``
+etc.) to HYPRE's CSR matrix structure so one object can serve both the CSR
+components (coarsening, coarsest solve) and the mBSR kernels.  The
+conversion ``AmgT_CSR2mBSR`` fills the extension lazily, and precision
+casts of the tile values are cached per floating-point format for the
+mixed-precision schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.formats.convert import ConversionStats, csr_to_mbsr
+from repro.formats.csr import CSRMatrix
+from repro.formats.mbsr import MBSRMatrix
+from repro.gpu.counters import Precision
+from repro.kernels.spmv import SpMVPlan, build_spmv_plan
+
+__all__ = ["HypreCSRMatrix"]
+
+
+@dataclass
+class HypreCSRMatrix:
+    """A CSR matrix optionally carrying its mBSR twin (AmgT extension)."""
+
+    csr: CSRMatrix
+    #: The AmgT_mBSR_* arrays, filled by :meth:`amgt_csr2mbsr`.
+    mbsr: MBSRMatrix | None = None
+    #: Stats of the conversion that produced :attr:`mbsr` (None until run).
+    conversion_stats: ConversionStats | None = None
+    #: Per-precision casts of the mBSR tile values (mixed-precision cache).
+    _casts: dict[Precision, MBSRMatrix] = field(default_factory=dict, repr=False)
+    #: Cached SpMV plans keyed by tensor-core availability.
+    _spmv_plans: dict[bool, SpMVPlan] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def wrap(cls, mat) -> "HypreCSRMatrix":
+        if isinstance(mat, HypreCSRMatrix):
+            return mat
+        if isinstance(mat, CSRMatrix):
+            return cls(csr=mat)
+        if isinstance(mat, MBSRMatrix):
+            return cls(csr=mat.to_csr(), mbsr=mat)
+        raise TypeError(f"cannot wrap {type(mat).__name__} as HypreCSRMatrix")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.csr.shape
+
+    @property
+    def nnz(self) -> int:
+        return self.csr.nnz
+
+    @property
+    def has_mbsr(self) -> bool:
+        return self.mbsr is not None
+
+    def amgt_csr2mbsr(self) -> tuple[MBSRMatrix, ConversionStats | None]:
+        """Fill the mBSR extension (no-op when already present).
+
+        Returns the mBSR matrix and, when a conversion actually ran, its
+        stats; the second element is None on a cache hit so callers charge
+        the conversion cost exactly once (the point of the unified format).
+        """
+        if self.mbsr is not None:
+            return self.mbsr, None
+        self.mbsr, stats = csr_to_mbsr(self.csr, return_stats=True)
+        self.conversion_stats = stats
+        return self.mbsr, stats
+
+    def mbsr_at_precision(self, precision: Precision) -> MBSRMatrix:
+        """mBSR tile values cast to *precision* (cached)."""
+        base, _ = self.amgt_csr2mbsr()
+        if precision == Precision.FP64 and base.dtype == np.float64:
+            return base
+        cached = self._casts.get(precision)
+        if cached is None:
+            cached = base.astype(precision.np_dtype)
+            self._casts[precision] = cached
+        return cached
+
+    def spmv_plan(self, allow_tensor_cores: bool) -> SpMVPlan:
+        """Cached SpMV preprocessing (Sec. IV.D.1), reused across calls."""
+        plan = self._spmv_plans.get(allow_tensor_cores)
+        if plan is None:
+            base, _ = self.amgt_csr2mbsr()
+            plan = build_spmv_plan(base, allow_tensor_cores=allow_tensor_cores)
+            self._spmv_plans[allow_tensor_cores] = plan
+        return plan

@@ -1,0 +1,36 @@
+"""AmgT compute kernels and the vendor-style baselines.
+
+* :mod:`repro.kernels.spgemm` — the mBSR SpGEMM of Sec. IV.C: data
+  analysis + binning, two-step hash symbolic phase (Alg. 3), hybrid
+  tensor-core / CUDA-core numeric phase (Alg. 4).
+* :mod:`repro.kernels.spmv` — the mBSR SpMV of Sec. IV.D: adaptive
+  load-balancing and core selection, tensor-core path (Fig. 5) and
+  CUDA-core path (Alg. 5).
+* :mod:`repro.kernels.baseline` — CSR SpGEMM/SpMV in the style of the
+  vendor libraries (cuSPARSE/rocSPARSE) that HYPRE's GPU backend calls;
+  these are the Fig. 7 baselines.
+
+Every kernel returns ``(result, KernelRecord)`` where the record carries
+the operation counters priced by :class:`repro.gpu.cost.CostModel`.
+"""
+
+from repro.kernels.spgemm import (
+    SpGEMMPlan,
+    mbsr_spgemm,
+    mbsr_spgemm_symbolic_plan,
+)
+from repro.kernels.spmv import mbsr_spmv, SpMVPlan, build_spmv_plan
+from repro.kernels.baseline import csr_spgemm, csr_spmv
+from repro.kernels.record import KernelRecord
+
+__all__ = [
+    "mbsr_spgemm",
+    "mbsr_spgemm_symbolic_plan",
+    "SpGEMMPlan",
+    "mbsr_spmv",
+    "SpMVPlan",
+    "build_spmv_plan",
+    "csr_spgemm",
+    "csr_spmv",
+    "KernelRecord",
+]

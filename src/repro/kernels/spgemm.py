@@ -1,0 +1,163 @@
+"""Driver for the mBSR SpGEMM: analysis -> symbolic -> numeric.
+
+Produces C = A @ B in mBSR together with a :class:`KernelRecord` whose
+counters merge the three phases.  Tiles whose numeric values cancel to zero
+keep their bitmap bits (the bitmap tracks *structural* nonzeros, exactly as
+the OR-accumulation of Alg. 4 does on the GPU); callers that need a
+numerically pruned matrix convert through CSR with ``eliminate_zeros``.
+
+When the same sparsity pattern is multiplied repeatedly (re-running the
+AMG setup after coefficient updates — the alpha-Setup scenario the paper
+cites, or cuSPARSE's ``SPGEMM_REUSE`` API), the analysis + symbolic phases
+can be amortised: capture them once with :func:`mbsr_spgemm_symbolic_plan`
+and pass the plan back via ``reuse_plan`` to run only the numeric phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.mbsr import MBSRMatrix
+from repro.gpu.counters import Precision
+from repro.kernels.record import KernelRecord
+from repro.kernels.spgemm_analysis import AnalysisResult, analyse_and_bin
+from repro.kernels.spgemm_numeric import numeric_spgemm
+from repro.kernels.spgemm_symbolic import SymbolicResult, symbolic_spgemm
+
+__all__ = ["mbsr_spgemm", "mbsr_spgemm_symbolic_plan", "SpGEMMPlan"]
+
+
+@dataclass
+class SpGEMMPlan:
+    """Captured analysis + symbolic phases for pattern-reuse products."""
+
+    analysis: "AnalysisResult"
+    symbolic: "SymbolicResult"
+    #: Shapes of the operands the plan was built for (validated on reuse).
+    shape_a: tuple[int, int]
+    shape_b: tuple[int, int]
+    #: Tile counts the plan assumes (a cheap pattern-identity proxy).
+    blc_num_a: int
+    blc_num_b: int
+
+
+def mbsr_spgemm_symbolic_plan(
+    mat_a: MBSRMatrix, mat_b: MBSRMatrix
+) -> SpGEMMPlan:
+    """Run analysis + symbolic once and capture them for reuse.
+
+    The returned plan is valid for any later product whose operands have
+    the *same sparsity pattern* (tile positions and bitmaps) as
+    ``mat_a`` / ``mat_b`` — the coefficient-update scenario.
+    """
+    if mat_a.ncols != mat_b.nrows:
+        raise ValueError(
+            f"inner dimensions differ: A is {mat_a.shape}, B is {mat_b.shape}"
+        )
+    analysis = analyse_and_bin(mat_a, mat_b)
+    symbolic = symbolic_spgemm(mat_a, mat_b, analysis)
+    return SpGEMMPlan(
+        analysis=analysis,
+        symbolic=symbolic,
+        shape_a=mat_a.shape,
+        shape_b=mat_b.shape,
+        blc_num_a=mat_a.blc_num,
+        blc_num_b=mat_b.blc_num,
+    )
+
+
+def mbsr_spgemm(
+    mat_a: MBSRMatrix,
+    mat_b: MBSRMatrix,
+    precision: Precision = Precision.FP64,
+    out_dtype=None,
+    *,
+    tc_threshold: int | None = None,
+    storage_itemsize: int | None = None,
+    reuse_plan: SpGEMMPlan | None = None,
+) -> tuple[MBSRMatrix, KernelRecord]:
+    """Multiply two mBSR matrices with the AmgT hybrid kernel.
+
+    Parameters
+    ----------
+    mat_a, mat_b:
+        Operands; ``mat_a.ncols`` must equal ``mat_b.nrows``.
+    precision:
+        Compute precision of the numeric phase.  FP16 multiplies accumulate
+        in FP32 (tensor-core semantics).
+    out_dtype:
+        Value dtype of the result (default: the accumulator dtype).
+    reuse_plan:
+        A plan from :func:`mbsr_spgemm_symbolic_plan` built on operands
+        with the same sparsity pattern; skips the analysis + symbolic
+        phases (only the numeric phase runs and is charged).
+
+    Returns
+    -------
+    (MBSRMatrix, KernelRecord)
+    """
+    if mat_a.ncols != mat_b.nrows:
+        raise ValueError(
+            f"inner dimensions differ: A is {mat_a.shape}, B is {mat_b.shape}"
+        )
+    record = KernelRecord(kernel="spgemm", backend="amgt", precision=precision)
+
+    if reuse_plan is not None:
+        if (reuse_plan.shape_a != mat_a.shape or reuse_plan.shape_b != mat_b.shape
+                or reuse_plan.blc_num_a != mat_a.blc_num
+                or reuse_plan.blc_num_b != mat_b.blc_num):
+            raise ValueError(
+                "reuse_plan was built for operands with a different pattern"
+            )
+        analysis = reuse_plan.analysis
+        symbolic = reuse_plan.symbolic
+        fresh_symbolic = False
+    else:
+        analysis = analyse_and_bin(mat_a, mat_b)
+        symbolic = symbolic_spgemm(mat_a, mat_b, analysis)
+        fresh_symbolic = True
+    from repro.formats.bitmap import TC_NNZ_THRESHOLD
+
+    threshold = TC_NNZ_THRESHOLD if tc_threshold is None else tc_threshold
+    numeric = numeric_spgemm(mat_a, mat_b, symbolic, precision,
+                             tc_threshold=threshold,
+                             storage_itemsize=storage_itemsize)
+
+    if fresh_symbolic:
+        record.counters.merge(symbolic.counters)
+        # Analysis pass: one launch over A's index arrays + B's row counts.
+        record.counters.launches += 1
+        record.counters.add_bytes(
+            read=mat_a.blc_num * 16 + mat_a.mb * 8 + mat_b.mb * 8
+        )
+    record.counters.merge(numeric.counters)
+    record.detail = {
+        "bins": {b: int(rows.shape[0]) for b, rows in enumerate(analysis.rows_by_bin)},
+        "intermediate_tiles": analysis.total_intermediate,
+        "tc_pairs": numeric.tc_pairs,
+        "cuda_pairs": numeric.cuda_pairs,
+        "blc_num_c": symbolic.blc_num_c,
+        "symbolic_reused": not fresh_symbolic,
+    }
+
+    val = numeric.blc_val_c
+    if out_dtype is not None:
+        val = val.astype(out_dtype)
+    # Zero out accumulator slots outside the bitmap so the mBSR invariant
+    # (values only under set bits) holds for downstream kernels.
+    from repro.formats.bitmap import bitmap_to_mask
+
+    mask = bitmap_to_mask(numeric.blc_map_c)
+    val = np.where(mask, val, val.dtype.type(0))
+
+    out = MBSRMatrix(
+        (mat_a.nrows, mat_b.ncols),
+        symbolic.blc_ptr_c,
+        symbolic.blc_idx_c,
+        val,
+        numeric.blc_map_c,
+        _trusted=True,
+    )
+    return out, record

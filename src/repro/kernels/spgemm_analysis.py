@@ -1,0 +1,67 @@
+"""SpGEMM step 1: data analysis and binning (Sec. IV.C.1).
+
+For every block-row of C, the number of *intermediate product tiles*
+(``Cub_per_row``) is the sum, over the tiles of that block-row of A, of the
+tile counts of the corresponding block-rows of B.  Block-rows are then
+grouped into eight bins whose bounds start at 128 and double up to 8192;
+the bin determines the shared-memory hash-table size used by the symbolic phase
+(and, on the GPU, which kernel variant handles the row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.mbsr import MBSRMatrix
+
+__all__ = ["BIN_BOUNDS", "NUM_BINS", "AnalysisResult", "analyse_and_bin"]
+
+#: Bin upper bounds: rows with Cub_per_row < 128 land in bin 0, then each
+#: bound doubles; rows with >= 8192 land in the last bin (Sec. IV.C.1).
+BIN_BOUNDS = np.array([128, 256, 512, 1024, 2048, 4096, 8192], dtype=np.int64)
+NUM_BINS = BIN_BOUNDS.shape[0] + 1
+
+
+@dataclass
+class AnalysisResult:
+    """Output of the analysis/binning pass."""
+
+    #: Upper bound of intermediate product tiles per block-row of C.
+    cub_per_row: np.ndarray
+    #: Bin index (0..7) per block-row.
+    bin_of_row: np.ndarray
+    #: Block-row ids grouped by bin: ``rows_by_bin[b]`` lists the rows of bin b.
+    rows_by_bin: list[np.ndarray]
+    #: Hash-table capacity per block-row (next power of two >= bin bound).
+    table_size: np.ndarray
+
+    @property
+    def total_intermediate(self) -> int:
+        return int(self.cub_per_row.sum())
+
+
+def analyse_and_bin(mat_a: MBSRMatrix, mat_b: MBSRMatrix) -> AnalysisResult:
+    """Compute ``Cub_per_row`` and the 8-way binning of C's block-rows."""
+    if mat_a.ncols != mat_b.nrows:
+        raise ValueError(
+            f"inner dimensions differ: A is {mat_a.shape}, B is {mat_b.shape}"
+        )
+    # Tiles of B per block-row of B.
+    b_row_counts = np.diff(mat_b.blc_ptr)
+    # For each tile of A, the contribution is the tile count of B's
+    # block-row indexed by that tile's column.
+    contrib = b_row_counts[mat_a.blc_idx]
+    cub = np.zeros(mat_a.mb, dtype=np.int64)
+    np.add.at(cub, mat_a.block_row_ids(), contrib)
+
+    bin_of_row = np.digitize(cub, BIN_BOUNDS).astype(np.int64)
+    rows_by_bin = [
+        np.flatnonzero(bin_of_row == b).astype(np.int64) for b in range(NUM_BINS)
+    ]
+    # Table capacity: smallest bound covering the bin, doubled for load
+    # factor headroom, like the shared-memory tables sized per bin.
+    bounds = np.concatenate([BIN_BOUNDS, BIN_BOUNDS[-1:] * 2])
+    table_size = bounds[bin_of_row] * 2
+    return AnalysisResult(cub, bin_of_row, rows_by_bin, table_size)

@@ -1,0 +1,210 @@
+"""The mBSR SpMV of Sec. IV.D: adaptive, load-balanced, hybrid.
+
+Preprocessing (once per matrix, reused for every SpMV on it — AmgT calls
+SpMV hundreds of times per matrix during the solve phase) computes:
+
+* ``variation`` — the coefficient of variation of tiles per block-row; when
+  the distribution is unbalanced, the *load-balanced* schedule assigns a
+  fixed 64 tiles to every warp (``WARP_CAPACITY``) and multiple warps
+  cooperate on long rows; otherwise one warp owns one block-row.
+* ``avg_nnz_blc`` — average nonzeros per tile; at >= 10 the tensor-core
+  kernel runs (two tiles per MMA, Fig. 5), below it the CUDA-core kernel
+  (four threads per tile, one row each, Alg. 5).
+
+The numeric result is identical between schedules; the schedule changes the
+*imbalance factor* the cost model applies, and the core choice changes which
+throughput ceiling prices the work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.bitmap import BLOCK_SIZE, TC_NNZ_THRESHOLD, bitmap_popcount
+from repro.formats.mbsr import MBSRMatrix
+from repro.gpu.counters import KernelCounters, Precision
+from repro.kernels.record import KernelRecord
+
+__all__ = [
+    "WARP_CAPACITY",
+    "VARIATION_THRESHOLD",
+    "SpMVPlan",
+    "build_spmv_plan",
+    "mbsr_spmv",
+]
+
+#: Tiles per warp under the load-balanced schedule (Sec. IV.D.1).
+WARP_CAPACITY = 64
+
+#: Coefficient-of-variation threshold above which the load-balanced
+#: schedule is selected.  Stencil/FEM matrices sit well below 0.3; graph
+#: matrices with hub rows (power networks) sit near or above 1.
+VARIATION_THRESHOLD = 0.5
+
+
+@dataclass
+class SpMVPlan:
+    """Preprocessing result: schedule + core selection for one matrix."""
+
+    variation: float
+    avg_nnz_blc: float
+    load_balanced: bool
+    use_tensor_cores: bool
+    #: Imbalance factor of the chosen schedule (>= 1).
+    imbalance: float
+    #: Number of warps the schedule launches.
+    num_warps: int
+    #: MMA issues per SpMV call under the TC path (0 for the CUDA path).
+    mma_issues: int
+
+    @property
+    def kernel_path(self) -> str:
+        core = "tc" if self.use_tensor_cores else "cuda"
+        sched = "balanced" if self.load_balanced else "row-warp"
+        return f"{core}/{sched}"
+
+
+def build_spmv_plan(
+    mat: MBSRMatrix,
+    *,
+    allow_tensor_cores: bool = True,
+    tc_threshold: float = TC_NNZ_THRESHOLD,
+) -> SpMVPlan:
+    """Data preprocessing: pick the schedule and the compute cores."""
+    per_row = mat.blocks_per_row().astype(np.float64)
+    blc_num = mat.blc_num
+    if blc_num == 0 or mat.mb == 0:
+        return SpMVPlan(0.0, 0.0, False, False, 1.0, 0, 0)
+    mean = per_row.mean()
+    variation = float(per_row.std() / mean) if mean > 0 else 0.0
+    avg_nnz_blc = mat.avg_nnz_blc
+    load_balanced = variation > VARIATION_THRESHOLD
+    use_tc = allow_tensor_cores and avg_nnz_blc >= tc_threshold
+
+    if load_balanced:
+        # Fixed 64 tiles per warp: the only imbalance left is the ragged
+        # final warp.
+        num_warps = max(1, -(-blc_num // WARP_CAPACITY))
+        work = np.full(num_warps, WARP_CAPACITY, dtype=np.float64)
+        work[-1] = blc_num - WARP_CAPACITY * (num_warps - 1)
+        imbalance = float(work.max() / work.mean())
+    else:
+        # One warp per block-row: imbalance is the row-length skew.
+        num_warps = mat.mb
+        nonzero_rows = per_row[per_row > 0]
+        if nonzero_rows.size:
+            imbalance = float(per_row.max() / per_row.mean())
+        else:
+            imbalance = 1.0
+
+    if use_tc:
+        # Two tiles per MMA issue within each warp (Fig. 5); odd warps
+        # waste half an issue.
+        if load_balanced:
+            full, rem = divmod(blc_num, WARP_CAPACITY)
+            mma = full * (WARP_CAPACITY // 2) + (rem + 1) // 2
+        else:
+            mma = int(np.sum((per_row.astype(np.int64) + 1) // 2))
+    else:
+        mma = 0
+    return SpMVPlan(
+        variation=variation,
+        avg_nnz_blc=avg_nnz_blc,
+        load_balanced=load_balanced,
+        use_tensor_cores=use_tc,
+        imbalance=max(imbalance, 1.0),
+        num_warps=num_warps,
+        mma_issues=mma,
+    )
+
+
+def _padded_x(mat: MBSRMatrix, x: np.ndarray, dtype) -> np.ndarray:
+    xp = np.zeros(mat.nb * BLOCK_SIZE, dtype=dtype)
+    xp[: mat.ncols] = x
+    return xp
+
+
+def mbsr_spmv(
+    mat: MBSRMatrix,
+    x: np.ndarray,
+    precision: Precision = Precision.FP64,
+    plan: SpMVPlan | None = None,
+    *,
+    allow_tensor_cores: bool = True,
+    storage_itemsize: int | None = None,
+) -> tuple[np.ndarray, KernelRecord]:
+    """Compute ``y = A @ x`` with the adaptive mBSR kernel.
+
+    Returns ``y`` in the accumulator dtype of *precision* and the kernel
+    record.  Pass a prebuilt *plan* to skip preprocessing on repeated calls.
+    ``storage_itemsize`` overrides the per-value byte size charged for
+    memory traffic: devices whose low-precision path computes in reduced
+    precision but keeps FP64-resident data (the MI210 configuration of
+    Sec. V.F) pass 8 here, which is what makes mixed precision a wash
+    there.
+    """
+    x = np.asarray(x)
+    if x.shape != (mat.ncols,):
+        raise ValueError(f"x has shape {x.shape}, expected ({mat.ncols},)")
+    if plan is None:
+        plan = build_spmv_plan(mat, allow_tensor_cores=allow_tensor_cores)
+
+    record = KernelRecord(kernel="spmv", backend="amgt", precision=precision)
+    counters = record.counters
+    in_dtype = precision.np_dtype
+    acc_dtype = precision.accum_dtype
+
+    y = np.zeros(mat.mb * BLOCK_SIZE, dtype=acc_dtype)
+    if mat.blc_num:
+        xp = _padded_x(mat, x.astype(in_dtype), in_dtype)
+        # Gather the 4-vector of x per tile, batched tile matvec, segmented
+        # scatter-add into y — the same dataflow as both device kernels,
+        # with the precision semantics of the selected core type.
+        xblk = xp.reshape(mat.nb, BLOCK_SIZE)[mat.blc_idx]  # (blc_num, 4)
+        tiles = mat.blc_val.astype(in_dtype)
+        contrib = np.einsum(
+            "bij,bj->bi", tiles.astype(acc_dtype), xblk.astype(acc_dtype)
+        )
+        rows = mat.block_row_ids()
+        yblk = y.reshape(mat.mb, BLOCK_SIZE)
+        np.add.at(yblk, rows, contrib)
+
+    # ---- cost accounting ---------------------------------------------
+    from repro.gpu.counters import effective_value_bytes
+
+    nnz = mat.nnz
+    itemsize = storage_itemsize or precision.itemsize
+    if plan.use_tensor_cores:
+        counters.add_mma(precision, plan.mma_issues)
+        # fragA: two dense tiles per issue; fragB: replicated x slices.
+        counters.add_bytes(
+            read=effective_value_bytes(mat.blc_num * 16 * itemsize, itemsize)
+        )
+    else:
+        # Thread-level path: one FMA per stored nonzero, plus the bitmap
+        # bit-walk and index arithmetic around it (pipeline overhead).
+        # Value traffic is sector-granular (~2x the raw gathered bytes),
+        # capped at streaming the whole contiguous tile.
+        from repro.gpu.counters import (
+            SCALAR_GATHER_OVERHEAD,
+            SCALAR_PIPELINE_OVERHEAD,
+        )
+
+        counters.add_flops(precision, 2.0 * nnz * SCALAR_PIPELINE_OVERHEAD)
+        value_bytes = min(
+            float(nnz) * itemsize * SCALAR_GATHER_OVERHEAD,
+            float(mat.blc_num) * 16 * itemsize,
+        )
+        counters.add_bytes(read=effective_value_bytes(value_bytes, itemsize))
+    # Index structures + bitmaps + x gather + y write.
+    counters.add_bytes(
+        read=mat.blc_num * (8 + 2) + (mat.mb + 1) * 8
+        + effective_value_bytes(mat.blc_num * 4 * itemsize, itemsize),
+        written=mat.nrows * max(acc_dtype().itemsize, itemsize),
+    )
+    counters.imbalance = plan.imbalance
+    counters.launches = 1
+    record.detail = {"path": plan.kernel_path, "variation": plan.variation}
+    return y[: mat.nrows], record

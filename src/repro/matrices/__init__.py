@@ -1,0 +1,49 @@
+"""Test matrices.
+
+:mod:`repro.matrices.generators` builds the problem classes the paper's
+16 SuiteSparse matrices come from (thermal diffusion, CFD, structural FEM,
+power networks, epidemiology grids, ...); :mod:`repro.matrices.suite` maps
+each of the 16 names of Table II to a scaled synthetic analog with matched
+structure; :mod:`repro.matrices.mmio` reads/writes MatrixMarket files so
+real SuiteSparse inputs can be dropped in when available.
+"""
+
+from repro.matrices.generators import (
+    anisotropic_diffusion_2d,
+    convection_diffusion_2d,
+    elasticity_2d,
+    epidemiology_grid,
+    poisson2d,
+    poisson3d,
+    power_network,
+    random_block_spd,
+    rotated_anisotropy_2d,
+)
+from repro.matrices.suite import SUITE, SuiteEntry, load_suite_matrix, suite_names
+from repro.matrices.mmio import read_matrix_market, write_matrix_market
+from repro.matrices.analysis import MatrixProfile, profile_matrix, tile_density_histogram
+from repro.matrices.reorder import bandwidth, permute_symmetric, rcm_ordering
+
+__all__ = [
+    "poisson2d",
+    "poisson3d",
+    "anisotropic_diffusion_2d",
+    "convection_diffusion_2d",
+    "elasticity_2d",
+    "epidemiology_grid",
+    "power_network",
+    "random_block_spd",
+    "rotated_anisotropy_2d",
+    "SUITE",
+    "SuiteEntry",
+    "load_suite_matrix",
+    "suite_names",
+    "read_matrix_market",
+    "write_matrix_market",
+    "MatrixProfile",
+    "profile_matrix",
+    "tile_density_histogram",
+    "bandwidth",
+    "permute_symmetric",
+    "rcm_ordering",
+]

@@ -1,0 +1,121 @@
+"""Structural analysis of sparse matrices.
+
+The adaptive decisions of AmgT's kernels are all driven by structure:
+per-tile nonzero counts (tensor-core vs CUDA-core paths), block-row length
+distribution (load-balanced vs row-per-warp schedules), and the tile/nnz
+ratio (mBSR storage overhead vs CSR).  :func:`profile_matrix` computes all
+of these in one pass so users can predict which paths a matrix will take
+before running anything — the numbers behind the kernel playground example
+and the suite's Table II commentary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.formats.bitmap import TC_NNZ_THRESHOLD, bitmap_popcount
+from repro.formats.convert import csr_to_mbsr
+from repro.formats.csr import CSRMatrix
+from repro.formats.mbsr import MBSRMatrix
+from repro.kernels.spmv import VARIATION_THRESHOLD, build_spmv_plan
+
+__all__ = ["MatrixProfile", "profile_matrix", "tile_density_histogram"]
+
+
+@dataclass
+class MatrixProfile:
+    """Structural summary of one matrix, kernel-decision oriented."""
+
+    shape: tuple[int, int]
+    nnz: int
+    # row structure
+    row_nnz_min: int
+    row_nnz_max: int
+    row_nnz_mean: float
+    bandwidth: int
+    symmetric_pattern: bool
+    # tile structure
+    blc_num: int
+    avg_nnz_blc: float
+    tile_fill: float  # nnz / (16 * blc_num)
+    dense_tile_fraction: float  # fraction of tiles at the TC threshold
+    storage_ratio_mbsr_csr: float  # mBSR bytes / CSR bytes (fp64)
+    # kernel decisions
+    spmv_path: str
+    variation: float
+    predicted_load_balanced: bool
+
+    def describe(self) -> str:
+        lines = [
+            f"matrix {self.shape[0]}x{self.shape[1]}, nnz={self.nnz}",
+            f"  rows: nnz/row {self.row_nnz_min}..{self.row_nnz_max} "
+            f"(mean {self.row_nnz_mean:.1f}), bandwidth {self.bandwidth}, "
+            f"symmetric pattern: {self.symmetric_pattern}",
+            f"  tiles: {self.blc_num} (avg {self.avg_nnz_blc:.2f} nnz, "
+            f"fill {self.tile_fill:.1%}, "
+            f"{self.dense_tile_fraction:.1%} at TC threshold)",
+            f"  mBSR/CSR storage ratio: {self.storage_ratio_mbsr_csr:.2f}",
+            f"  predicted SpMV path: {self.spmv_path} "
+            f"(variation {self.variation:.2f})",
+        ]
+        return "\n".join(lines)
+
+
+def profile_matrix(a: CSRMatrix | MBSRMatrix) -> MatrixProfile:
+    """Compute the structural profile of *a* (CSR or mBSR input)."""
+    if isinstance(a, MBSRMatrix):
+        mbsr = a
+        csr = a.to_csr()
+    else:
+        csr = a
+        mbsr = csr_to_mbsr(a)
+
+    row_nnz = csr.row_nnz()
+    rows = csr.row_ids()
+    bandwidth = int(np.abs(rows - csr.indices).max()) if csr.nnz else 0
+
+    # pattern symmetry (square matrices only)
+    if csr.nrows == csr.ncols and csr.nnz:
+        keys = set(zip(rows.tolist(), csr.indices.tolist()))
+        symmetric = all((c, r) in keys for r, c in keys)
+    else:
+        symmetric = False
+
+    pops = bitmap_popcount(mbsr.blc_map) if mbsr.blc_num else np.zeros(0)
+    dense_fraction = float((pops >= TC_NNZ_THRESHOLD).mean()) if mbsr.blc_num else 0.0
+
+    # storage at fp64: CSR = nnz*(8+8) + ptr; mBSR = tiles*(128+8+2) + ptr
+    csr_bytes = csr.nnz * 16 + (csr.nrows + 1) * 8
+    mbsr_bytes = mbsr.blc_num * (16 * 8 + 8 + 2) + (mbsr.mb + 1) * 8
+    plan = build_spmv_plan(mbsr)
+
+    return MatrixProfile(
+        shape=csr.shape,
+        nnz=csr.nnz,
+        row_nnz_min=int(row_nnz.min()) if csr.nrows else 0,
+        row_nnz_max=int(row_nnz.max()) if csr.nrows else 0,
+        row_nnz_mean=float(row_nnz.mean()) if csr.nrows else 0.0,
+        bandwidth=bandwidth,
+        symmetric_pattern=symmetric,
+        blc_num=mbsr.blc_num,
+        avg_nnz_blc=mbsr.avg_nnz_blc,
+        tile_fill=mbsr.nnz / (16.0 * mbsr.blc_num) if mbsr.blc_num else 0.0,
+        dense_tile_fraction=dense_fraction,
+        storage_ratio_mbsr_csr=mbsr_bytes / csr_bytes if csr_bytes else 0.0,
+        spmv_path=plan.kernel_path,
+        variation=plan.variation,
+        predicted_load_balanced=plan.load_balanced,
+    )
+
+
+def tile_density_histogram(a: CSRMatrix | MBSRMatrix) -> np.ndarray:
+    """Histogram of per-tile nonzero counts (17 bins: 0..16 nnz).
+
+    Bin 0 is always zero in a valid mBSR matrix (no empty tiles stored);
+    the mass at bins >= 10 is the work share eligible for tensor cores.
+    """
+    mbsr = a if isinstance(a, MBSRMatrix) else csr_to_mbsr(a)
+    pops = bitmap_popcount(mbsr.blc_map)
+    return np.bincount(pops, minlength=17).astype(np.int64)

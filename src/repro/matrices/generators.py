@@ -1,0 +1,310 @@
+"""Sparse matrix generators for the problem classes of the evaluation.
+
+Each generator produces a :class:`repro.formats.csr.CSRMatrix` whose
+structure matches one of the application domains behind the paper's 16
+SuiteSparse matrices: 5/9-point diffusion stencils (thermal*, Chevron2),
+7/27-point 3-D stencils (stomach, venkat25), vector-valued FEM with dense
+node blocks (bcsstk39, cant, msdoor, CoupCons3D, ldoor, af_shell4, nd24k),
+grid-transition operators (mc2depi), and power-network graph Laplacians
+(TSOPF).  The block generators place dense 2x2..6x6 node blocks so the
+per-4x4-tile density — the quantity that steers AmgT's tensor-core /
+CUDA-core hybrid — spans the same range as the originals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+
+__all__ = [
+    "poisson2d",
+    "poisson3d",
+    "anisotropic_diffusion_2d",
+    "rotated_anisotropy_2d",
+    "convection_diffusion_2d",
+    "elasticity_2d",
+    "epidemiology_grid",
+    "power_network",
+    "random_block_spd",
+]
+
+
+def _stencil_2d(nx: int, ny: int, offsets: list[tuple[int, int, float]]) -> CSRMatrix:
+    """Assemble a constant-coefficient 2-D stencil on an nx-by-ny grid."""
+    n = nx * ny
+    ii = np.arange(n, dtype=np.int64)
+    x = ii % nx
+    y = ii // nx
+    rows, cols, vals = [], [], []
+    for dx, dy, w in offsets:
+        ok = (x + dx >= 0) & (x + dx < nx) & (y + dy >= 0) & (y + dy < ny)
+        rows.append(ii[ok])
+        cols.append(ii[ok] + dx + dy * nx)
+        vals.append(np.full(int(ok.sum()), w))
+    return CSRMatrix.from_coo(
+        np.concatenate(rows), np.concatenate(cols), np.concatenate(vals), (n, n)
+    )
+
+
+def poisson2d(nx: int, ny: int | None = None) -> CSRMatrix:
+    """The 5-point Laplacian on an ``nx x ny`` grid (SPD, M-matrix)."""
+    ny = ny or nx
+    if nx < 1 or ny < 1:
+        raise ValueError("grid dimensions must be positive")
+    return _stencil_2d(
+        nx, ny,
+        [(0, 0, 4.0), (1, 0, -1.0), (-1, 0, -1.0), (0, 1, -1.0), (0, -1, -1.0)],
+    )
+
+
+def poisson3d(nx: int, ny: int | None = None, nz: int | None = None) -> CSRMatrix:
+    """The 7-point Laplacian on an ``nx x ny x nz`` grid."""
+    ny = ny or nx
+    nz = nz or nx
+    n = nx * ny * nz
+    ii = np.arange(n, dtype=np.int64)
+    x = ii % nx
+    y = (ii // nx) % ny
+    z = ii // (nx * ny)
+    rows, cols, vals = [ii], [ii], [np.full(n, 6.0)]
+    for dx, dy, dz in [(1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)]:
+        ok = (
+            (x + dx >= 0) & (x + dx < nx)
+            & (y + dy >= 0) & (y + dy < ny)
+            & (z + dz >= 0) & (z + dz < nz)
+        )
+        rows.append(ii[ok])
+        cols.append(ii[ok] + dx + dy * nx + dz * nx * ny)
+        vals.append(np.full(int(ok.sum()), -1.0))
+    return CSRMatrix.from_coo(
+        np.concatenate(rows), np.concatenate(cols), np.concatenate(vals), (n, n)
+    )
+
+
+def anisotropic_diffusion_2d(nx: int, ny: int | None = None, epsilon: float = 0.01) -> CSRMatrix:
+    """Grid-aligned anisotropic diffusion ``-u_xx - eps * u_yy``.
+
+    The classic AMG stress case: strength of connection is directional, so
+    coarsening happens along the strong (x) direction.
+    """
+    ny = ny or nx
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    return _stencil_2d(
+        nx, ny,
+        [
+            (0, 0, 2.0 + 2.0 * epsilon),
+            (1, 0, -1.0), (-1, 0, -1.0),
+            (0, 1, -epsilon), (0, -1, -epsilon),
+        ],
+    )
+
+
+def convection_diffusion_2d(
+    nx: int, ny: int | None = None, velocity: tuple[float, float] = (1.0, 0.5),
+    diffusion: float = 0.1,
+) -> CSRMatrix:
+    """Upwinded convection-diffusion (nonsymmetric, CFD-like structure)."""
+    ny = ny or nx
+    h = 1.0 / (nx + 1)
+    vx, vy = velocity
+    d = diffusion / h
+    offsets = [
+        (0, 0, 4.0 * d + abs(vx) + abs(vy)),
+        (1, 0, -d - (abs(vx) if vx < 0 else 0.0)),
+        (-1, 0, -d - (abs(vx) if vx > 0 else 0.0)),
+        (0, 1, -d - (abs(vy) if vy < 0 else 0.0)),
+        (0, -1, -d - (abs(vy) if vy > 0 else 0.0)),
+    ]
+    return _stencil_2d(nx, ny, offsets)
+
+
+def elasticity_2d(nx: int, ny: int | None = None, nu: float = 0.3) -> CSRMatrix:
+    """Q1 plane-stress linear elasticity on a structured quad mesh.
+
+    Two displacement dofs per node give 2x2 dense node blocks — on 4x4
+    tiling most tiles are dense, which is the structure that sends AmgT's
+    kernels down the tensor-core path (like cant/msdoor/ldoor).
+    """
+    ny = ny or nx
+    if not (0.0 < nu < 0.5):
+        raise ValueError("Poisson ratio must lie in (0, 0.5)")
+    # Element stiffness of a unit square Q1 element (plane stress),
+    # assembled from the standard analytic formulas.
+    E = 1.0
+    k = np.array(
+        [
+            1 / 2 - nu / 6, 1 / 8 + nu / 8, -1 / 4 - nu / 12, -1 / 8 + 3 * nu / 8,
+            -1 / 4 + nu / 12, -1 / 8 - nu / 8, nu / 6, 1 / 8 - 3 * nu / 8,
+        ]
+    )
+    ke = (
+        E
+        / (1 - nu**2)
+        * np.array(
+            [
+                [k[0], k[1], k[2], k[3], k[4], k[5], k[6], k[7]],
+                [k[1], k[0], k[7], k[6], k[5], k[4], k[3], k[2]],
+                [k[2], k[7], k[0], k[5], k[6], k[3], k[4], k[1]],
+                [k[3], k[6], k[5], k[0], k[7], k[2], k[1], k[4]],
+                [k[4], k[5], k[6], k[7], k[0], k[1], k[2], k[3]],
+                [k[5], k[4], k[3], k[2], k[1], k[0], k[7], k[6]],
+                [k[6], k[3], k[4], k[1], k[2], k[7], k[0], k[5]],
+                [k[7], k[2], k[1], k[4], k[3], k[6], k[5], k[0]],
+            ]
+        )
+    )
+    nnx, nny = nx + 1, ny + 1  # nodes per direction
+    n = 2 * nnx * nny
+    ex, ey = np.meshgrid(np.arange(nx), np.arange(ny), indexing="ij")
+    ex, ey = ex.ravel(), ey.ravel()
+    # Node ids of each element corner (counter-clockwise).
+    n1 = ex + ey * nnx
+    n2 = n1 + 1
+    n3 = n2 + nnx
+    n4 = n1 + nnx
+    # Dof ids: (2*node, 2*node+1) per corner.
+    nodes = np.stack([n1, n2, n3, n4], axis=1)  # (ne, 4)
+    dofs = np.empty((nodes.shape[0], 8), dtype=np.int64)
+    dofs[:, 0::2] = 2 * nodes
+    dofs[:, 1::2] = 2 * nodes + 1
+    rows = np.repeat(dofs, 8, axis=1).ravel()
+    cols = np.tile(dofs, (1, 8)).ravel()
+    vals = np.tile(ke.ravel(), nodes.shape[0])
+    a = CSRMatrix.from_coo(rows, cols, vals, (n, n))
+    # Pin the left edge (both dofs) to make the operator definite.
+    fixed = np.concatenate([2 * np.arange(nny) * nnx, 2 * np.arange(nny) * nnx + 1])
+    keep_rows = a.row_ids()
+    keep_cols = a.indices
+    fixed_mask = np.zeros(n, dtype=bool)
+    fixed_mask[fixed] = True
+    on_fixed = fixed_mask[keep_rows] | fixed_mask[keep_cols]
+    diag_fix = fixed_mask[keep_rows] & (keep_rows == keep_cols)
+    drop = on_fixed & ~diag_fix
+    vals = a.data.copy()
+    vals[diag_fix] = 1.0
+    return CSRMatrix.from_coo(
+        keep_rows[~drop], keep_cols[~drop], vals[~drop], (n, n), sum_duplicates=False
+    )
+
+
+def epidemiology_grid(nx: int, ny: int | None = None, seed: int = 0) -> CSRMatrix:
+    """A grid-transition operator like mc2depi's Markov-chain structure.
+
+    A 5-point grid pattern with heterogeneous positive rates; shifted to a
+    diagonally dominant operator (I - beta * T form) so AMG applies.
+    """
+    ny = ny or nx
+    base = poisson2d(nx, ny)
+    rng = np.random.default_rng(seed)
+    jitter = 0.5 + rng.random(base.nnz)
+    vals = base.data * jitter
+    a = CSRMatrix(base.shape, base.indptr, base.indices, vals, _canonical=True)
+    # restore diagonal dominance after the jitter
+    rows = a.row_ids()
+    off = rows != a.indices
+    off_sums = np.bincount(rows[off], weights=np.abs(a.data[off]), minlength=a.nrows)
+    diag_mask = rows == a.indices
+    vals = a.data.copy()
+    vals[diag_mask] = off_sums[rows[diag_mask]] * 1.05 + 0.1
+    return CSRMatrix(a.shape, a.indptr, a.indices, vals, _canonical=True)
+
+
+def power_network(n: int, seed: int = 0, avg_degree: int = 3) -> CSRMatrix:
+    """Graph Laplacian of a synthetic power grid (TSOPF-like).
+
+    Scale-free topology via networkx (Barabasi-Albert): generation hubs
+    connect to many buses, giving the scattered, low-tile-density pattern
+    with heavy-tailed row lengths of power-system matrices — the row-skew
+    that triggers AmgT's load-balanced SpMV schedule.
+    """
+    import networkx as nx
+
+    if n < 4:
+        raise ValueError("power network needs at least 4 nodes")
+    g = nx.barabasi_albert_graph(n, max(avg_degree, 2), seed=seed)
+    rng = np.random.default_rng(seed)
+    rows, cols, vals = [], [], []
+    for u, v in g.edges():
+        w = 0.5 + rng.random()
+        rows += [u, v]
+        cols += [v, u]
+        vals += [-w, -w]
+    a_off = CSRMatrix.from_coo(
+        np.array(rows), np.array(cols), np.array(vals), (n, n)
+    )
+    deg = -np.bincount(a_off.row_ids(), weights=a_off.data, minlength=n)
+    diag = CSRMatrix.from_coo(
+        np.arange(n), np.arange(n), deg + 0.01, (n, n)
+    )
+    return a_off.add(diag)
+
+
+def random_block_spd(
+    n_blocks: int,
+    block_size: int = 4,
+    density: float = 0.02,
+    seed: int = 0,
+) -> CSRMatrix:
+    """SPD matrix of dense ``block_size`` node blocks at random positions.
+
+    Used by the kernel tests to sweep tile density (the TC/CUDA threshold).
+    """
+    if not (0.0 < density <= 1.0):
+        raise ValueError("density must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    n = n_blocks * block_size
+    # random symmetric block pattern + dense diagonal blocks
+    nnz_blocks = max(int(density * n_blocks * n_blocks / 2), n_blocks)
+    bi = rng.integers(0, n_blocks, size=nnz_blocks)
+    bj = rng.integers(0, n_blocks, size=nnz_blocks)
+    bi, bj = np.concatenate([bi, bj, np.arange(n_blocks)]), np.concatenate(
+        [bj, bi, np.arange(n_blocks)]
+    )
+    pairs = np.unique(np.stack([bi, bj], axis=1), axis=0)
+    k = pairs.shape[0]
+    vals = rng.normal(size=(k, block_size, block_size))
+    rr = (pairs[:, 0, None, None] * block_size + np.arange(block_size)[None, :, None])
+    cc = (pairs[:, 1, None, None] * block_size + np.arange(block_size)[None, None, :])
+    rows = np.broadcast_to(rr, (k, block_size, block_size)).ravel()
+    cols = np.broadcast_to(cc, (k, block_size, block_size)).ravel()
+    a = CSRMatrix.from_coo(rows, cols, vals.ravel(), (n, n))
+    at = a.transpose()
+    sym = a.add(at)
+    # Diagonal shift for positive definiteness.
+    row_abs = sym.abs_row_sums()
+    diag = CSRMatrix.from_coo(np.arange(n), np.arange(n), row_abs + 1.0, (n, n))
+    return sym.add(diag)
+
+
+def rotated_anisotropy_2d(
+    nx: int, ny: int | None = None, epsilon: float = 0.01, theta: float = 0.7853981633974483,
+) -> CSRMatrix:
+    """Anisotropic diffusion rotated by angle *theta* (9-point stencil).
+
+    The classic non-grid-aligned AMG stress test: the strong direction no
+    longer follows mesh lines, so coarsening and interpolation must follow
+    the algebraic couplings.  Discretised with the standard 9-point finite
+    difference stencil of ``-div(Q diag(1, eps) Q^T grad u)`` with the
+    rotation ``Q = [[c, -s], [s, c]]``.
+    """
+    ny = ny or nx
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    import math
+
+    c, s = math.cos(theta), math.sin(theta)
+    # Diffusion tensor entries.
+    a11 = c * c + epsilon * s * s
+    a22 = s * s + epsilon * c * c
+    a12 = (1.0 - epsilon) * c * s
+    # 9-point stencil weights (standard FD of the mixed-derivative form).
+    offsets = [
+        (0, 0, 2.0 * (a11 + a22)),
+        (1, 0, -a11), (-1, 0, -a11),
+        (0, 1, -a22), (0, -1, -a22),
+        (1, 1, -a12 / 2.0), (-1, -1, -a12 / 2.0),
+        (1, -1, a12 / 2.0), (-1, 1, a12 / 2.0),
+    ]
+    return _stencil_2d(nx, ny, offsets)

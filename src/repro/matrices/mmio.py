@@ -1,0 +1,78 @@
+"""Minimal MatrixMarket I/O.
+
+Lets users drop in the real SuiteSparse matrices of Table II when they have
+them on disk (the artifact downloads them with ``matrix.py``); our suite
+generators are the offline substitute.  Supports the coordinate format with
+``real`` / ``integer`` / ``pattern`` fields and ``general`` / ``symmetric``
+symmetries, which covers all 16 evaluation matrices.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+
+def _open(path: Path, mode: str):
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def read_matrix_market(path: str | Path) -> CSRMatrix:
+    """Read a MatrixMarket coordinate file into CSR."""
+    path = Path(path)
+    with _open(path, "r") as fh:
+        header = fh.readline().strip().split()
+        if len(header) < 5 or header[0] != "%%MatrixMarket" or header[1] != "matrix":
+            raise ValueError(f"{path}: not a MatrixMarket file")
+        fmt, field, symmetry = header[2], header[3], header[4]
+        if fmt != "coordinate":
+            raise ValueError(f"{path}: only coordinate format is supported")
+        if field not in ("real", "integer", "pattern"):
+            raise ValueError(f"{path}: unsupported field {field!r}")
+        if symmetry not in ("general", "symmetric", "skew-symmetric"):
+            raise ValueError(f"{path}: unsupported symmetry {symmetry!r}")
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        m, n, nnz = (int(t) for t in line.split())
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.empty(nnz, dtype=np.float64)
+        for k in range(nnz):
+            parts = fh.readline().split()
+            rows[k] = int(parts[0]) - 1
+            cols[k] = int(parts[1]) - 1
+            vals[k] = float(parts[2]) if field != "pattern" else 1.0
+    if symmetry in ("symmetric", "skew-symmetric"):
+        # Mirror the stored lower triangle: each off-diagonal (r, c, v)
+        # also contributes (c, r, +/-v).
+        off = rows != cols
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        rows, cols, vals = (
+            np.concatenate([rows, cols[off]]),
+            np.concatenate([cols, rows[off]]),
+            np.concatenate([vals, sign * vals[off]]),
+        )
+    return CSRMatrix.from_coo(rows, cols, vals, (m, n))
+
+
+def write_matrix_market(path: str | Path, mat: CSRMatrix, comment: str = "") -> None:
+    """Write a CSR matrix as a general real coordinate MatrixMarket file."""
+    path = Path(path)
+    rows = mat.row_ids()
+    with _open(path, "w") as fh:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"% {line}\n")
+        fh.write(f"{mat.nrows} {mat.ncols} {mat.nnz}\n")
+        for r, c, v in zip(rows, mat.indices, mat.data):
+            fh.write(f"{r + 1} {c + 1} {float(v):.17g}\n")

@@ -1,0 +1,155 @@
+"""The 16-matrix evaluation suite (Table II analogs).
+
+Each entry maps one SuiteSparse matrix of the paper's Table II to a
+synthetic generator producing the same problem class and structural
+profile at laptop scale (orders scaled down by roughly 20-40x), together
+with the paper's metadata (#orders, #nonzeros, #levels, #SpGEMM, #SpMV) so
+the benchmark harnesses can print paper-vs-reproduction rows.
+
+The #SpGEMM and #SpMV counts of Table II follow deterministically from the
+level count: ``#SpGEMM = 3 * (levels - 1)`` and, with a direct coarsest
+solve, ``#SpMV = 50 * (5 * (levels - 1) + 1) + 1``; the nd24k / cant /
+TSOPF rows use the iterative coarsest solve (1701 calls).  Our hierarchies
+produce their own level counts from the same stopping rules, and the
+suite's tests assert the counts obey the same formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.formats.csr import CSRMatrix
+from repro.matrices import generators as g
+
+__all__ = ["SuiteEntry", "SUITE", "suite_names", "load_suite_matrix", "expected_spmv_calls"]
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One evaluation matrix: generator + the paper's Table II metadata."""
+
+    name: str
+    group: str
+    problem_class: str
+    generator: Callable[[], CSRMatrix]
+    paper_order: int
+    paper_nnz: int
+    paper_levels: int
+    paper_spgemm: int
+    paper_spmv: int
+
+
+def expected_spmv_calls(levels: int, iterations: int = 50, coarse_iterative: int = 0) -> int:
+    """The paper's SpMV-count formula (Sec. V.A).
+
+    ``iterations * (5 * (levels - 1) + 1) + 1`` for a direct coarsest
+    solve; an iterative coarsest solver adds ``coarse_iterative`` SpMVs
+    per iteration (1 or 3 in the paper).
+    """
+    return iterations * (5 * (levels - 1) + 1 + coarse_iterative) + 1
+
+
+def _entry(name, group, problem_class, gen, order, nnz, levels, spgemm, spmv):
+    return SuiteEntry(name, group, problem_class, gen, order, nnz, levels, spgemm, spmv)
+
+
+SUITE: dict[str, SuiteEntry] = {
+    e.name: e
+    for e in [
+        _entry(
+            "spmsrtls", "GHS_indef", "structural (indefinite-shifted)",
+            lambda: g.random_block_spd(220, 4, 0.004, seed=1),
+            29995, 229947, 2, 3, 351,
+        ),
+        _entry(
+            "thermal1", "Schmid", "thermal diffusion FEM",
+            lambda: g.poisson2d(48),
+            82654, 574458, 2, 3, 351,
+        ),
+        _entry(
+            "Pres_Poisson", "ACUSIM", "pressure Poisson (CFD)",
+            lambda: g.poisson3d(12),
+            14822, 715804, 3, 6, 551,
+        ),
+        _entry(
+            "Chevron2", "Chevron", "seismic modelling grid",
+            lambda: g.anisotropic_diffusion_2d(48, epsilon=0.05),
+            90249, 803173, 2, 3, 351,
+        ),
+        _entry(
+            "venkat25", "Simon", "unstructured Euler (CFD)",
+            lambda: g.convection_diffusion_2d(52, velocity=(1.0, 0.4)),
+            62424, 1717792, 3, 6, 601,
+        ),
+        _entry(
+            "bcsstk39", "Boeing", "solid-rocket booster shell FEM",
+            lambda: g.elasticity_2d(34),
+            46772, 2089294, 4, 9, 851,
+        ),
+        _entry(
+            "mc2depi", "Williams", "epidemiology Markov grid",
+            lambda: g.epidemiology_grid(56, seed=2),
+            525825, 2100225, 5, 12, 1101,
+        ),
+        _entry(
+            "stomach", "Norris", "3-D electrophysiology",
+            lambda: g.poisson3d(14),
+            213360, 3021648, 2, 3, 351,
+        ),
+        _entry(
+            "parabolic_fem", "Wissgott", "parabolic FEM (diffusion)",
+            lambda: g.poisson2d(60),
+            525825, 3674625, 3, 6, 601,
+        ),
+        _entry(
+            "cant", "Williams", "cantilever FEM",
+            lambda: g.elasticity_2d(40, nu=0.35),
+            62451, 4007383, 7, 18, 1701,
+        ),
+        _entry(
+            "TSOPF_RS_b300_c3", "TSOPF", "optimal power flow",
+            lambda: g.power_network(2800, seed=3, avg_degree=4),
+            42138, 4413449, 7, 18, 1701,
+        ),
+        _entry(
+            "af_shell4", "Schenk_AFE", "sheet-metal forming FEM",
+            lambda: g.elasticity_2d(46, nu=0.3),
+            504855, 17588875, 2, 3, 351,
+        ),
+        _entry(
+            "msdoor", "INPRO", "medium-size door FEM",
+            lambda: g.elasticity_2d(52, nu=0.29),
+            415863, 20240935, 3, 6, 601,
+        ),
+        _entry(
+            "CoupCons3D", "Janna", "coupled consolidation 3-D FEM",
+            lambda: g.poisson3d(16),
+            416800, 22322336, 3, 6, 601,
+        ),
+        _entry(
+            "nd24k", "ND", "3-D mesh ND problem (very dense rows)",
+            lambda: g.random_block_spd(500, 4, 0.05, seed=4),
+            72000, 28715634, 7, 18, 1701,
+        ),
+        _entry(
+            "ldoor", "GHS_psdef", "large door FEM",
+            lambda: g.elasticity_2d(60, nu=0.3),
+            952203, 46522475, 3, 6, 601,
+        ),
+    ]
+}
+
+
+def suite_names() -> list[str]:
+    """The 16 matrix names in Table II order."""
+    return list(SUITE)
+
+
+def load_suite_matrix(name: str) -> CSRMatrix:
+    """Generate the synthetic analog of one suite matrix."""
+    try:
+        entry = SUITE[name]
+    except KeyError:
+        raise KeyError(f"unknown suite matrix {name!r}; see suite_names()") from None
+    return entry.generator()

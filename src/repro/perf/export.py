@@ -1,0 +1,90 @@
+"""Export the performance log to CSV / JSON and per-level aggregates.
+
+The benchmark harnesses print paper-shaped tables; downstream analysis
+(plotting Fig. 8-style dot sequences, regression tracking) wants the raw
+per-call records instead.  ``to_csv`` / ``to_json`` dump one row per
+simulated kernel call, and :func:`level_table` aggregates time per
+(level, kernel) — the data behind the banded structure of Fig. 8.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.perf.timeline import PerformanceLog
+
+__all__ = ["to_csv", "to_json", "level_table"]
+
+_FIELDS = [
+    "index",
+    "phase",
+    "kernel",
+    "backend",
+    "precision",
+    "level",
+    "sim_time_us",
+    "mma_issues",
+    "scalar_flops",
+    "bytes_read",
+    "bytes_written",
+    "launches",
+    "imbalance",
+]
+
+
+def _rows(log: PerformanceLog):
+    for i, rec in enumerate(log.records):
+        yield {
+            "index": i,
+            "phase": rec.phase,
+            "kernel": rec.kernel,
+            "backend": rec.backend,
+            "precision": rec.precision.value,
+            "level": rec.level,
+            "sim_time_us": rec.sim_time_us,
+            "mma_issues": rec.counters.total_mma,
+            "scalar_flops": rec.counters.total_scalar_flops,
+            "bytes_read": rec.counters.bytes_read,
+            "bytes_written": rec.counters.bytes_written,
+            "launches": rec.counters.launches,
+            "imbalance": rec.counters.imbalance,
+        }
+
+
+def to_csv(log: PerformanceLog, path: str | Path) -> Path:
+    """Write one CSV row per kernel call; returns the path written."""
+    path = Path(path)
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=_FIELDS)
+        writer.writeheader()
+        for row in _rows(log):
+            writer.writerow(row)
+    return path
+
+
+def to_json(log: PerformanceLog, path: str | Path | None = None):
+    """Return the records as a list of dicts; optionally write JSON."""
+    data = list(_rows(log))
+    if path is not None:
+        with open(path, "w") as fh:
+            json.dump(data, fh, indent=1)
+    return data
+
+
+def level_table(log: PerformanceLog, phase: str | None = None) -> dict:
+    """Aggregate simulated time and call counts per (level, kernel).
+
+    Returns ``{(level, kernel): {"calls": n, "time_us": t}}`` — the
+    per-level bands of Fig. 8 in numeric form.
+    """
+    out: dict[tuple[int, str], dict] = {}
+    for rec in log.records:
+        if phase is not None and rec.phase != phase:
+            continue
+        key = (rec.level, rec.kernel)
+        entry = out.setdefault(key, {"calls": 0, "time_us": 0.0})
+        entry["calls"] += 1
+        entry["time_us"] += rec.sim_time_us
+    return out

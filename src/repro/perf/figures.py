@@ -1,0 +1,106 @@
+"""Text-mode figure rendering for the benchmark results.
+
+The paper's artifact plots Figs. 7-9 with matplotlib; this offline
+reproduction renders the same comparisons as Unicode bar / scatter charts
+so the shapes are inspectable straight from a terminal or a results file.
+Used by the CLI's ``bench`` command output and by the harness printouts.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["hbar_chart", "grouped_bars", "scatter_series", "sparkline"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, vmax: float, width: int) -> str:
+    """Render one horizontal bar of *value* scaled to *vmax*."""
+    if vmax <= 0 or value <= 0:
+        return ""
+    cells = value / vmax * width
+    full = int(cells)
+    frac = cells - full
+    partial = _BLOCKS[int(frac * 8)] if full < width else ""
+    return "█" * full + partial
+
+
+def hbar_chart(
+    items: dict[str, float], width: int = 40, unit: str = "", title: str = ""
+) -> str:
+    """Horizontal bar chart of label -> value."""
+    if not items:
+        return title
+    vmax = max(items.values())
+    label_w = max(len(k) for k in items)
+    lines = [title] if title else []
+    for label, value in items.items():
+        lines.append(
+            f"{label.ljust(label_w)} {_bar(value, vmax, width):<{width}} "
+            f"{value:.1f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    groups: dict[str, dict[str, float]],
+    width: int = 30,
+    unit: str = "us",
+    title: str = "",
+) -> str:
+    """Grouped horizontal bars: one block of bars per outer key.
+
+    ``groups['cant']['HYPRE'] = 123.0`` renders the Fig. 7 layout: for
+    each matrix, one bar per solver configuration.
+    """
+    if not groups:
+        return title
+    vmax = max(v for sub in groups.values() for v in sub.values())
+    series = max((len(s) for sub in groups.values() for s in sub), default=0)
+    lines = [title] if title else []
+    for group, sub in groups.items():
+        lines.append(group)
+        for label, value in sub.items():
+            lines.append(
+                f"  {label.ljust(series)} {_bar(value, vmax, width):<{width}} "
+                f"{value:.1f}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def sparkline(values, width: int | None = None) -> str:
+    """One-line mini chart of a series (the Fig. 8 dot sequences)."""
+    ticks = "▁▂▃▄▅▆▇█"
+    vals = list(values)
+    if not vals:
+        return ""
+    if width is not None and len(vals) > width:
+        # resample by bucketing (max per bucket preserves the spikes)
+        bucket = len(vals) / width
+        vals = [
+            max(vals[int(i * bucket): max(int((i + 1) * bucket), int(i * bucket) + 1)])
+            for i in range(width)
+        ]
+    vmin, vmax = min(vals), max(vals)
+    span = (vmax - vmin) or 1.0
+    return "".join(ticks[int((v - vmin) / span * (len(ticks) - 1))] for v in vals)
+
+
+def scatter_series(
+    series: dict[str, list[float]], width: int = 60, title: str = ""
+) -> str:
+    """Multi-series per-call time chart: one sparkline per series with a
+    shared log-ish annotation of min/median/max."""
+    lines = [title] if title else []
+    label_w = max((len(k) for k in series), default=0)
+    for label, vals in series.items():
+        if not vals:
+            continue
+        vs = sorted(vals)
+        med = vs[len(vs) // 2]
+        lines.append(
+            f"{label.ljust(label_w)} {sparkline(vals, width)} "
+            f"[{vs[0]:.1f} .. {med:.1f} .. {vs[-1]:.1f}]"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Aggregation helpers for the benchmark harnesses.
+
+These functions turn :class:`repro.perf.timeline.PerformanceLog` summaries
+into the rows the paper's figures report: geometric-mean speedups, phase
+breakdown percentages, and formatted comparison tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["geomean", "PhaseBreakdown", "speedup_table", "format_table"]
+
+
+def geomean(values) -> float:
+    """Geometric mean; the paper's standard aggregate across matrices."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geomean of an empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geomean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+@dataclass
+class PhaseBreakdown:
+    """Percentage split of a phase between its dominant kernel and the rest."""
+
+    phase: str
+    kernel: str
+    kernel_us: float
+    total_us: float
+
+    @property
+    def kernel_pct(self) -> float:
+        if self.total_us == 0:
+            return 0.0
+        return 100.0 * self.kernel_us / self.total_us
+
+
+def speedup_table(
+    baseline: dict[str, float], contender: dict[str, float]
+) -> dict[str, float]:
+    """Per-matrix speedups ``baseline / contender`` over matching keys."""
+    missing = set(baseline) ^ set(contender)
+    if missing:
+        raise ValueError(f"matrix sets differ: {sorted(missing)}")
+    out = {}
+    for name, base in baseline.items():
+        cont = contender[name]
+        if cont <= 0:
+            raise ValueError(f"non-positive time for {name}")
+        out[name] = base / cont
+    return out
+
+
+def format_table(headers: list[str], rows: list[list], widths=None) -> str:
+    """Plain-text table used by the benchmark harness printouts."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{v:.3f}" if isinstance(v, float) else str(v) for v in row] for row in rows
+    ]
+    widths = widths or [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

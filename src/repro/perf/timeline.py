@@ -1,0 +1,103 @@
+"""Per-kernel-call performance log.
+
+Every simulated kernel call (SpGEMM, SpMV, format conversion, and the
+"other" AMG work) appends one :class:`repro.kernels.record.KernelRecord`
+tagged with its phase ('setup' / 'solve') and grid level.  From this log
+the reproduction derives:
+
+* Fig. 1 / Fig. 2 — phase time breakdowns (SpGEMM vs rest of setup, SpMV
+  vs rest of solve);
+* Fig. 7 — total setup/solve times per solver configuration;
+* Fig. 8 — the per-call time sequences of both kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernels.record import KernelRecord
+
+__all__ = ["PerformanceLog", "PhaseTotals"]
+
+
+@dataclass
+class PhaseTotals:
+    """Aggregated simulated times (microseconds) of one phase."""
+
+    spgemm_us: float = 0.0
+    spmv_us: float = 0.0
+    conversion_us: float = 0.0
+    other_us: float = 0.0
+
+    @property
+    def total_us(self) -> float:
+        return self.spgemm_us + self.spmv_us + self.conversion_us + self.other_us
+
+
+@dataclass
+class PerformanceLog:
+    """Chronological record of every simulated kernel call."""
+
+    records: list[KernelRecord] = field(default_factory=list)
+
+    def append(self, record: KernelRecord) -> KernelRecord:
+        self.records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    def by_phase(self, phase: str) -> list[KernelRecord]:
+        return [r for r in self.records if r.phase == phase]
+
+    def by_kernel(self, kernel: str, phase: str | None = None) -> list[KernelRecord]:
+        return [
+            r
+            for r in self.records
+            if r.kernel == kernel and (phase is None or r.phase == phase)
+        ]
+
+    def kernel_times(self, kernel: str, phase: str | None = None) -> list[float]:
+        """Per-call simulated times of *kernel* — one Fig. 8 series."""
+        return [r.sim_time_us for r in self.by_kernel(kernel, phase)]
+
+    # ------------------------------------------------------------------
+    def phase_totals(self, phase: str) -> PhaseTotals:
+        totals = PhaseTotals()
+        for r in self.by_phase(phase):
+            if r.kernel == "spgemm":
+                totals.spgemm_us += r.sim_time_us
+            elif r.kernel == "spmv":
+                totals.spmv_us += r.sim_time_us
+            elif r.kernel in ("csr2mbsr", "mbsr2csr", "csr2bsr"):
+                totals.conversion_us += r.sim_time_us
+            else:
+                totals.other_us += r.sim_time_us
+        return totals
+
+    @property
+    def setup(self) -> PhaseTotals:
+        return self.phase_totals("setup")
+
+    @property
+    def solve(self) -> PhaseTotals:
+        return self.phase_totals("solve")
+
+    @property
+    def total_us(self) -> float:
+        return sum(r.sim_time_us for r in self.records)
+
+    def count(self, kernel: str, phase: str | None = None) -> int:
+        return len(self.by_kernel(kernel, phase))
+
+    def summary(self) -> dict:
+        """Compact dict used by the benchmark harnesses."""
+        setup, solve = self.setup, self.solve
+        return {
+            "setup_us": setup.total_us,
+            "setup_spgemm_us": setup.spgemm_us,
+            "setup_conversion_us": setup.conversion_us,
+            "solve_us": solve.total_us,
+            "solve_spmv_us": solve.spmv_us,
+            "total_us": setup.total_us + solve.total_us,
+            "spgemm_calls": self.count("spgemm"),
+            "spmv_calls": self.count("spmv"),
+        }

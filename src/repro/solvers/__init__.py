@@ -1,0 +1,20 @@
+"""Krylov solvers that use AMG as a preconditioner.
+
+The paper notes (Sec. II.B) that AMG is frequently used inside
+preconditioned conjugate gradient, multiplying the SpMV count further;
+:mod:`repro.solvers.cg` provides the PCG loop with a pluggable
+preconditioner (one AmgT V-cycle per application).
+"""
+
+from repro.solvers.cg import pcg, PCGResult
+from repro.solvers.gmres import gmres, GMRESResult
+from repro.solvers.bicgstab import bicgstab, BiCGStabResult
+
+__all__ = [
+    "pcg",
+    "PCGResult",
+    "gmres",
+    "GMRESResult",
+    "bicgstab",
+    "BiCGStabResult",
+]

@@ -1,0 +1,100 @@
+"""BiCGStab with optional preconditioning.
+
+The short-recurrence alternative to GMRES for the nonsymmetric suite
+members: constant memory per iteration (GMRES(m) stores m basis vectors),
+two matvecs and two preconditioner applications per iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+
+__all__ = ["bicgstab", "BiCGStabResult"]
+
+MatVec = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class BiCGStabResult:
+    """Outcome of one BiCGStab solve."""
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_history: list[float] = field(default_factory=list)
+    breakdown: bool = False
+
+    @property
+    def final_relative_residual(self) -> float:
+        if not self.residual_history or self.residual_history[0] == 0:
+            return 0.0
+        return self.residual_history[-1] / self.residual_history[0]
+
+
+def bicgstab(
+    a: CSRMatrix | MatVec,
+    b: np.ndarray,
+    preconditioner: MatVec | None = None,
+    x0: np.ndarray | None = None,
+    tolerance: float = 1e-8,
+    max_iterations: int = 500,
+) -> BiCGStabResult:
+    """Solve ``A x = b`` with preconditioned BiCGStab (van der Vorst)."""
+    matvec: MatVec = a.matvec if isinstance(a, CSRMatrix) else a
+    precond = preconditioner or (lambda r: r)
+    b = np.asarray(b, dtype=np.float64)
+    n = b.shape[0]
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+
+    r = b - np.asarray(matvec(x), dtype=np.float64)
+    r_hat = r.copy()
+    norm_ref = float(np.linalg.norm(b)) or float(np.linalg.norm(r))
+    history = [float(np.linalg.norm(r))]
+    if history[0] == 0.0 or history[0] <= tolerance * norm_ref:
+        return BiCGStabResult(x, 0, True, history)
+
+    rho_old = alpha = omega = 1.0
+    v = np.zeros(n)
+    p = np.zeros(n)
+    for it in range(1, max_iterations + 1):
+        rho = float(r_hat @ r)
+        if rho == 0.0:
+            return BiCGStabResult(x, it - 1, False, history, breakdown=True)
+        if it == 1:
+            p = r.copy()
+        else:
+            beta = (rho / rho_old) * (alpha / omega)
+            p = r + beta * (p - omega * v)
+        p_hat = np.asarray(precond(p), dtype=np.float64)
+        v = np.asarray(matvec(p_hat), dtype=np.float64)
+        denom = float(r_hat @ v)
+        if denom == 0.0:
+            return BiCGStabResult(x, it - 1, False, history, breakdown=True)
+        alpha = rho / denom
+        s = r - alpha * v
+        s_norm = float(np.linalg.norm(s))
+        if s_norm <= tolerance * norm_ref:
+            x += alpha * p_hat
+            history.append(s_norm)
+            return BiCGStabResult(x, it, True, history)
+        s_hat = np.asarray(precond(s), dtype=np.float64)
+        t = np.asarray(matvec(s_hat), dtype=np.float64)
+        tt = float(t @ t)
+        if tt == 0.0:
+            return BiCGStabResult(x, it - 1, False, history, breakdown=True)
+        omega = float(t @ s) / tt
+        x += alpha * p_hat + omega * s_hat
+        r = s - omega * t
+        rnorm = float(np.linalg.norm(r))
+        history.append(rnorm)
+        if rnorm <= tolerance * norm_ref:
+            return BiCGStabResult(x, it, True, history)
+        if omega == 0.0:
+            return BiCGStabResult(x, it, False, history, breakdown=True)
+        rho_old = rho
+    return BiCGStabResult(x, max_iterations, False, history)

@@ -1,0 +1,95 @@
+"""Preconditioned conjugate gradient.
+
+Standard PCG with an injectable matvec and preconditioner, so it composes
+with either backend's SpMV and with :meth:`AmgTSolver.as_preconditioner`
+(one V-cycle per application).  For SPD systems PCG-with-AmgT converges in
+far fewer iterations than standalone V-cycling — the use case the paper's
+Sec. II.B motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+
+__all__ = ["pcg", "PCGResult"]
+
+MatVec = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class PCGResult:
+    """Outcome of one PCG solve."""
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_history: list[float] = field(default_factory=list)
+
+    @property
+    def final_relative_residual(self) -> float:
+        if not self.residual_history or self.residual_history[0] == 0:
+            return 0.0
+        return self.residual_history[-1] / self.residual_history[0]
+
+
+def pcg(
+    a: CSRMatrix | MatVec,
+    b: np.ndarray,
+    preconditioner: MatVec | None = None,
+    x0: np.ndarray | None = None,
+    tolerance: float = 1e-8,
+    max_iterations: int = 500,
+) -> PCGResult:
+    """Solve ``A x = b`` for SPD ``A`` with (preconditioned) CG.
+
+    Parameters
+    ----------
+    a:
+        The system matrix, or a callable computing ``A @ v``.
+    preconditioner:
+        ``M(r) -> z`` approximating ``A^{-1} r``; identity when omitted.
+    tolerance:
+        Relative residual stopping criterion (2-norm).
+    """
+    matvec: MatVec = a.matvec if isinstance(a, CSRMatrix) else a
+    b = np.asarray(b, dtype=np.float64)
+    n = b.shape[0]
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    precond = preconditioner or (lambda r: r)
+
+    r = b - np.asarray(matvec(x), dtype=np.float64)
+    z = np.asarray(precond(r), dtype=np.float64)
+    p = z.copy()
+    rz = float(r @ z)
+    norm0 = float(np.linalg.norm(r))
+    # Convergence is measured against ||b|| (the usual reference), falling
+    # back to the initial residual for b = 0 with a nonzero guess.
+    norm_ref = float(np.linalg.norm(b)) or norm0
+    history = [norm0]
+    if norm0 == 0.0 or norm0 <= tolerance * norm_ref:
+        return PCGResult(x, 0, True, history)
+
+    for it in range(1, max_iterations + 1):
+        ap = np.asarray(matvec(p), dtype=np.float64)
+        pap = float(p @ ap)
+        if pap <= 0:
+            # Loss of positive definiteness (numerically); stop cleanly.
+            return PCGResult(x, it - 1, False, history)
+        alpha = rz / pap
+        x += alpha * p
+        r -= alpha * ap
+        rnorm = float(np.linalg.norm(r))
+        history.append(rnorm)
+        if rnorm <= tolerance * norm_ref:
+            return PCGResult(x, it, True, history)
+        z = np.asarray(precond(r), dtype=np.float64)
+        rz_new = float(r @ z)
+        beta = rz_new / rz
+        rz = rz_new
+        p = z + beta * p
+    return PCGResult(x, max_iterations, False, history)

@@ -1,0 +1,125 @@
+"""Restarted GMRES with optional right preconditioning.
+
+Complements PCG for the nonsymmetric systems of the evaluation suite
+(venkat25's convection-diffusion class, TSOPF's power-flow operators);
+AmgT's V-cycle serves as the preconditioner exactly as with PCG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+
+__all__ = ["gmres", "GMRESResult"]
+
+MatVec = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class GMRESResult:
+    """Outcome of one GMRES solve."""
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_history: list[float] = field(default_factory=list)
+
+    @property
+    def final_relative_residual(self) -> float:
+        if not self.residual_history or self.residual_history[0] == 0:
+            return 0.0
+        return self.residual_history[-1] / self.residual_history[0]
+
+
+def gmres(
+    a: CSRMatrix | MatVec,
+    b: np.ndarray,
+    preconditioner: MatVec | None = None,
+    x0: np.ndarray | None = None,
+    tolerance: float = 1e-8,
+    max_iterations: int = 500,
+    restart: int = 30,
+) -> GMRESResult:
+    """Solve ``A x = b`` with right-preconditioned restarted GMRES(m).
+
+    Right preconditioning keeps the monitored residual equal to the true
+    residual, so AMG preconditioners with level-dependent precision do not
+    distort the stopping test.
+    """
+    if restart < 1:
+        raise ValueError("restart must be >= 1")
+    matvec: MatVec = a.matvec if isinstance(a, CSRMatrix) else a
+    precond = preconditioner or (lambda r: r)
+    b = np.asarray(b, dtype=np.float64)
+    n = b.shape[0]
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+
+    norm_b = float(np.linalg.norm(b))
+    r = b - np.asarray(matvec(x), dtype=np.float64)
+    beta = float(np.linalg.norm(r))
+    norm_ref = norm_b or beta
+    history = [beta]
+    if beta == 0.0 or beta <= tolerance * norm_ref:
+        return GMRESResult(x, 0, True, history)
+
+    total_iters = 0
+    while total_iters < max_iterations:
+        m = min(restart, max_iterations - total_iters)
+        # Arnoldi with modified Gram-Schmidt on the preconditioned operator.
+        v = np.zeros((m + 1, n))
+        h = np.zeros((m + 1, m))
+        z = np.zeros((m, n))  # preconditioned basis vectors (for the update)
+        cs = np.zeros(m)
+        sn = np.zeros(m)
+        g = np.zeros(m + 1)
+        v[0] = r / beta
+        g[0] = beta
+        k_used = 0
+        for k in range(m):
+            z[k] = np.asarray(precond(v[k]), dtype=np.float64)
+            w = np.asarray(matvec(z[k]), dtype=np.float64)
+            for j in range(k + 1):
+                h[j, k] = float(w @ v[j])
+                w -= h[j, k] * v[j]
+            subdiag = float(np.linalg.norm(w))
+            h[k + 1, k] = subdiag
+            if subdiag != 0.0:
+                v[k + 1] = w / subdiag
+            # Apply the accumulated Givens rotations to the new column,
+            # then the new rotation that annihilates the subdiagonal.
+            for j in range(k):
+                tmp = cs[j] * h[j, k] + sn[j] * h[j + 1, k]
+                h[j + 1, k] = -sn[j] * h[j, k] + cs[j] * h[j + 1, k]
+                h[j, k] = tmp
+            denom = float(np.hypot(h[k, k], h[k + 1, k]))
+            if denom == 0.0:
+                k_used = k + 1
+                total_iters += 1
+                break
+            cs[k] = h[k, k] / denom
+            sn[k] = h[k + 1, k] / denom
+            h[k, k] = denom
+            h[k + 1, k] = 0.0
+            g[k + 1] = -sn[k] * g[k]
+            g[k] = cs[k] * g[k]
+            total_iters += 1
+            k_used = k + 1
+            history.append(abs(float(g[k + 1])))
+            if abs(g[k + 1]) <= tolerance * norm_ref or subdiag == 0.0:
+                break
+        # Solve the small triangular system and update x.
+        if k_used:
+            y = np.linalg.lstsq(h[:k_used, :k_used], g[:k_used], rcond=None)[0]
+            x = x + z[:k_used].T @ y
+        r = b - np.asarray(matvec(x), dtype=np.float64)
+        beta = float(np.linalg.norm(r))
+        history[-1] = beta  # replace the estimate with the true residual
+        if beta <= tolerance * norm_ref:
+            return GMRESResult(x, total_iters, True, history)
+        if total_iters >= max_iterations:
+            break
+    return GMRESResult(x, total_iters, False, history)

@@ -1,0 +1,41 @@
+"""Prefix sums used to build row-pointer arrays.
+
+The CUDA implementation of AmgT builds ``BlcPtrC`` with a device-wide
+exclusive scan after the first symbolic pass (Algorithm 3, step 1).  We use
+the same primitive here so the kernel code reads like the paper's pseudocode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["exclusive_scan", "inclusive_scan", "counts_to_ptr", "ptr_to_counts"]
+
+
+def exclusive_scan(counts: np.ndarray, dtype=np.int64) -> np.ndarray:
+    """Exclusive prefix sum with an appended total.
+
+    ``exclusive_scan([3, 1, 2]) == [0, 3, 4, 6]`` — exactly the shape of a
+    CSR/BSR row-pointer array for rows of the given sizes.
+    """
+    counts = np.asarray(counts)
+    out = np.zeros(counts.shape[0] + 1, dtype=dtype)
+    np.cumsum(counts, out=out[1:])
+    return out
+
+
+def inclusive_scan(values: np.ndarray, dtype=np.int64) -> np.ndarray:
+    """Inclusive prefix sum (``[3,1,2] -> [3,4,6]``)."""
+    return np.cumsum(np.asarray(values), dtype=dtype)
+
+
+# Aliases with names matching their use in the kernels.
+counts_to_ptr = exclusive_scan
+
+
+def ptr_to_counts(ptr: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`counts_to_ptr`: per-row entry counts."""
+    ptr = np.asarray(ptr)
+    if ptr.ndim != 1 or ptr.shape[0] < 1:
+        raise ValueError("ptr must be a 1-D array with at least one element")
+    return np.diff(ptr)

@@ -1,0 +1,36 @@
+"""Argument-validation helpers.
+
+Every public entry point of the library validates its inputs through these
+helpers so error messages are uniform and cheap to test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["require", "check_1d", "check_dtype", "check_square"]
+
+
+def require(cond: bool, message: str) -> None:
+    """Raise :class:`ValueError` with *message* unless *cond* holds."""
+    if not cond:
+        raise ValueError(message)
+
+
+def check_1d(arr: np.ndarray, name: str) -> np.ndarray:
+    """Return *arr* as a 1-D contiguous ndarray, raising on higher rank."""
+    out = np.ascontiguousarray(arr)
+    if out.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {out.shape}")
+    return out
+
+
+def check_dtype(arr: np.ndarray, dtype: np.dtype, name: str) -> np.ndarray:
+    """Return *arr* converted to *dtype* (no copy when already correct)."""
+    return np.asarray(arr, dtype=dtype)
+
+
+def check_square(shape: tuple[int, int], name: str = "matrix") -> None:
+    """Raise unless *shape* describes a square matrix."""
+    if shape[0] != shape[1]:
+        raise ValueError(f"{name} must be square, got shape {shape}")

@@ -1,0 +1,41 @@
+"""Shared fixtures and matrix factories for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.formats.csr import CSRMatrix
+
+
+def random_csr(
+    m: int, n: int, density: float = 0.1, seed: int = 0, dtype=np.float64
+) -> CSRMatrix:
+    """Random CSR matrix with normal values (helper, not a fixture)."""
+    rng = np.random.default_rng(seed)
+    mat = sp.random(m, n, density=density, random_state=rng, format="csr")
+    mat.data[:] = rng.normal(size=mat.nnz)
+    mat.eliminate_zeros()
+    return CSRMatrix(mat.shape, mat.indptr, mat.indices, mat.data.astype(dtype))
+
+
+def random_spd_csr(n: int, density: float = 0.1, seed: int = 0) -> CSRMatrix:
+    """Random SPD CSR matrix (A + A^T + diagonal shift)."""
+    a = random_csr(n, n, density, seed)
+    at = a.transpose()
+    sym = a.add(at)
+    shift = sym.abs_row_sums() + 1.0
+    diag = CSRMatrix.from_coo(np.arange(n), np.arange(n), shift, (n, n))
+    return sym.add(diag)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=[(1, 1), (4, 4), (7, 5), (16, 16), (33, 29)])
+def shape(request) -> tuple[int, int]:
+    """Shapes covering the 4-alignment edge cases of the tile formats."""
+    return request.param

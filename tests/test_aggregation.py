@@ -1,0 +1,282 @@
+"""Tests for the smoothed-aggregation AMG family."""
+
+import numpy as np
+import pytest
+
+from repro.amg.aggregation import (
+    greedy_aggregate,
+    sa_setup,
+    smoothed_prolongator,
+    tentative_prolongator,
+)
+from repro.amg.cycle import SolveParams, amg_solve, mg_cycle
+from repro.amg.hierarchy import SetupParams, amg_setup
+from repro.amg.strength import strength_of_connection
+from repro.formats.csr import CSRMatrix
+from repro.matrices import anisotropic_diffusion_2d, poisson2d
+from repro.solvers import pcg
+
+from conftest import random_spd_csr
+
+
+class TestAggregation:
+    def test_every_node_aggregated(self):
+        a = poisson2d(12)
+        s = strength_of_connection(a)
+        agg = greedy_aggregate(s)
+        assert np.all(agg >= 0)
+        # contiguous ids
+        assert set(np.unique(agg)) == set(range(int(agg.max()) + 1))
+
+    def test_aggregates_connected_neighbourhoods(self):
+        """Pass-1 aggregates are stars around their root: every member of
+        an aggregate touches the aggregate in the strength graph."""
+        a = poisson2d(10)
+        s = strength_of_connection(a)
+        agg = greedy_aggregate(s)
+        sd = (s.to_dense() + s.to_dense().T) > 0
+        for g in range(int(agg.max()) + 1):
+            members = np.flatnonzero(agg == g)
+            if members.size == 1:
+                continue
+            sub = sd[np.ix_(members, members)]
+            # each member connects to at least one other member
+            assert np.all(sub.any(axis=1))
+
+    def test_sizes_reasonable_on_grid(self):
+        a = poisson2d(16)
+        agg = greedy_aggregate(strength_of_connection(a))
+        sizes = np.bincount(agg)
+        assert 3 <= sizes.mean() <= 9
+        assert sizes.max() <= 12
+
+    def test_isolated_nodes_singletons(self):
+        agg = greedy_aggregate(CSRMatrix.zeros((4, 4)))
+        assert sorted(agg.tolist()) == [0, 1, 2, 3]
+
+    def test_empty(self):
+        assert greedy_aggregate(CSRMatrix.zeros((0, 0))).shape == (0,)
+
+
+class TestTentativeProlongator:
+    def test_indicator_structure(self):
+        agg = np.array([0, 0, 1, 1, 2])
+        p = tentative_prolongator(agg)
+        assert p.shape == (5, 3)
+        d = p.to_dense()
+        np.testing.assert_array_equal(d.sum(axis=1), 1.0)
+        np.testing.assert_array_equal(d.sum(axis=0), [2, 2, 1])
+
+    def test_rejects_unassigned(self):
+        with pytest.raises(ValueError):
+            tentative_prolongator(np.array([0, -1]))
+
+    def test_empty(self):
+        assert tentative_prolongator(np.zeros(0, dtype=np.int64)).shape == (0, 0)
+
+
+class TestSmoothedProlongator:
+    def test_preserves_constants(self):
+        """P @ 1 = (I - w D^-1 A) 1 on interior rows: smoothing keeps the
+        constant vector in range for zero-row-sum operators."""
+        a = poisson2d(10)
+        agg = greedy_aggregate(strength_of_connection(a))
+        pt = tentative_prolongator(agg)
+        p = smoothed_prolongator(a, pt)
+        ones_c = np.ones(p.ncols)
+        pv = p.matvec(ones_c)
+        interior = np.flatnonzero(a.row_nnz() == 5)
+        # interior rows of A have zero row sum action: (I - wD^-1A)1 = 1
+        np.testing.assert_allclose(pv[interior], 1.0, atol=1e-10)
+
+    def test_wider_stencil_than_tentative(self):
+        a = poisson2d(8)
+        agg = greedy_aggregate(strength_of_connection(a))
+        pt = tentative_prolongator(agg)
+        p = smoothed_prolongator(a, pt)
+        assert p.nnz > pt.nnz
+
+    def test_omega_validation(self):
+        a = poisson2d(4)
+        pt = tentative_prolongator(greedy_aggregate(strength_of_connection(a)))
+        with pytest.raises(ValueError):
+            smoothed_prolongator(a, pt, omega=2.5)
+
+    def test_spgemm_injected_once(self):
+        a = poisson2d(8)
+        pt = tentative_prolongator(greedy_aggregate(strength_of_connection(a)))
+        calls = []
+
+        def spy(x, y):
+            calls.append(1)
+            from repro.kernels.baseline import csr_spgemm
+
+            return csr_spgemm(x, y)[0]
+
+        smoothed_prolongator(a, pt, spgemm=spy)
+        assert len(calls) == 1
+
+
+class TestSASetup:
+    def test_converges_on_model_problems(self):
+        for a in (poisson2d(20), anisotropic_diffusion_2d(20, epsilon=0.05)):
+            h = sa_setup(a)
+            _, stats = amg_solve(
+                h, np.ones(a.nrows),
+                params=SolveParams(max_iterations=100, tolerance=1e-8),
+            )
+            assert stats.converged
+
+    def test_pcg_preconditioned_fast(self):
+        a = poisson2d(20)
+        h = sa_setup(a)
+        res = pcg(a, np.ones(a.nrows),
+                  preconditioner=lambda r: mg_cycle(h, r, np.zeros(a.nrows)),
+                  tolerance=1e-9, max_iterations=60)
+        assert res.converged
+        assert res.iterations < 30
+
+    def test_lower_complexity_than_classical(self):
+        """SA's hallmark: lower operator complexity than classical AMG on
+        scalar elliptic problems."""
+        a = poisson2d(24)
+        h_sa = sa_setup(a)
+        h_cl = amg_setup(a)
+        assert h_sa.operator_complexity() < h_cl.operator_complexity()
+
+    def test_spgemm_count(self):
+        a = poisson2d(16)
+        h = sa_setup(a)
+        # 3 SpGEMMs per coarse level: 1 smoothing + 2 Galerkin.
+        assert h.spgemm_calls == 3 * (h.num_levels - 1)
+
+    def test_same_hierarchy_type_as_classical(self):
+        from repro.amg.hierarchy import AMGHierarchy
+
+        h = sa_setup(poisson2d(8))
+        assert isinstance(h, AMGHierarchy)
+        for lvl in h.levels[:-1]:
+            assert lvl.p is not None and lvl.r is not None
+
+    def test_level_cap(self):
+        h = sa_setup(poisson2d(24), SetupParams(max_levels=2))
+        assert h.num_levels <= 2
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            sa_setup(CSRMatrix.zeros((3, 4)))
+
+    def test_galerkin_consistency(self):
+        h = sa_setup(poisson2d(10))
+        for k in range(h.num_levels - 1):
+            lvl = h.levels[k]
+            ref = lvl.r.to_dense() @ lvl.a.to_dense() @ lvl.p.to_dense()
+            np.testing.assert_allclose(
+                h.levels[k + 1].a.to_dense(), ref, atol=1e-9
+            )
+
+    def test_spd_random_matrices(self):
+        a = random_spd_csr(60, 0.1, seed=4)
+        h = sa_setup(a)
+        _, stats = amg_solve(h, np.ones(60),
+                             params=SolveParams(max_iterations=100, tolerance=1e-8))
+        assert stats.converged
+
+
+class TestNullspaceProlongator:
+    def _grid_coords(self, mesh):
+        nn = mesh + 1
+        return np.stack(
+            [np.arange(nn * nn) % nn, np.arange(nn * nn) // nn], axis=1
+        ).astype(float)
+
+    def test_rigid_body_modes_shape_and_kernel(self):
+        from repro.amg.aggregation import rigid_body_modes_2d
+
+        coords = self._grid_coords(4)
+        b = rigid_body_modes_2d(coords)
+        assert b.shape == (2 * coords.shape[0], 3)
+        # translations are unit in their dof slots
+        assert np.all(b[0::2, 0] == 1) and np.all(b[1::2, 0] == 0)
+        assert np.all(b[1::2, 1] == 1) and np.all(b[0::2, 1] == 0)
+
+    def test_rigid_body_modes_validation(self):
+        from repro.amg.aggregation import rigid_body_modes_2d
+
+        with pytest.raises(ValueError):
+            rigid_body_modes_2d(np.zeros((4, 3)))
+
+    def test_nullspace_contained_in_range(self):
+        """range(P_tent) must contain the supplied nullspace exactly."""
+        from repro.amg.aggregation import (
+            greedy_aggregate,
+            tentative_prolongator_nullspace,
+        )
+
+        a = poisson2d(10)
+        agg = greedy_aggregate(strength_of_connection(a))
+        rng = np.random.default_rng(3)
+        ns = np.stack([np.ones(a.nrows), rng.normal(size=a.nrows)], axis=1)
+        p, b_coarse = tentative_prolongator_nullspace(agg, ns)
+        # P @ B_coarse == B (the defining property of the QR construction)
+        recon = p.to_dense() @ b_coarse
+        np.testing.assert_allclose(recon, ns, atol=1e-10)
+
+    def test_orthonormal_columns_per_aggregate(self):
+        from repro.amg.aggregation import (
+            greedy_aggregate,
+            tentative_prolongator_nullspace,
+        )
+
+        a = poisson2d(8)
+        agg = greedy_aggregate(strength_of_connection(a))
+        ns = np.ones((a.nrows, 1))
+        p, _ = tentative_prolongator_nullspace(agg, ns)
+        ptp = p.to_dense().T @ p.to_dense()
+        np.testing.assert_allclose(ptp, np.eye(p.ncols), atol=1e-12)
+
+    def test_length_mismatch_rejected(self):
+        from repro.amg.aggregation import tentative_prolongator_nullspace
+
+        with pytest.raises(ValueError):
+            tentative_prolongator_nullspace(np.zeros(4, dtype=np.int64),
+                                            np.ones((5, 1)))
+
+    def test_rigid_body_modes_accelerate_elasticity(self):
+        """The SA payoff on vector problems: rigid-body modes cut the PCG
+        iteration count by a large factor vs the constants-only default."""
+        from repro.amg.aggregation import rigid_body_modes_2d, sa_setup
+        from repro.amg.cycle import mg_cycle
+        from repro.matrices import elasticity_2d
+        from repro.solvers import pcg
+
+        mesh = 14
+        a = elasticity_2d(mesh)
+        coords = self._grid_coords(mesh)
+        iters = {}
+        for label, ns in [("plain", None),
+                          ("rbm", rigid_body_modes_2d(coords))]:
+            h = sa_setup(a, nullspace=ns)
+            res = pcg(a, np.ones(a.nrows),
+                      preconditioner=lambda r: mg_cycle(h, r, np.zeros(a.nrows)),
+                      tolerance=1e-8, max_iterations=400)
+            assert res.converged, label
+            iters[label] = res.iterations
+        assert iters["rbm"] < 0.6 * iters["plain"]
+
+    def test_constant_nullspace_matches_plain_convergence(self):
+        """With B = ones the nullspace-aware construction is the
+        normalised indicator prolongator: same convergence behaviour."""
+        from repro.amg.aggregation import sa_setup
+        from repro.amg.cycle import SolveParams, amg_solve
+
+        a = poisson2d(16)
+        iters = {}
+        for label, ns in [("plain", None), ("const", np.ones((a.nrows, 1)))]:
+            h = sa_setup(a, nullspace=ns)
+            _, st = amg_solve(h, np.ones(a.nrows),
+                              params=SolveParams(max_iterations=100,
+                                                 tolerance=1e-8))
+            assert st.converged
+            iters[label] = st.iterations
+        assert abs(iters["plain"] - iters["const"]) <= 3

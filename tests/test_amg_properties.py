@@ -1,0 +1,139 @@
+"""Property-based tests for AMG-wide invariants.
+
+These cross-cutting properties must hold for *any* SPD input, not just the
+model problems: Galerkin coarsening preserves symmetry/definiteness, the
+hierarchy is deterministic, V-cycles are non-expansive in the energy norm
+on SPD systems, and the backend choice never changes the mathematics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amg.cycle import SolveParams, amg_solve, mg_cycle
+from repro.amg.hierarchy import SetupParams, amg_setup
+from repro.matrices import poisson2d
+
+from conftest import random_spd_csr
+
+
+@st.composite
+def spd_problem(draw):
+    n = draw(st.integers(8, 40))
+    density = draw(st.floats(0.1, 0.4))
+    seed = draw(st.integers(0, 999))
+    return random_spd_csr(n, density, seed=seed)
+
+
+class TestGalerkinProperties:
+    @given(spd_problem())
+    @settings(max_examples=15, deadline=None)
+    def test_coarse_operators_stay_spd(self, a):
+        h = amg_setup(a, SetupParams(max_levels=4))
+        for lvl in h.levels:
+            d = lvl.a.to_dense()
+            np.testing.assert_allclose(d, d.T, atol=1e-8)
+            eigs = np.linalg.eigvalsh(d)
+            assert eigs.min() > -1e-8 * max(abs(eigs).max(), 1.0)
+
+    @given(spd_problem())
+    @settings(max_examples=15, deadline=None)
+    def test_hierarchy_deterministic(self, a):
+        h1 = amg_setup(a, SetupParams(seed=3))
+        h2 = amg_setup(a, SetupParams(seed=3))
+        assert h1.num_levels == h2.num_levels
+        for l1, l2 in zip(h1.levels, h2.levels):
+            np.testing.assert_allclose(l1.a.to_dense(), l2.a.to_dense())
+
+    @given(spd_problem())
+    @settings(max_examples=10, deadline=None)
+    def test_interpolation_full_rank(self, a):
+        h = amg_setup(a, SetupParams(max_levels=3))
+        for lvl in h.levels[:-1]:
+            p = lvl.p.to_dense()
+            assert np.linalg.matrix_rank(p) == p.shape[1]
+
+
+class TestCycleProperties:
+    @given(spd_problem(), st.integers(0, 99))
+    @settings(max_examples=10, deadline=None)
+    def test_vcycle_reduces_energy_norm(self, a, seed):
+        """One V-cycle never increases the A-norm of the error on SPD
+        systems (symmetric smoothing + Galerkin coarse correction)."""
+        h = amg_setup(a, SetupParams(max_levels=3))
+        rng = np.random.default_rng(seed)
+        xstar = rng.normal(size=a.nrows)
+        b = a.matvec(xstar)
+        x0 = rng.normal(size=a.nrows)
+        x1 = mg_cycle(h, b, x0)
+        ad = a.to_dense()
+        e0 = x0 - xstar
+        e1 = x1 - xstar
+        en0 = float(e0 @ (ad @ e0))
+        en1 = float(e1 @ (ad @ e1))
+        assert en1 <= en0 * (1.0 + 1e-8)
+
+    @given(st.integers(6, 16))
+    @settings(max_examples=8, deadline=None)
+    def test_exact_solution_is_cycle_fixed_point(self, grid):
+        a = poisson2d(grid)
+        h = amg_setup(a)
+        rng = np.random.default_rng(grid)
+        xstar = rng.normal(size=a.nrows)
+        b = a.matvec(xstar)
+        out = mg_cycle(h, b, xstar)
+        np.testing.assert_allclose(out, xstar, atol=1e-8)
+
+    @given(spd_problem())
+    @settings(max_examples=10, deadline=None)
+    def test_linearity_of_cycle(self, a):
+        """The V-cycle with zero initial guess is a linear operator in b:
+        M(alpha * b) = alpha * M(b)."""
+        h = amg_setup(a, SetupParams(max_levels=3))
+        rng = np.random.default_rng(0)
+        b = rng.normal(size=a.nrows)
+        z1 = mg_cycle(h, b, np.zeros(a.nrows))
+        z2 = mg_cycle(h, 2.5 * b, np.zeros(a.nrows))
+        np.testing.assert_allclose(z2, 2.5 * z1, rtol=1e-9, atol=1e-9)
+
+    def test_cycle_additivity(self):
+        """M(b1 + b2) = M(b1) + M(b2) for the zero-guess cycle."""
+        a = poisson2d(10)
+        h = amg_setup(a)
+        rng = np.random.default_rng(1)
+        b1, b2 = rng.normal(size=(2, a.nrows))
+        z = mg_cycle(h, b1 + b2, np.zeros(a.nrows))
+        z12 = (mg_cycle(h, b1, np.zeros(a.nrows))
+               + mg_cycle(h, b2, np.zeros(a.nrows)))
+        np.testing.assert_allclose(z, z12, rtol=1e-9, atol=1e-9)
+
+    def test_preconditioner_symmetry(self):
+        """With symmetric pre/post smoothing the V-cycle operator M is
+        symmetric: <M b1, b2> == <b1, M b2> (PCG's requirement)."""
+        a = poisson2d(8)
+        h = amg_setup(a)
+        rng = np.random.default_rng(2)
+        b1, b2 = rng.normal(size=(2, a.nrows))
+        m1 = mg_cycle(h, b1, np.zeros(a.nrows))
+        m2 = mg_cycle(h, b2, np.zeros(a.nrows))
+        assert float(m1 @ b2) == pytest.approx(float(b1 @ m2), rel=1e-8)
+
+
+class TestBackendMathInvariance:
+    @given(st.integers(6, 14), st.integers(0, 20))
+    @settings(max_examples=6, deadline=None)
+    def test_backends_identical_iterates(self, grid, seed):
+        """FP64 numerics are backend independent: HYPRE-CSR and AmgT-mBSR
+        produce bit-comparable iterates on every problem."""
+        from repro import AmgTSolver
+
+        a = poisson2d(grid)
+        rng = np.random.default_rng(seed)
+        b = rng.normal(size=a.nrows)
+        xs = {}
+        for backend in ("hypre", "amgt"):
+            s = AmgTSolver(backend=backend, device="H100", precision="fp64")
+            s.setup(a)
+            xs[backend] = s.solve(b, max_iterations=5).x
+        np.testing.assert_allclose(xs["hypre"], xs["amgt"], atol=1e-10)

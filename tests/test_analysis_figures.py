@@ -1,0 +1,142 @@
+"""Tests for matrix profiling and the text-figure renderer."""
+
+import numpy as np
+import pytest
+
+from repro.formats.convert import csr_to_mbsr
+from repro.formats.csr import CSRMatrix
+from repro.matrices import elasticity_2d, poisson2d, power_network
+from repro.matrices.analysis import (
+    MatrixProfile,
+    profile_matrix,
+    tile_density_histogram,
+)
+from repro.perf.figures import grouped_bars, hbar_chart, scatter_series, sparkline
+
+from conftest import random_csr
+
+
+class TestProfile:
+    def test_poisson_profile(self):
+        a = poisson2d(16)
+        p = profile_matrix(a)
+        assert p.shape == (256, 256)
+        assert p.nnz == a.nnz
+        assert p.row_nnz_max == 5
+        assert p.row_nnz_min == 3
+        assert p.symmetric_pattern
+        assert p.bandwidth == 16
+        assert p.avg_nnz_blc < 10  # sparse tiles -> CUDA path
+        assert p.spmv_path.startswith("cuda")
+        assert not p.predicted_load_balanced
+
+    def test_elasticity_profile_dense_tiles(self):
+        p = profile_matrix(elasticity_2d(24))
+        assert p.avg_nnz_blc >= 10
+        assert p.dense_tile_fraction > 0.4
+        assert p.spmv_path.startswith("tc")
+
+    def test_power_network_skewed(self):
+        p = profile_matrix(power_network(600, seed=1, avg_degree=4))
+        assert p.variation > 0.5
+        assert p.predicted_load_balanced
+
+    def test_accepts_mbsr_input(self):
+        a = poisson2d(8)
+        p1 = profile_matrix(a)
+        p2 = profile_matrix(csr_to_mbsr(a))
+        assert p1.blc_num == p2.blc_num
+        assert p1.nnz == p2.nnz
+
+    def test_describe_is_text(self):
+        text = profile_matrix(poisson2d(6)).describe()
+        assert "tiles" in text and "SpMV path" in text
+
+    def test_storage_ratio_sparse_vs_dense(self):
+        """mBSR pays a big storage penalty on scattered patterns and a
+        small one on dense-tile patterns."""
+        sparse = profile_matrix(random_csr(64, 64, 0.01, seed=2))
+        dense = profile_matrix(elasticity_2d(10))
+        assert sparse.storage_ratio_mbsr_csr > dense.storage_ratio_mbsr_csr
+
+    def test_empty_matrix(self):
+        p = profile_matrix(CSRMatrix.zeros((8, 8)))
+        assert p.nnz == 0 and p.blc_num == 0
+        assert p.tile_fill == 0.0
+
+
+class TestHistogram:
+    def test_counts_sum_to_tiles(self):
+        a = random_csr(40, 40, 0.15, seed=3)
+        m = csr_to_mbsr(a)
+        h = tile_density_histogram(a)
+        assert h.shape == (17,)
+        assert h.sum() == m.blc_num
+        assert h[0] == 0  # no empty tiles stored
+
+    def test_dense_matrix_all_bin_16(self):
+        a = CSRMatrix.from_dense(np.ones((8, 8)))
+        h = tile_density_histogram(a)
+        assert h[16] == 4
+        assert h[:16].sum() == 0
+
+    def test_tc_share_matches_profile(self):
+        a = elasticity_2d(10)
+        h = tile_density_histogram(a)
+        p = profile_matrix(a)
+        assert h[10:].sum() / h.sum() == pytest.approx(p.dense_tile_fraction)
+
+
+class TestFigures:
+    def test_hbar_scales_to_max(self):
+        chart = hbar_chart({"a": 10.0, "b": 5.0}, width=10, unit="us")
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_hbar_empty(self):
+        assert hbar_chart({}, title="t") == "t"
+
+    def test_hbar_zero_values(self):
+        chart = hbar_chart({"a": 0.0, "b": 0.0})
+        assert "█" not in chart
+
+    def test_grouped_bars_layout(self):
+        chart = grouped_bars(
+            {"cant": {"HYPRE": 10.0, "AmgT": 5.0},
+             "ldoor": {"HYPRE": 8.0, "AmgT": 6.0}},
+            width=8, title="Fig7",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "Fig7"
+        assert lines[1] == "cant"
+        # bars scale against the global max (10.0)
+        assert lines[2].count("█") == 8
+
+    def test_sparkline_shape(self):
+        s = sparkline([1, 2, 3, 4, 5])
+        assert len(s) == 5
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_sparkline_resampling_preserves_spikes(self):
+        vals = [1.0] * 100
+        vals[50] = 9.0
+        s = sparkline(vals, width=10)
+        assert len(s) == 10
+        assert "█" in s  # the spike survives bucketing
+
+    def test_sparkline_constant_series(self):
+        s = sparkline([2.0, 2.0, 2.0])
+        assert len(s) == 3
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_scatter_series(self):
+        chart = scatter_series(
+            {"HYPRE": [3.0, 1.0, 2.0], "AmgT": [1.5, 0.5, 1.0]},
+            width=20, title="spmv",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "spmv"
+        assert "[1.0 .. 2.0 .. 3.0]" in lines[1]

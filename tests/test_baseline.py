@@ -1,0 +1,95 @@
+"""Tests for the vendor-style CSR baselines (repro.kernels.baseline)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.counters import Precision
+from repro.kernels.baseline import csr_spgemm, csr_spmv
+
+from conftest import random_csr
+
+
+class TestCsrSpGEMM:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_scipy(self, seed):
+        a = random_csr(27, 19, 0.15, seed=seed)
+        b = random_csr(19, 33, 0.15, seed=seed + 50)
+        c, rec = csr_spgemm(a, b)
+        ref = a.to_scipy() @ b.to_scipy()
+        np.testing.assert_allclose(c.to_dense(), ref.toarray(), atol=1e-10)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            csr_spgemm(random_csr(4, 4, 0.5), random_csr(5, 5, 0.5))
+
+    def test_counts_intermediate_products(self):
+        a = random_csr(15, 15, 0.2, seed=1)
+        b = random_csr(15, 15, 0.2, seed=2)
+        c, rec = csr_spgemm(a, b)
+        # exact Gustavson product count: sum over entries of A of the row
+        # length of B at that column
+        ref = int(np.diff(b.indptr)[a.indices].sum())
+        assert rec.detail["intermediate_products"] == ref
+        assert rec.counters.scalar_flops[Precision.FP64] == 2.0 * ref
+
+    def test_backend_label(self):
+        a = random_csr(8, 8, 0.4)
+        _, rec = csr_spgemm(a, a, backend="rocsparse")
+        assert rec.backend == "rocsparse"
+        assert rec.counters.launches == 3
+
+    def test_fp32(self):
+        a = random_csr(12, 12, 0.3, seed=3)
+        c, _ = csr_spgemm(a, a, Precision.FP32)
+        ref = a.to_dense() @ a.to_dense()
+        np.testing.assert_allclose(c.to_dense(), ref, rtol=1e-3, atol=1e-3)
+
+
+class TestCsrSpMV:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_scipy(self, seed, rng):
+        a = random_csr(25, 31, 0.2, seed=seed)
+        x = rng.normal(size=31)
+        y, rec = csr_spmv(a, x)
+        np.testing.assert_allclose(y, a.to_scipy() @ x, atol=1e-12)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            csr_spmv(random_csr(5, 5, 0.3), np.ones(6))
+
+    def test_imbalance_from_row_skew(self):
+        d = np.eye(64)
+        d[0, :] = 1.0
+        from repro.formats.csr import CSRMatrix
+
+        a = CSRMatrix.from_dense(d)
+        _, rec = csr_spmv(a, np.ones(64))
+        assert rec.counters.imbalance > 1.0
+        assert rec.counters.imbalance <= 4.0  # vendor row-splitting cap
+
+    def test_flop_count(self):
+        a = random_csr(20, 20, 0.3, seed=4)
+        _, rec = csr_spmv(a, np.ones(20))
+        assert rec.counters.scalar_flops[Precision.FP64] == 2.0 * a.nnz
+
+    def test_fp16_result_dtype(self, rng):
+        a = random_csr(16, 16, 0.4, seed=5)
+        y, _ = csr_spmv(a, rng.normal(size=16), Precision.FP16)
+        assert y.dtype == np.float32
+
+
+@given(st.integers(1, 30), st.integers(1, 30), st.integers(1, 30),
+       st.floats(0.05, 0.4), st.integers(0, 99))
+@settings(max_examples=20, deadline=None)
+def test_property_baseline_matches_mbsr_kernels(m, k, n, density, seed):
+    """The two SpGEMM implementations must agree (cross-validation)."""
+    from repro.formats.convert import csr_to_mbsr
+    from repro.kernels.spgemm import mbsr_spgemm
+
+    a = random_csr(m, k, density, seed=seed)
+    b = random_csr(k, n, density, seed=seed + 7)
+    c_csr, _ = csr_spgemm(a, b)
+    c_mbsr, _ = mbsr_spgemm(csr_to_mbsr(a), csr_to_mbsr(b))
+    np.testing.assert_allclose(c_csr.to_dense(), c_mbsr.to_dense(), atol=1e-9)

@@ -1,0 +1,106 @@
+"""Tests for the benchmark harness (benchmarks/harness.py).
+
+The harness is load-bearing for every figure reproduction, so its
+mechanics — one execution priced on multiple devices, per-call sequences,
+environment knobs — are tested here with a minimal one-matrix run.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+
+from harness import (  # noqa: E402
+    CONFIGS,
+    RunResult,
+    SuiteResults,
+    bench_iterations,
+    bench_matrices,
+    run_full_suite,
+    write_results,
+)
+
+
+@pytest.fixture(scope="module")
+def mini_suite():
+    return run_full_suite(iterations=2, matrices=["thermal1"])
+
+
+class TestHarnessMechanics:
+    def test_configs_are_the_fig7_set(self):
+        assert CONFIGS == [("hypre", "fp64"), ("amgt", "fp64"), ("amgt", "mixed")]
+
+    def test_all_runs_present(self, mini_suite):
+        for backend, precision in CONFIGS:
+            for family in ("nvidia", "amd"):
+                run = mini_suite.get("thermal1", backend, precision, family)
+                assert isinstance(run, RunResult)
+                assert run.iterations == 2
+
+    def test_nvidia_run_priced_on_both_devices(self, mini_suite):
+        run = mini_suite.get("thermal1", "amgt", "fp64", "nvidia")
+        assert set(run.summaries) == {"A100", "H100"}
+        # H100 is faster than A100 for the same recorded work
+        assert run.summaries["H100"]["total_us"] < run.summaries["A100"]["total_us"]
+
+    def test_amd_run_priced_on_mi210_only(self, mini_suite):
+        run = mini_suite.get("thermal1", "amgt", "fp64", "amd")
+        assert set(run.summaries) == {"MI210"}
+
+    def test_per_call_sequences_recorded(self, mini_suite):
+        run = mini_suite.get("thermal1", "hypre", "fp64", "nvidia")
+        levels = run.levels
+        expected_spmv = 2 * (5 * (levels - 1) + 1) + 1
+        assert len(run.spmv_calls_us) == expected_spmv
+        assert len(run.spgemm_calls_us) == 3 * (levels - 1)
+        assert all(t > 0 for t in run.spmv_calls_us)
+
+    def test_total_us_helper(self, mini_suite):
+        t = mini_suite.total_us("thermal1", "amgt", "fp64", "H100")
+        s = mini_suite.get("thermal1", "amgt", "fp64", "nvidia").summaries["H100"]
+        assert t == pytest.approx(s["setup_us"] + s["solve_us"])
+        t_amd = mini_suite.total_us("thermal1", "amgt", "fp64", "MI210")
+        assert t_amd > 0
+
+    def test_matrices_listing(self, mini_suite):
+        assert mini_suite.matrices() == ["thermal1"]
+
+    def test_iterations_invariance_of_speedups(self):
+        """Speedup ratios are iteration-count invariant (the property that
+        lets Fig. 9 run fewer cycles)."""
+        r2 = run_full_suite(iterations=2, matrices=["thermal1"])
+        r4 = run_full_suite(iterations=4, matrices=["thermal1"])
+
+        def ratio(res):
+            return (res.total_us("thermal1", "hypre", "fp64", "H100")
+                    / res.total_us("thermal1", "amgt", "fp64", "H100"))
+
+        assert ratio(r2) == pytest.approx(ratio(r4), rel=0.1)
+
+
+class TestEnvironmentKnobs:
+    def test_bench_iterations_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_ITERATIONS", raising=False)
+        assert bench_iterations() == 50  # the paper's setting
+
+    def test_bench_iterations_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_ITERATIONS", "7")
+        assert bench_iterations() == 7
+
+    def test_bench_matrices_default_is_table2(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_MATRICES", raising=False)
+        assert len(bench_matrices()) == 16
+
+    def test_bench_matrices_subset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_MATRICES", "cant, ldoor")
+        assert bench_matrices() == ["cant", "ldoor"]
+
+    def test_write_results(self, tmp_path, monkeypatch):
+        import harness
+
+        monkeypatch.setattr(harness, "RESULTS_DIR", str(tmp_path))
+        path = write_results("x.txt", "hello")
+        assert Path(path).read_text() == "hello"

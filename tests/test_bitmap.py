@@ -1,0 +1,129 @@
+"""Tests for the 16-bit tile bitmap algebra (repro.formats.bitmap).
+
+The bitmap operations are the foundation of mBSR: every property here is
+anchored against the dense boolean-matrix semantics via bitmap_to_mask.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats.bitmap import (
+    BLOCK_SIZE,
+    TC_NNZ_THRESHOLD,
+    bitmap_from_dense,
+    bitmap_multiply,
+    bitmap_popcount,
+    bitmap_scalar_mul_flops,
+    bitmap_to_mask,
+    bitmap_transpose,
+)
+
+bitmaps = st.integers(min_value=0, max_value=0xFFFF)
+
+
+class TestRoundTrip:
+    def test_zero_bitmap_is_empty_mask(self):
+        assert not bitmap_to_mask(np.uint16(0)).any()
+
+    def test_full_bitmap_is_full_mask(self):
+        assert bitmap_to_mask(np.uint16(0xFFFF)).all()
+
+    def test_single_bit_positions(self):
+        for r in range(BLOCK_SIZE):
+            for c in range(BLOCK_SIZE):
+                bm = np.uint16(1 << (r * BLOCK_SIZE + c))
+                mask = bitmap_to_mask(bm)
+                assert mask[r, c]
+                assert mask.sum() == 1
+
+    @given(bitmaps)
+    def test_mask_dense_roundtrip(self, bits):
+        mask = bitmap_to_mask(np.uint16(bits))
+        back = bitmap_from_dense(mask.astype(np.float64))
+        assert int(back) == bits
+
+    def test_from_dense_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            bitmap_from_dense(np.zeros((3, 3)))
+
+    def test_from_dense_batched(self, rng):
+        tiles = rng.normal(size=(10, 4, 4)) * (rng.random((10, 4, 4)) > 0.5)
+        bms = bitmap_from_dense(tiles)
+        assert bms.shape == (10,)
+        masks = bitmap_to_mask(bms)
+        np.testing.assert_array_equal(masks, tiles != 0)
+
+
+class TestPopcount:
+    @given(bitmaps)
+    def test_matches_python_bitcount(self, bits):
+        assert bitmap_popcount(np.uint16(bits)) == bin(bits).count("1")
+
+    def test_vectorised(self):
+        bms = np.array([0, 1, 0xFFFF, 0x00FF, 0x8000], dtype=np.uint16)
+        np.testing.assert_array_equal(bitmap_popcount(bms), [0, 1, 16, 8, 1])
+
+    def test_threshold_constant_matches_paper(self):
+        # Alg. 4 line 3: tensor cores fire at popcount >= 10.
+        assert TC_NNZ_THRESHOLD == 10
+
+
+class TestMultiply:
+    @given(bitmaps, bitmaps)
+    @settings(max_examples=200)
+    def test_equals_boolean_matrix_product(self, a, b):
+        ma = bitmap_to_mask(np.uint16(a))
+        mb = bitmap_to_mask(np.uint16(b))
+        ref = (ma.astype(int) @ mb.astype(int)) > 0
+        out = bitmap_multiply(np.uint16(a), np.uint16(b))
+        np.testing.assert_array_equal(bitmap_to_mask(out), ref)
+
+    def test_identity_pattern_is_neutral(self):
+        ident = bitmap_from_dense(np.eye(4))
+        for bits in [0x0000, 0x1234, 0xFFFF, 0x8421]:
+            out = bitmap_multiply(ident, np.uint16(bits))
+            assert int(out) == bits
+            out = bitmap_multiply(np.uint16(bits), ident)
+            assert int(out) == bits
+
+    def test_zero_annihilates(self):
+        assert bitmap_multiply(np.uint16(0), np.uint16(0xFFFF)) == 0
+        assert bitmap_multiply(np.uint16(0xFFFF), np.uint16(0)) == 0
+
+    def test_broadcasting(self):
+        a = np.array([0xFFFF, 0x0001], dtype=np.uint16)
+        out = bitmap_multiply(a, np.uint16(0xFFFF))
+        assert out.shape == (2,)
+        assert out[0] == 0xFFFF
+        # single bit (0,0) x full: row 0 of C full, others empty
+        assert bitmap_to_mask(out[1])[0].all()
+        assert not bitmap_to_mask(out[1])[1:].any()
+
+
+class TestTranspose:
+    @given(bitmaps)
+    def test_matches_mask_transpose(self, bits):
+        out = bitmap_transpose(np.uint16(bits))
+        np.testing.assert_array_equal(
+            bitmap_to_mask(out), bitmap_to_mask(np.uint16(bits)).T
+        )
+
+    @given(bitmaps)
+    def test_involution(self, bits):
+        assert bitmap_transpose(bitmap_transpose(np.uint16(bits))) == bits
+
+
+class TestScalarMulFlops:
+    @given(bitmaps, bitmaps)
+    @settings(max_examples=100)
+    def test_counts_exact_products(self, a, b):
+        ma = bitmap_to_mask(np.uint16(a)).astype(int)
+        mb = bitmap_to_mask(np.uint16(b)).astype(int)
+        # number of (i,k,j) triples with A[i,k] and B[k,j] both set
+        ref = int((ma @ mb).sum())
+        assert bitmap_scalar_mul_flops(np.uint16(a), np.uint16(b)) == ref
+
+    def test_dense_times_dense_is_64(self):
+        assert bitmap_scalar_mul_flops(np.uint16(0xFFFF), np.uint16(0xFFFF)) == 64

@@ -1,0 +1,69 @@
+"""Tests for the preconditioned conjugate gradient solver."""
+
+import numpy as np
+import pytest
+
+from repro import AmgTSolver, pcg
+from repro.matrices import poisson2d
+
+from conftest import random_spd_csr
+
+
+class TestPCG:
+    def test_unpreconditioned_converges(self, rng):
+        a = random_spd_csr(40, 0.2, seed=1)
+        b = rng.normal(size=40)
+        res = pcg(a, b, tolerance=1e-10, max_iterations=500)
+        assert res.converged
+        np.testing.assert_allclose(a.matvec(res.x), b, atol=1e-6)
+
+    def test_callable_matvec(self, rng):
+        a = random_spd_csr(20, 0.3, seed=2)
+        b = rng.normal(size=20)
+        res = pcg(a.matvec, b, tolerance=1e-10)
+        assert res.converged
+
+    def test_preconditioner_cuts_iterations(self):
+        a = poisson2d(24)
+        b = np.ones(a.nrows)
+        plain = pcg(a, b, tolerance=1e-8, max_iterations=2000)
+        solver = AmgTSolver(backend="amgt", device="A100")
+        solver.setup(a)
+        pre = pcg(a, b, preconditioner=solver.as_preconditioner(),
+                  tolerance=1e-8, max_iterations=200)
+        assert plain.converged and pre.converged
+        assert pre.iterations < plain.iterations / 2
+
+    def test_zero_rhs(self):
+        a = random_spd_csr(10, 0.3, seed=3)
+        res = pcg(a, np.zeros(10))
+        assert res.converged and res.iterations == 0
+        np.testing.assert_array_equal(res.x, 0)
+
+    def test_initial_guess(self, rng):
+        a = random_spd_csr(15, 0.3, seed=4)
+        b = rng.normal(size=15)
+        xstar = np.linalg.solve(a.to_dense(), b)
+        res = pcg(a, b, x0=xstar, tolerance=1e-8)
+        assert res.iterations <= 1
+
+    def test_iteration_cap(self, rng):
+        a = random_spd_csr(30, 0.2, seed=5)
+        res = pcg(a, rng.normal(size=30), tolerance=1e-16, max_iterations=3)
+        assert not res.converged
+        assert res.iterations == 3
+
+    def test_residual_history_tracks_norms(self, rng):
+        a = random_spd_csr(20, 0.3, seed=6)
+        b = rng.normal(size=20)
+        res = pcg(a, b, tolerance=1e-10)
+        assert len(res.residual_history) == res.iterations + 1
+        assert res.residual_history[-1] <= 1e-10 * res.residual_history[0]
+        assert res.final_relative_residual <= 1e-10
+
+    def test_indefinite_matrix_stops_cleanly(self):
+        from repro.formats.csr import CSRMatrix
+
+        a = CSRMatrix.from_dense(np.diag([1.0, -1.0, 1.0]))
+        res = pcg(a, np.ones(3), max_iterations=10)
+        assert not res.converged  # breakdown detected, no crash

@@ -1,0 +1,112 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, load_matrix_arg, main
+from repro.matrices import poisson2d, write_matrix_market
+
+
+class TestLoadMatrixArg:
+    def test_suite_name(self):
+        a = load_matrix_arg("thermal1")
+        assert a.nrows == a.ncols > 0
+
+    def test_generator_spec(self):
+        a = load_matrix_arg("poisson2d:8")
+        assert a.shape == (64, 64)
+        a = load_matrix_arg("poisson3d:4")
+        assert a.shape == (64, 64)
+
+    def test_file_path(self, tmp_path):
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, poisson2d(4))
+        a = load_matrix_arg(str(path))
+        assert a.shape == (16, 16)
+
+    def test_bad_generator(self):
+        with pytest.raises(SystemExit):
+            load_matrix_arg("helmholtz:8")
+
+    def test_bad_size(self):
+        with pytest.raises(SystemExit):
+            load_matrix_arg("poisson2d:eight")
+
+    def test_missing(self):
+        with pytest.raises(SystemExit):
+            load_matrix_arg("no_such_matrix_anywhere")
+
+
+class TestCommands:
+    def test_info_plain(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "A100" in out and "thermal1" in out
+
+    def test_info_device(self, capsys):
+        assert main(["info", "--device", "H100"]) == 0
+        out = capsys.readouterr().out
+        assert "66.9" in out  # Table I FP64 tensor peak
+
+    def test_info_matrix(self, capsys):
+        assert main(["info", "--matrix", "cant"]) == 0
+        out = capsys.readouterr().out
+        assert "4007383" in out  # paper nnz
+
+    def test_info_unknown_matrix(self):
+        with pytest.raises(SystemExit):
+            main(["info", "--matrix", "unobtainium"])
+
+    def test_solve_vcycle(self, capsys):
+        rc = main([
+            "solve", "--matrix", "poisson2d:16", "--max-iterations", "40",
+            "--tolerance", "1e-8",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "converged=True" in out
+        assert "simulated setup" in out
+
+    @pytest.mark.parametrize("krylov", ["pcg", "gmres", "bicgstab"])
+    def test_solve_krylov(self, capsys, krylov):
+        rc = main([
+            "solve", "--matrix", "poisson2d:12", "--krylov", krylov,
+            "--max-iterations", "100",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "converged=True" in out
+
+    def test_solve_mi210_mixed(self, capsys):
+        rc = main([
+            "solve", "--matrix", "poisson2d:12", "--device", "MI210",
+            "--precision", "mixed", "--max-iterations", "40",
+        ])
+        assert rc == 0
+
+    def test_bench(self, capsys):
+        rc = main(["bench", "--matrices", "poisson2d:12", "--iterations", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "geomean" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestProfileCommand:
+    def test_profile_suite_matrix(self, capsys):
+        assert main(["profile", "--matrix", "cant"]) == 0
+        out = capsys.readouterr().out
+        assert "tiles" in out
+        assert "tensor-core-eligible" in out
+
+    def test_profile_generator(self, capsys):
+        assert main(["profile", "--matrix", "poisson2d:8"]) == 0
+        out = capsys.readouterr().out
+        assert "SpMV path" in out
+
+    def test_profile_missing_matrix(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "--matrix", "does_not_exist"])

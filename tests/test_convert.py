@@ -1,0 +1,101 @@
+"""Tests for format conversions (repro.formats.convert) and BSR."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats.bsr import BSRMatrix
+from repro.formats.convert import (
+    ConversionStats,
+    bsr_to_csr,
+    csr_to_bsr,
+    csr_to_mbsr,
+    mbsr_to_csr,
+)
+from repro.formats.csr import CSRMatrix
+
+from conftest import random_csr
+
+
+class TestCsrToMbsr:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_values_preserved(self, seed):
+        a = random_csr(21, 18, 0.2, seed=seed)
+        m = csr_to_mbsr(a)
+        np.testing.assert_allclose(m.to_dense(), a.to_dense())
+
+    def test_empty_matrix(self):
+        a = CSRMatrix.zeros((7, 9))
+        m = csr_to_mbsr(a)
+        assert m.blc_num == 0
+        assert m.to_dense().shape == (7, 9)
+
+    def test_stats_include_bitmap_bytes(self):
+        a = random_csr(20, 20, 0.2, seed=1)
+        _, stats = csr_to_mbsr(a, return_stats=True)
+        _, bstats = csr_to_bsr(a, return_stats=True)
+        # The only difference from BSR is the 2-byte bitmap per tile.
+        assert stats.bytes_written - bstats.bytes_written == 2 * stats.blc_num
+        assert stats.bytes_read == bstats.bytes_read
+        assert isinstance(stats, ConversionStats)
+        assert stats.bytes_total == stats.bytes_read + stats.bytes_written
+
+    def test_dtype_preserved(self):
+        a = random_csr(8, 8, 0.3).astype(np.float32)
+        assert csr_to_mbsr(a).dtype == np.float32
+
+
+class TestMbsrToCsr:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_roundtrip(self, seed):
+        a = random_csr(17, 23, 0.15, seed=seed)
+        back = mbsr_to_csr(csr_to_mbsr(a))
+        np.testing.assert_allclose(back.to_dense(), a.to_dense())
+        assert back.nnz == a.nnz
+
+    def test_roundtrip_unaligned(self):
+        # shapes not divisible by 4: padding must not leak entries
+        a = random_csr(13, 7, 0.4, seed=3)
+        back = mbsr_to_csr(csr_to_mbsr(a))
+        assert back.shape == (13, 7)
+        np.testing.assert_allclose(back.to_dense(), a.to_dense())
+
+    def test_stats(self):
+        a = random_csr(16, 16, 0.2, seed=4)
+        m = csr_to_mbsr(a)
+        back, stats = mbsr_to_csr(m, return_stats=True)
+        assert stats.kind == "mbsr2csr"
+        assert stats.nnz == a.nnz
+        assert stats.blc_num == m.blc_num
+
+
+class TestBsr:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_csr_bsr_roundtrip(self, seed):
+        a = random_csr(19, 14, 0.25, seed=seed)
+        b = csr_to_bsr(a)
+        assert isinstance(b, BSRMatrix)
+        np.testing.assert_allclose(b.to_dense(), a.to_dense())
+        back = bsr_to_csr(b)
+        np.testing.assert_allclose(back.to_dense(), a.to_dense())
+
+    def test_bsr_mbsr_same_block_structure(self):
+        a = random_csr(25, 25, 0.12, seed=5)
+        b = csr_to_bsr(a)
+        m = csr_to_mbsr(a)
+        np.testing.assert_array_equal(b.blc_ptr, m.blc_ptr)
+        np.testing.assert_array_equal(b.blc_idx, m.blc_idx)
+        np.testing.assert_allclose(b.blc_val, m.blc_val)
+
+
+@given(st.integers(1, 32), st.integers(1, 32), st.floats(0.05, 0.5), st.integers(0, 999))
+@settings(max_examples=30, deadline=None)
+def test_property_all_formats_agree(m, n, density, seed):
+    a = random_csr(m, n, density, seed=seed)
+    dense = a.to_dense()
+    np.testing.assert_allclose(csr_to_mbsr(a).to_dense(), dense, atol=1e-12)
+    np.testing.assert_allclose(csr_to_bsr(a).to_dense(), dense, atol=1e-12)
+    np.testing.assert_allclose(
+        mbsr_to_csr(csr_to_mbsr(a)).to_dense(), dense, atol=1e-12
+    )

@@ -1,0 +1,136 @@
+"""Property-based tests for the cost model and its calibration constants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import A100, H100, MI210, CostModel
+from repro.gpu.counters import (
+    KernelCounters,
+    Precision,
+    SCALAR_GATHER_OVERHEAD,
+    SCALAR_PIPELINE_OVERHEAD,
+    SUBWORD_BANDWIDTH_EFFICIENCY,
+    effective_value_bytes,
+)
+from repro.gpu.cost import SUSTAINED_FRACTION
+
+
+class TestConstants:
+    def test_subword_efficiency_monotone(self):
+        """Narrower words reach a smaller bandwidth fraction."""
+        assert (SUBWORD_BANDWIDTH_EFFICIENCY[8]
+                > SUBWORD_BANDWIDTH_EFFICIENCY[4]
+                > SUBWORD_BANDWIDTH_EFFICIENCY[2])
+
+    def test_effective_bytes_inflates_subword(self):
+        assert effective_value_bytes(100.0, 8) == 100.0
+        assert effective_value_bytes(100.0, 4) > 100.0
+        assert effective_value_bytes(100.0, 2) > effective_value_bytes(100.0, 4)
+
+    def test_fp32_still_cheaper_than_fp64_after_derating(self):
+        """The derating shrinks the low-precision benefit without inverting
+        it: casting to fp32 must still move fewer effective bytes."""
+        raw64 = 1000 * 8
+        raw32 = 1000 * 4
+        assert effective_value_bytes(raw32, 4) < effective_value_bytes(raw64, 8)
+        raw16 = 1000 * 2
+        assert effective_value_bytes(raw16, 2) < effective_value_bytes(raw32, 4)
+
+    def test_scalar_overheads_positive(self):
+        assert SCALAR_PIPELINE_OVERHEAD > 1.0
+        assert SCALAR_GATHER_OVERHEAD > 1.0
+
+    def test_amgt_kernels_more_efficient_than_vendor(self):
+        """The calibrated sustained fractions preserve the paper's ordering:
+        blocked mBSR kernels sustain more of peak than vendor CSR kernels,
+        and rocSPARSE trails cuSPARSE (the 4.67x vs 3.09x gap)."""
+        assert SUSTAINED_FRACTION["amgt_spgemm"] > SUSTAINED_FRACTION["cusparse_spgemm"]
+        assert SUSTAINED_FRACTION["amgt_spmv"] > SUSTAINED_FRACTION["cusparse_spmv"]
+        assert SUSTAINED_FRACTION["cusparse_spgemm"] > SUSTAINED_FRACTION["rocsparse_spgemm"]
+        assert SUSTAINED_FRACTION["cusparse_spmv"] > SUSTAINED_FRACTION["rocsparse_spmv"]
+
+
+class TestCostModelProperties:
+    @given(
+        st.floats(0, 1e9), st.floats(0, 1e9),
+        st.sampled_from(["amgt_spmv", "cusparse_spgemm", "generic"]),
+    )
+    @settings(max_examples=50)
+    def test_monotone_in_bytes(self, b1, b2, cls):
+        cm = CostModel(A100)
+        lo, hi = sorted((b1, b2))
+        c_lo, c_hi = KernelCounters(), KernelCounters()
+        c_lo.add_bytes(read=lo)
+        c_hi.add_bytes(read=hi)
+        c_lo.launches = c_hi.launches = 1
+        assert cm.kernel_time_us(c_lo, cls) <= cm.kernel_time_us(c_hi, cls)
+
+    @given(st.integers(1, 100))
+    @settings(max_examples=20)
+    def test_monotone_in_launches(self, n):
+        cm = CostModel(H100)
+        c1, cn = KernelCounters(), KernelCounters()
+        c1.launches, cn.launches = 1, n
+        assert cm.kernel_time_us(cn, "generic") >= cm.kernel_time_us(c1, "generic")
+
+    @given(st.floats(1.0, 50.0))
+    @settings(max_examples=20)
+    def test_monotone_in_imbalance(self, imb):
+        cm = CostModel(A100)
+        c = KernelCounters()
+        c.add_flops(Precision.FP64, 1e8)
+        c.launches = 1
+        balanced = cm.kernel_time_us(c, "amgt_spmv")
+        c.imbalance = imb
+        assert cm.kernel_time_us(c, "amgt_spmv") >= balanced
+
+    def test_tc_precision_ordering_on_nvidia(self):
+        """Pure tensor-core compute: fp16 <= fp32 <= fp64 on both NVIDIA
+        devices (the Table I peak ordering)."""
+        for dev in (A100, H100):
+            cm = CostModel(dev)
+            times = {}
+            for prec in Precision:
+                c = KernelCounters()
+                c.add_mma(prec, 1e6)
+                c.launches = 1
+                times[prec] = cm.kernel_time_us(c, "amgt_spgemm")
+            assert times[Precision.FP16] <= times[Precision.FP32] <= times[Precision.FP64]
+
+    def test_mi210_fp32_equals_fp64_compute(self):
+        """The structural fact behind the paper's Sec. V.F mixed-precision
+        wash: equal FP64/FP32 scalar peaks."""
+        cm = CostModel(MI210)
+        times = {}
+        for prec in (Precision.FP64, Precision.FP32):
+            c = KernelCounters()
+            c.add_flops(prec, 1e9)
+            c.launches = 1
+            times[prec] = cm.kernel_time_us(c, "amgt_spmv")
+        assert times[Precision.FP32] == pytest.approx(times[Precision.FP64])
+
+    def test_h100_faster_than_a100_same_work(self):
+        c = KernelCounters()
+        c.add_flops(Precision.FP64, 1e9)
+        c.add_bytes(read=1e6)
+        c.launches = 1
+        t_a = CostModel(A100).kernel_time_us(c, "amgt_spmv")
+        t_h = CostModel(H100).kernel_time_us(c, "amgt_spmv")
+        assert t_h < t_a
+
+    def test_additivity_upper_bound(self):
+        """Roofline max(compute, memory): merging two counter sets never
+        costs more than the sum of pricing them separately."""
+        cm = CostModel(A100)
+        c1, c2 = KernelCounters(), KernelCounters()
+        c1.add_flops(Precision.FP64, 5e8)
+        c1.launches = 1
+        c2.add_bytes(read=2e7)
+        c2.launches = 1
+        merged = c1.copy().merge(c2)
+        merged.launches = 1
+        t_merged = cm.kernel_time_us(merged, "generic")
+        t_sum = cm.kernel_time_us(c1, "generic") + cm.kernel_time_us(c2, "generic")
+        assert t_merged <= t_sum + 1e-9

@@ -1,0 +1,166 @@
+"""Tests for the CSR container (repro.formats.csr)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats.csr import CSRMatrix
+
+from conftest import random_csr
+
+
+class TestConstruction:
+    def test_from_coo_sums_duplicates(self):
+        a = CSRMatrix.from_coo([0, 0, 1], [1, 1, 0], [2.0, 3.0, 1.0], (2, 2))
+        dense = a.to_dense()
+        assert dense[0, 1] == 5.0
+        assert dense[1, 0] == 1.0
+        assert a.nnz == 2
+
+    def test_from_dense_roundtrip(self, rng):
+        d = rng.normal(size=(9, 7)) * (rng.random((9, 7)) > 0.6)
+        a = CSRMatrix.from_dense(d)
+        np.testing.assert_allclose(a.to_dense(), d)
+
+    def test_canonicalisation_sorts_and_merges(self):
+        # unsorted columns + duplicate entry
+        a = CSRMatrix((2, 3), [0, 3, 3], [2, 0, 2], [1.0, 2.0, 3.0])
+        assert list(a.indices) == [0, 2]
+        assert list(a.data) == [2.0, 4.0]
+
+    def test_rejects_bad_indptr_length(self):
+        with pytest.raises(ValueError):
+            CSRMatrix((2, 2), [0, 1], [0], [1.0])
+
+    def test_rejects_column_out_of_range(self):
+        with pytest.raises(ValueError):
+            CSRMatrix((2, 2), [0, 1, 1], [5], [1.0])
+
+    def test_rejects_indptr_data_mismatch(self):
+        with pytest.raises(ValueError):
+            CSRMatrix((1, 3), [0, 2], [0], [1.0])
+
+    def test_identity(self):
+        i = CSRMatrix.identity(5)
+        np.testing.assert_array_equal(i.to_dense(), np.eye(5))
+
+    def test_zeros(self):
+        z = CSRMatrix.zeros((3, 4))
+        assert z.nnz == 0
+        assert z.to_dense().shape == (3, 4)
+
+    def test_from_coo_rejects_out_of_range_rows(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.from_coo([5], [0], [1.0], (2, 2))
+
+    def test_scipy_roundtrip(self):
+        a = random_csr(15, 11, 0.2, seed=3)
+        back = CSRMatrix.from_scipy(a.to_scipy())
+        np.testing.assert_allclose(back.to_dense(), a.to_dense())
+
+
+class TestOps:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matvec_matches_scipy(self, seed, rng):
+        a = random_csr(23, 17, 0.2, seed=seed)
+        x = rng.normal(size=17)
+        np.testing.assert_allclose(a.matvec(x), a.to_scipy() @ x, atol=1e-12)
+
+    def test_matvec_rejects_wrong_length(self):
+        a = random_csr(5, 5, 0.3)
+        with pytest.raises(ValueError):
+            a.matvec(np.ones(4))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_transpose(self, seed):
+        a = random_csr(13, 21, 0.15, seed=seed)
+        np.testing.assert_allclose(a.transpose().to_dense(), a.to_dense().T)
+
+    def test_transpose_involution(self):
+        a = random_csr(8, 12, 0.3, seed=9)
+        np.testing.assert_allclose(
+            a.transpose().transpose().to_dense(), a.to_dense()
+        )
+
+    def test_diagonal(self):
+        a = random_csr(10, 10, 0.4, seed=1)
+        np.testing.assert_allclose(a.diagonal(), np.diag(a.to_dense()))
+
+    def test_diagonal_rectangular(self):
+        a = random_csr(6, 9, 0.5, seed=2)
+        np.testing.assert_allclose(a.diagonal(), np.diag(a.to_dense())[:6])
+
+    def test_abs_row_sums(self):
+        a = random_csr(12, 12, 0.3, seed=4)
+        np.testing.assert_allclose(
+            a.abs_row_sums(), np.abs(a.to_dense()).sum(axis=1), atol=1e-12
+        )
+
+    def test_scale_rows_cols(self):
+        a = random_csr(7, 9, 0.4, seed=5)
+        d = np.arange(1.0, 8.0)
+        np.testing.assert_allclose(
+            a.scale_rows(d).to_dense(), np.diag(d) @ a.to_dense()
+        )
+        e = np.arange(1.0, 10.0)
+        np.testing.assert_allclose(
+            a.scale_cols(e).to_dense(), a.to_dense() @ np.diag(e)
+        )
+
+    def test_extract_rows_preserves_order(self):
+        a = random_csr(10, 6, 0.4, seed=6)
+        idx = np.array([7, 2, 2, 9])
+        np.testing.assert_allclose(
+            a.extract_rows(idx).to_dense(), a.to_dense()[idx]
+        )
+
+    def test_extract_cols(self):
+        a = random_csr(8, 10, 0.4, seed=7)
+        idx = np.array([9, 0, 4])
+        ref = a.to_dense()[:, idx]
+        np.testing.assert_allclose(a.extract_cols(idx).to_dense(), ref)
+
+    def test_eliminate_zeros(self):
+        a = CSRMatrix.from_coo([0, 0, 1], [0, 1, 1], [0.0, 2.0, 1e-12], (2, 2))
+        cleaned = a.eliminate_zeros(1e-10)
+        assert cleaned.nnz == 1
+        assert cleaned.to_dense()[0, 1] == 2.0
+
+    def test_add(self):
+        a = random_csr(9, 9, 0.3, seed=8)
+        b = random_csr(9, 9, 0.3, seed=9)
+        np.testing.assert_allclose(
+            a.add(b, alpha=-2.5).to_dense(), a.to_dense() - 2.5 * b.to_dense(),
+            atol=1e-12,
+        )
+
+    def test_add_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            random_csr(3, 3, 0.5).add(random_csr(4, 4, 0.5))
+
+    def test_astype(self):
+        a = random_csr(5, 5, 0.4)
+        assert a.astype(np.float32).dtype == np.float32
+
+    def test_matmul_operator_vector_only(self):
+        a = random_csr(5, 5, 0.4)
+        with pytest.raises(TypeError):
+            a @ a  # SpGEMM goes through repro.kernels
+
+    def test_row_ids(self):
+        a = CSRMatrix.from_coo([0, 0, 2], [0, 1, 2], [1.0, 1.0, 1.0], (3, 3))
+        np.testing.assert_array_equal(a.row_ids(), [0, 0, 2])
+
+
+@given(st.integers(2, 30), st.integers(2, 30), st.floats(0.05, 0.5), st.integers(0, 99))
+@settings(max_examples=25, deadline=None)
+def test_property_roundtrip_and_matvec(m, n, density, seed):
+    a = random_csr(m, n, density, seed=seed)
+    dense = a.to_dense()
+    np.testing.assert_allclose(
+        CSRMatrix.from_dense(dense).to_dense(), dense, atol=1e-12
+    )
+    x = np.random.default_rng(seed).normal(size=n)
+    np.testing.assert_allclose(a.matvec(x), dense @ x, atol=1e-9)

@@ -1,0 +1,213 @@
+"""Tests for multigrid cycle variants and the extended smoother set."""
+
+import numpy as np
+import pytest
+
+from repro.amg.cycle import SolveParams, SolveStats, amg_solve, mg_cycle
+from repro.amg.hierarchy import amg_setup
+from repro.amg.smoothers import (
+    chebyshev_smooth,
+    estimate_spectral_radius,
+    gauss_seidel_sweep,
+    l1_jacobi_diagonal,
+)
+from repro.matrices import anisotropic_diffusion_2d, poisson2d
+
+from conftest import random_spd_csr
+
+
+class TestSolveParamsValidation:
+    def test_cycle_type(self):
+        with pytest.raises(ValueError):
+            SolveParams(cycle_type="X")
+
+    def test_smoother_name(self):
+        with pytest.raises(ValueError):
+            SolveParams(smoother="ilu")
+
+    def test_sweep_counts(self):
+        with pytest.raises(ValueError):
+            SolveParams(pre_sweeps=-1)
+
+    def test_chebyshev_degree(self):
+        with pytest.raises(ValueError):
+            SolveParams(chebyshev_degree=0)
+
+
+class TestCycleVariants:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        a = poisson2d(20)
+        return a, amg_setup(a), np.ones(a.nrows)
+
+    @pytest.mark.parametrize("cycle_type", ["V", "W", "F"])
+    def test_all_cycles_converge(self, problem, cycle_type):
+        a, h, b = problem
+        _, stats = amg_solve(
+            h, b, params=SolveParams(max_iterations=40, tolerance=1e-8,
+                                     cycle_type=cycle_type)
+        )
+        assert stats.converged
+
+    def test_w_cycle_contracts_at_least_as_fast(self, problem):
+        a, h, b = problem
+        iters = {}
+        for ct in ("V", "W"):
+            _, stats = amg_solve(
+                h, b, params=SolveParams(max_iterations=40, tolerance=1e-8,
+                                         cycle_type=ct)
+            )
+            iters[ct] = stats.iterations
+        assert iters["W"] <= iters["V"]
+
+    def test_w_cycle_costs_more_spmv(self, problem):
+        a, h, b = problem
+        calls = {}
+        for ct in ("V", "W", "F"):
+            stats = SolveStats()
+            mg_cycle(h, b, np.zeros(a.nrows),
+                     params=SolveParams(cycle_type=ct), stats=stats)
+            calls[ct] = stats.spmv_calls
+        assert calls["V"] < calls["F"] < calls["W"]
+
+    def test_single_cycle_reduces_residual(self, problem):
+        a, h, b = problem
+        for ct in ("V", "W", "F"):
+            x = mg_cycle(h, b, np.zeros(a.nrows),
+                         params=SolveParams(cycle_type=ct))
+            assert np.linalg.norm(b - a.matvec(x)) < np.linalg.norm(b)
+
+    def test_v_cycle_spmv_count_unchanged(self, problem):
+        """The paper's 5-SpMV-per-level V-cycle accounting must survive the
+        cycle generalisation."""
+        a, h, b = problem
+        stats = SolveStats()
+        mg_cycle(h, b, np.zeros(a.nrows), params=SolveParams(), stats=stats)
+        assert stats.spmv_calls == 5 * (h.num_levels - 1)
+
+
+class TestGaussSeidel:
+    def test_sweep_reduces_residual(self):
+        a = poisson2d(10)
+        b = np.ones(a.nrows)
+        x = gauss_seidel_sweep(a, np.zeros(a.nrows), b, num_sweeps=3)
+        assert np.linalg.norm(b - a.matvec(x)) < np.linalg.norm(b)
+
+    def test_exact_solution_fixed_point(self):
+        a = poisson2d(6)
+        b = np.ones(a.nrows)
+        xstar = np.linalg.solve(a.to_dense(), b)
+        out = gauss_seidel_sweep(a, xstar, b)
+        np.testing.assert_allclose(out, xstar, atol=1e-10)
+
+    def test_does_not_mutate_input(self):
+        a = poisson2d(5)
+        x = np.zeros(a.nrows)
+        gauss_seidel_sweep(a, x, np.ones(a.nrows))
+        np.testing.assert_array_equal(x, 0)
+
+    def test_omega_validation(self):
+        a = poisson2d(4)
+        with pytest.raises(ValueError):
+            gauss_seidel_sweep(a, np.zeros(16), np.ones(16), omega=2.5)
+
+    def test_stronger_than_jacobi(self):
+        a = poisson2d(12)
+        b = np.ones(a.nrows)
+        from repro.amg.smoothers import jacobi_sweep
+
+        dinv = 1.0 / l1_jacobi_diagonal(a)
+        xj = jacobi_sweep(a.matvec, dinv, np.zeros(a.nrows), b, num_sweeps=2)
+        xg = gauss_seidel_sweep(a, np.zeros(a.nrows), b, num_sweeps=2)
+        rj = np.linalg.norm(b - a.matvec(xj))
+        rg = np.linalg.norm(b - a.matvec(xg))
+        assert rg < rj
+
+
+class TestChebyshev:
+    def test_spectral_radius_estimate(self):
+        a = random_spd_csr(30, 0.3, seed=2)
+        dinv = 1.0 / l1_jacobi_diagonal(a)
+        est = estimate_spectral_radius(lambda v: dinv * a.matvec(v), a.nrows)
+        d = np.diag(dinv) @ a.to_dense()
+        true = max(abs(np.linalg.eigvals(d)))
+        # within the 10% safety margin and not wildly off
+        assert 0.9 * true <= est <= 1.5 * true
+
+    def test_smooth_reduces_residual(self):
+        a = poisson2d(12)
+        b = np.ones(a.nrows)
+        dinv = 1.0 / l1_jacobi_diagonal(a)
+        lam = estimate_spectral_radius(lambda v: dinv * a.matvec(v), a.nrows)
+        x, calls = chebyshev_smooth(a.matvec, dinv, np.zeros(a.nrows), b,
+                                    degree=3, lam_max=lam)
+        assert calls == 3
+        assert np.linalg.norm(b - a.matvec(x)) < np.linalg.norm(b)
+
+    def test_degree_validation(self):
+        a = poisson2d(4)
+        with pytest.raises(ValueError):
+            chebyshev_smooth(a.matvec, np.ones(16), np.zeros(16), np.ones(16),
+                             degree=0)
+
+    def test_higher_degree_smooths_more(self):
+        a = poisson2d(12)
+        b = np.ones(a.nrows)
+        dinv = 1.0 / l1_jacobi_diagonal(a)
+        lam = estimate_spectral_radius(lambda v: dinv * a.matvec(v), a.nrows)
+        norms = []
+        for degree in (1, 4):
+            x, _ = chebyshev_smooth(a.matvec, dinv, np.zeros(a.nrows), b,
+                                    degree=degree, lam_max=lam)
+            norms.append(np.linalg.norm(b - a.matvec(x)))
+        assert norms[1] < norms[0]
+
+
+class TestSmootherInCycle:
+    @pytest.mark.parametrize("smoother", ["l1-jacobi", "chebyshev", "gauss-seidel"])
+    def test_all_smoothers_converge(self, smoother):
+        a = poisson2d(16)
+        h = amg_setup(a)
+        _, stats = amg_solve(
+            h, np.ones(a.nrows),
+            params=SolveParams(max_iterations=40, tolerance=1e-8,
+                               smoother=smoother),
+        )
+        assert stats.converged, smoother
+
+    def test_strong_smoothers_cut_iterations(self):
+        a = anisotropic_diffusion_2d(16, epsilon=0.05)
+        h = amg_setup(a)
+        iters = {}
+        for smoother in ("l1-jacobi", "chebyshev"):
+            _, stats = amg_solve(
+                h, np.ones(a.nrows),
+                params=SolveParams(max_iterations=60, tolerance=1e-8,
+                                   smoother=smoother),
+            )
+            iters[smoother] = stats.iterations
+        assert iters["chebyshev"] < iters["l1-jacobi"]
+
+    def test_chebyshev_charges_degree_spmvs(self):
+        a = poisson2d(12)
+        h = amg_setup(a)
+        stats = SolveStats()
+        mg_cycle(h, np.ones(a.nrows), np.zeros(a.nrows),
+                 params=SolveParams(smoother="chebyshev", chebyshev_degree=2),
+                 stats=stats)
+        # per level visit: 2 (pre) + 1 residual + 1 restrict + 1 prolong
+        # + 2 (post); the lambda estimation itself is charged separately
+        # by the backend wrapper, not counted here.
+        expected = (2 + 3 + 2) * (h.num_levels - 1)
+        assert stats.spmv_calls == expected
+
+    def test_eigen_estimate_cached_per_level(self):
+        a = poisson2d(12)
+        h = amg_setup(a)
+        params = SolveParams(smoother="chebyshev")
+        mg_cycle(h, np.ones(a.nrows), np.zeros(a.nrows), params=params)
+        cached = [lvl.extras.get("cheby_lambda_max") for lvl in h.levels[:-1]]
+        assert all(c is not None and c > 0 for c in cached)
+        first = list(cached)
+        mg_cycle(h, np.ones(a.nrows), np.zeros(a.nrows), params=params)
+        assert [lvl.extras["cheby_lambda_max"] for lvl in h.levels[:-1]] == first

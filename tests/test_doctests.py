@@ -1,0 +1,38 @@
+"""Run the doctests embedded in the public-API docstrings.
+
+Keeps the documented examples executable — if the quickstart snippet in a
+docstring rots, this fails.
+"""
+
+import doctest
+
+import pytest
+
+import repro.amg.solver
+import repro.util.prefix_sum
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.amg.solver, repro.util.prefix_sum],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+
+
+def test_quickstart_docstring_runs():
+    """The package-level quickstart snippet must execute as written."""
+    import numpy as np
+
+    from repro import AmgTSolver
+    from repro.matrices import poisson2d
+
+    A = poisson2d(24)
+    solver = AmgTSolver(backend="amgt", device="H100", precision="mixed")
+    solver.setup(A)
+    result = solver.solve(np.ones(A.nrows), tolerance=1e-8)
+    assert result.converged
+    summary = solver.performance.summary()
+    assert summary["total_us"] > 0

@@ -1,0 +1,195 @@
+"""Tests for the simulated GPU substrate (specs, counters, MMA, cost)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import A100, H100, MI210, CostModel, MMAUnit, get_device, list_devices
+from repro.gpu.counters import KernelCounters, MMA_FLOPS, Precision
+from repro.gpu.mma import FRAG_K, FRAG_M, FRAG_N, mma_884
+
+
+class TestSpecs:
+    def test_registry(self):
+        assert set(list_devices()) == {"A100", "H100", "MI210"}
+        assert get_device("H100") is H100
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            get_device("V100")
+
+    def test_table1_values(self):
+        # Spot-check Table I of the paper.
+        assert A100.cuda_tflops[Precision.FP64] == 9.7
+        assert A100.tensor_tflops[Precision.FP64] == 19.5
+        assert H100.tensor_tflops[Precision.FP16] == 989.4
+        assert MI210.cuda_tflops[Precision.FP64] == 22.6
+        assert A100.mem_bw_tbs == 1.94
+
+    def test_fp16_tensor_advantage_larger_than_fp64(self):
+        # "peak performance for low precision formats delivers larger
+        # advantages over CUDA cores (7x in FP16) than high precision (2x)"
+        for dev in (A100, H100):
+            r64 = dev.tensor_tflops[Precision.FP64] / dev.cuda_tflops[Precision.FP64]
+            r16 = dev.tensor_tflops[Precision.FP16] / dev.cuda_tflops[Precision.FP16]
+            assert r16 > r64
+            assert r64 == pytest.approx(2.0, rel=0.05)
+
+    def test_mi210_flags(self):
+        # Sec. V.F: shapes unsuitable -> no matrix core; FP16 unusable.
+        assert not MI210.mma_shape_compatible
+        assert not MI210.fp16_supported
+        assert A100.mma_shape_compatible and A100.fp16_supported
+
+    def test_mi210_fp64_equals_fp32(self):
+        assert MI210.cuda_tflops[Precision.FP64] == MI210.cuda_tflops[Precision.FP32]
+
+
+class TestPrecision:
+    def test_itemsizes(self):
+        assert Precision.FP64.itemsize == 8
+        assert Precision.FP32.itemsize == 4
+        assert Precision.FP16.itemsize == 2
+
+    def test_fp16_accumulates_fp32(self):
+        assert Precision.FP16.accum_dtype == np.float32
+        assert Precision.FP64.accum_dtype == np.float64
+
+
+class TestCounters:
+    def test_merge(self):
+        a = KernelCounters()
+        a.add_mma(Precision.FP64, 10)
+        a.add_bytes(read=100, written=50)
+        a.launches = 1
+        b = KernelCounters()
+        b.add_flops(Precision.FP16, 200)
+        b.launches = 2
+        b.imbalance = 3.0
+        a.merge(b)
+        assert a.mma_issues[Precision.FP64] == 10
+        assert a.scalar_flops[Precision.FP16] == 200
+        assert a.total_bytes == 150
+        assert a.launches == 3
+        assert a.imbalance == 3.0
+
+    def test_copy_independent(self):
+        a = KernelCounters()
+        a.add_mma(Precision.FP32, 5)
+        c = a.copy()
+        c.add_mma(Precision.FP32, 5)
+        assert a.mma_issues[Precision.FP32] == 5
+        assert c.mma_issues[Precision.FP32] == 10
+
+    def test_mma_flops_constant(self):
+        assert MMA_FLOPS == 512  # 2 * 8 * 8 * 4
+
+
+class TestMMA:
+    def test_shapes_enforced(self):
+        with pytest.raises(ValueError):
+            mma_884(np.zeros((8, 8)), np.zeros((4, 8)), np.zeros((4, 8)))
+        with pytest.raises(ValueError):
+            mma_884(np.zeros((8, 8)), np.zeros((8, 4)), np.zeros((8, 4)))
+        with pytest.raises(ValueError):
+            mma_884(np.zeros((4, 4)), np.zeros((8, 4)), np.zeros((4, 8)))
+
+    def test_fp64_exact(self, rng):
+        a = rng.normal(size=(FRAG_M, FRAG_K))
+        b = rng.normal(size=(FRAG_K, FRAG_N))
+        c = rng.normal(size=(FRAG_M, FRAG_N))
+        out = mma_884(c.copy(), a, b, Precision.FP64)
+        np.testing.assert_allclose(out, c + a @ b, atol=1e-14)
+
+    def test_fp16_accumulate_fp32(self, rng):
+        a = rng.normal(size=(FRAG_M, FRAG_K))
+        b = rng.normal(size=(FRAG_K, FRAG_N))
+        c = np.zeros((FRAG_M, FRAG_N), dtype=np.float32)
+        out = mma_884(c, a, b, Precision.FP16)
+        assert out.dtype == np.float32
+        ref = a.astype(np.float16).astype(np.float32) @ b.astype(np.float16).astype(
+            np.float32
+        )
+        np.testing.assert_allclose(out, ref, atol=1e-6)
+
+    def test_in_place_accumulation(self, rng):
+        a = rng.normal(size=(FRAG_M, FRAG_K))
+        b = rng.normal(size=(FRAG_K, FRAG_N))
+        c = np.ones((FRAG_M, FRAG_N))
+        mma_884(c, a, b, Precision.FP64)
+        np.testing.assert_allclose(c, 1.0 + a @ b, atol=1e-14)
+
+    def test_batched(self, rng):
+        a = rng.normal(size=(5, FRAG_M, FRAG_K))
+        b = rng.normal(size=(5, FRAG_K, FRAG_N))
+        c = np.zeros((5, FRAG_M, FRAG_N))
+        out = mma_884(c, a, b)
+        np.testing.assert_allclose(out, a @ b, atol=1e-14)
+
+    def test_unit_counts_issues(self, rng):
+        unit = MMAUnit()
+        a = rng.normal(size=(7, FRAG_M, FRAG_K))
+        b = rng.normal(size=(7, FRAG_K, FRAG_N))
+        c = np.zeros((7, FRAG_M, FRAG_N))
+        unit.mma(c, a, b, Precision.FP64)
+        unit.mma(c[:1], a[:1], b[:1], Precision.FP16)
+        assert unit.counters.mma_issues[Precision.FP64] == 7
+        assert unit.counters.mma_issues[Precision.FP16] == 1
+
+
+class TestCostModel:
+    def test_compute_bound_scaling(self):
+        cm = CostModel(H100)
+        c = KernelCounters()
+        c.add_mma(Precision.FP64, 1_000_000)
+        c.launches = 1
+        t64 = cm.kernel_time_us(c, "amgt_spgemm")
+        c2 = KernelCounters()
+        c2.add_mma(Precision.FP16, 1_000_000)
+        c2.launches = 1
+        t16 = cm.kernel_time_us(c2, "amgt_spgemm")
+        # FP16 tensor peak is ~14.8x FP64's on H100 -> compute time shrinks.
+        assert t16 < t64
+
+    def test_memory_bound_floor(self):
+        cm = CostModel(A100)
+        c = KernelCounters()
+        c.add_bytes(read=1e9)
+        c.launches = 1
+        t = cm.kernel_time_us(c, "amgt_spmv")
+        # pure-memory kernel: time >= bytes / bandwidth
+        assert t >= 1e9 / A100.bytes_per_us()
+
+    def test_launch_overhead_counts(self):
+        cm = CostModel(A100)
+        c = KernelCounters()
+        c.launches = 4
+        t = cm.kernel_time_us(c, "generic")
+        assert t == pytest.approx(4 * A100.launch_overhead_us)
+
+    def test_imbalance_penalty(self):
+        cm = CostModel(A100)
+        c = KernelCounters()
+        c.add_flops(Precision.FP64, 1e9)
+        c.launches = 1
+        balanced = cm.kernel_time_us(c, "amgt_spmv")
+        c.imbalance = 2.0
+        skewed = cm.kernel_time_us(c, "amgt_spmv")
+        assert skewed == pytest.approx(
+            (balanced - A100.launch_overhead_us) * 2 + A100.launch_overhead_us
+        )
+
+    def test_unknown_kernel_class(self):
+        with pytest.raises(KeyError):
+            CostModel(A100).kernel_time_us(KernelCounters(), "warp_drive")
+
+    @given(st.floats(1e3, 1e12), st.sampled_from(list(Precision)))
+    @settings(max_examples=30)
+    def test_property_monotone_in_work(self, flops, prec):
+        cm = CostModel(H100)
+        c1, c2 = KernelCounters(), KernelCounters()
+        c1.add_flops(prec, flops)
+        c2.add_flops(prec, flops * 2)
+        c1.launches = c2.launches = 1
+        assert cm.kernel_time_us(c2, "generic") >= cm.kernel_time_us(c1, "generic")

@@ -1,0 +1,191 @@
+"""Deep edge-case tests for the mBSR kernels and precision semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats.bitmap import bitmap_popcount
+from repro.formats.convert import csr_to_mbsr, mbsr_to_csr
+from repro.formats.csr import CSRMatrix
+from repro.formats.mbsr import MBSRMatrix
+from repro.gpu.counters import Precision
+from repro.kernels import mbsr_spgemm, mbsr_spmv
+from repro.kernels.spmv import build_spmv_plan
+
+from conftest import random_csr, random_spd_csr
+
+
+class TestSpGEMMChains:
+    def test_galerkin_triple_product_in_mbsr(self):
+        """R @ A @ P entirely through the mBSR kernel (two calls)."""
+        from repro.amg.coarsen import pmis_coarsen
+        from repro.amg.interp import build_interpolation
+        from repro.amg.strength import strength_of_connection
+        from repro.matrices import poisson2d
+
+        a = poisson2d(12)
+        s = strength_of_connection(a)
+        cr = pmis_coarsen(s)
+        p = build_interpolation(a, s, cr.cf_marker)
+        r = p.transpose()
+        am, pm, rm = csr_to_mbsr(a), csr_to_mbsr(p), csr_to_mbsr(r)
+        ra, _ = mbsr_spgemm(rm, am)
+        rap, _ = mbsr_spgemm(ra, pm)
+        ref = r.to_dense() @ a.to_dense() @ p.to_dense()
+        np.testing.assert_allclose(rap.to_dense(), ref, atol=1e-9)
+
+    def test_associativity(self):
+        a = random_csr(20, 16, 0.2, seed=1)
+        b = random_csr(16, 24, 0.2, seed=2)
+        c = random_csr(24, 12, 0.2, seed=3)
+        am, bm, cm = csr_to_mbsr(a), csr_to_mbsr(b), csr_to_mbsr(c)
+        left = mbsr_spgemm(mbsr_spgemm(am, bm)[0], cm)[0]
+        right = mbsr_spgemm(am, mbsr_spgemm(bm, cm)[0])[0]
+        np.testing.assert_allclose(left.to_dense(), right.to_dense(), atol=1e-9)
+
+    def test_power_iteration_consistency(self):
+        """A^4 computed by repeated squaring vs sequential products."""
+        a = random_csr(16, 16, 0.2, seed=4)
+        am = csr_to_mbsr(a)
+        a2 = mbsr_spgemm(am, am)[0]
+        a4_sq = mbsr_spgemm(a2, a2)[0]
+        a3 = mbsr_spgemm(a2, am)[0]
+        a4_seq = mbsr_spgemm(a3, am)[0]
+        np.testing.assert_allclose(a4_sq.to_dense(), a4_seq.to_dense(),
+                                   rtol=1e-9, atol=1e-9)
+
+
+class TestStructuralVsNumericZeros:
+    def test_cancellation_keeps_bitmap(self):
+        """Values that cancel to zero keep their bitmap bit (OR-accumulated
+        structural pattern, as on the GPU); conversion to CSR stores the
+        explicit zero until eliminate_zeros runs."""
+        # A row where +1 * 1 and -1 * 1 land on the same output slot.
+        a = CSRMatrix.from_dense(np.array([[1.0, -1.0], [0.0, 0.0]]))
+        b = CSRMatrix.from_dense(np.array([[1.0, 0.0], [1.0, 0.0]]))
+        am, bm = csr_to_mbsr(a), csr_to_mbsr(b)
+        c, _ = mbsr_spgemm(am, bm)
+        # numeric value cancels
+        assert c.to_dense()[0, 0] == 0.0
+        # but the tile survives structurally
+        assert c.blc_num == 1
+        assert bitmap_popcount(c.blc_map).sum() >= 1
+
+    def test_pruned_after_csr_cleanup(self):
+        a = CSRMatrix.from_dense(np.array([[1.0, -1.0], [0.0, 0.0]]))
+        b = CSRMatrix.from_dense(np.array([[1.0, 0.0], [1.0, 0.0]]))
+        c, _ = mbsr_spgemm(csr_to_mbsr(a), csr_to_mbsr(b))
+        cleaned = mbsr_to_csr(c).eliminate_zeros(0.0)
+        assert cleaned.nnz == 0
+
+
+class TestPrecisionSemantics:
+    def test_fp16_overflow_saturates_to_inf(self):
+        """Values beyond FP16 range overflow — the library exposes the
+        hardware behaviour rather than hiding it (the mixed schedule's
+        scale discipline is what prevents this in the AMG flow)."""
+        a = CSRMatrix.from_dense(np.array([[1e6, 0.0], [0.0, 1.0]]))
+        am = csr_to_mbsr(a)
+        with np.errstate(over="ignore"):
+            y, _ = mbsr_spmv(am, np.ones(2), Precision.FP16)
+        assert np.isinf(y[0])
+
+    def test_fp16_representable_values_exact(self):
+        vals = np.array([[0.5, 0.25], [2.0, 1024.0]])
+        a = CSRMatrix.from_dense(vals)
+        y, _ = mbsr_spmv(csr_to_mbsr(a), np.array([1.0, 1.0]), Precision.FP16)
+        np.testing.assert_allclose(y, vals.sum(axis=1))
+
+    def test_fp16_accumulation_better_than_pure_fp16(self):
+        """FP32 accumulation (tensor-core semantics) beats pure-FP16 sums
+        on long rows — the reason the hardware accumulates wide."""
+        n = 256
+        rng = np.random.default_rng(0)
+        row = rng.random(n) * 0.1
+        a = CSRMatrix.from_dense(row[None, :].repeat(4, axis=0))
+        y, _ = mbsr_spmv(csr_to_mbsr(a), np.ones(n), Precision.FP16)
+        exact = row.sum()
+        pure_fp16 = np.float16(0)
+        for v in row.astype(np.float16):
+            pure_fp16 = np.float16(pure_fp16 + np.float16(v))
+        assert abs(y[0] - exact) <= abs(float(pure_fp16) - exact) + 1e-6
+
+    @pytest.mark.parametrize("prec,atol", [
+        (Precision.FP64, 1e-12), (Precision.FP32, 1e-4), (Precision.FP16, 0.3),
+    ])
+    def test_precision_error_ladder(self, prec, atol, rng):
+        a = random_spd_csr(32, 0.2, seed=5)
+        x = rng.normal(size=32)
+        ref = a.to_dense() @ x
+        y, _ = mbsr_spmv(csr_to_mbsr(a), x, prec)
+        scale = np.abs(ref).max()
+        assert np.abs(y - ref).max() <= atol * max(scale, 1.0)
+
+
+class TestShapeEdgeCases:
+    def test_single_row_matrix(self):
+        a = CSRMatrix.from_dense(np.array([[1.0, 2.0, 3.0, 4.0, 5.0]]))
+        am = csr_to_mbsr(a)
+        y, _ = mbsr_spmv(am, np.ones(5))
+        assert y.shape == (1,)
+        assert y[0] == 15.0
+
+    def test_single_column_matrix(self):
+        a = CSRMatrix.from_dense(np.arange(1.0, 6.0)[:, None])
+        am = csr_to_mbsr(a)
+        y, _ = mbsr_spmv(am, np.array([2.0]))
+        np.testing.assert_allclose(y, 2 * np.arange(1.0, 6.0))
+
+    def test_1x1_matrix_product(self):
+        a = CSRMatrix.from_dense(np.array([[3.0]]))
+        c, _ = mbsr_spgemm(csr_to_mbsr(a), csr_to_mbsr(a))
+        assert c.to_dense()[0, 0] == 9.0
+
+    def test_empty_times_nonempty(self):
+        a = MBSRMatrix.empty((8, 8))
+        b = csr_to_mbsr(random_csr(8, 8, 0.3, seed=6))
+        c, rec = mbsr_spgemm(a, b)
+        assert c.blc_num == 0
+        assert rec.detail["tc_pairs"] == rec.detail["cuda_pairs"] == 0
+
+    def test_outer_product_structure(self):
+        """Column vector x row vector: dense rank-1 result."""
+        col = CSRMatrix.from_dense(np.ones((6, 1)))
+        row = CSRMatrix.from_dense(np.ones((1, 6)))
+        c, _ = mbsr_spgemm(csr_to_mbsr(col), csr_to_mbsr(row))
+        np.testing.assert_allclose(c.to_dense(), np.ones((6, 6)))
+
+
+class TestPlanEdgeCases:
+    def test_plan_with_single_block(self):
+        a = CSRMatrix.from_dense(np.eye(4))
+        plan = build_spmv_plan(csr_to_mbsr(a))
+        assert plan.num_warps == 1
+        assert plan.imbalance == 1.0
+
+    def test_tc_threshold_override(self):
+        m = csr_to_mbsr(random_csr(24, 24, 0.3, seed=7))
+        lo = build_spmv_plan(m, tc_threshold=1)
+        hi = build_spmv_plan(m, tc_threshold=17)
+        assert lo.use_tensor_cores
+        assert not hi.use_tensor_cores
+
+    def test_empty_rows_do_not_crash_plan(self):
+        d = np.zeros((12, 12))
+        d[0, :] = 1.0
+        plan = build_spmv_plan(csr_to_mbsr(CSRMatrix.from_dense(d)))
+        assert plan.num_warps >= 1
+
+
+@given(st.integers(1, 20), st.floats(0.05, 0.5), st.integers(0, 99))
+@settings(max_examples=20, deadline=None)
+def test_property_spgemm_transpose_identity(n, density, seed):
+    """(A @ B)^T == B^T @ A^T through the mBSR pipeline."""
+    a = random_csr(n, n, density, seed=seed)
+    b = random_csr(n, n, density, seed=seed + 1)
+    ab = mbsr_spgemm(csr_to_mbsr(a), csr_to_mbsr(b))[0]
+    bt_at = mbsr_spgemm(csr_to_mbsr(b.transpose()), csr_to_mbsr(a.transpose()))[0]
+    np.testing.assert_allclose(
+        ab.to_dense().T, bt_at.to_dense(), atol=1e-9
+    )

@@ -1,0 +1,146 @@
+"""Tests for GMRES and BiCGStab (repro.solvers)."""
+
+import numpy as np
+import pytest
+
+from repro import AmgTSolver
+from repro.formats.csr import CSRMatrix
+from repro.matrices import convection_diffusion_2d, poisson2d
+from repro.solvers import bicgstab, gmres
+
+from conftest import random_csr, random_spd_csr
+
+
+def _random_nonsymmetric(n, seed):
+    """Well-conditioned diagonally dominant nonsymmetric matrix."""
+    a = random_csr(n, n, 0.2, seed=seed)
+    shift = a.abs_row_sums() + 1.0
+    diag = CSRMatrix.from_coo(np.arange(n), np.arange(n), shift, (n, n))
+    return a.add(diag)
+
+
+class TestGMRES:
+    def test_spd_system(self, rng):
+        a = random_spd_csr(30, 0.25, seed=1)
+        b = rng.normal(size=30)
+        res = gmres(a, b, tolerance=1e-10, max_iterations=300)
+        assert res.converged
+        np.testing.assert_allclose(a.matvec(res.x), b, atol=1e-6)
+
+    def test_nonsymmetric_system(self, rng):
+        a = _random_nonsymmetric(40, 2)
+        b = rng.normal(size=40)
+        res = gmres(a, b, tolerance=1e-10, max_iterations=400)
+        assert res.converged
+        np.testing.assert_allclose(a.matvec(res.x), b, atol=1e-6)
+
+    def test_restart_still_converges(self, rng):
+        a = _random_nonsymmetric(40, 3)
+        b = rng.normal(size=40)
+        res = gmres(a, b, tolerance=1e-8, restart=5, max_iterations=500)
+        assert res.converged
+
+    def test_restart_validation(self):
+        with pytest.raises(ValueError):
+            gmres(random_spd_csr(5, 0.5), np.ones(5), restart=0)
+
+    def test_zero_rhs(self):
+        a = random_spd_csr(10, 0.3, seed=4)
+        res = gmres(a, np.zeros(10))
+        assert res.converged and res.iterations == 0
+
+    def test_exact_initial_guess(self, rng):
+        a = random_spd_csr(15, 0.3, seed=5)
+        b = rng.normal(size=15)
+        xstar = np.linalg.solve(a.to_dense(), b)
+        res = gmres(a, b, x0=xstar, tolerance=1e-8)
+        assert res.iterations == 0
+
+    def test_iteration_cap(self, rng):
+        a = _random_nonsymmetric(30, 6)
+        res = gmres(a, rng.normal(size=30), tolerance=1e-16, max_iterations=4)
+        assert not res.converged
+        assert res.iterations <= 4
+
+    def test_amg_preconditioned_on_convection(self):
+        a = convection_diffusion_2d(20, velocity=(1.0, 0.3))
+        b = np.ones(a.nrows)
+        plain = gmres(a, b, tolerance=1e-8, max_iterations=600)
+        solver = AmgTSolver(backend="amgt", device="A100")
+        solver.setup(a)
+        pre = gmres(a, b, preconditioner=solver.as_preconditioner(),
+                    tolerance=1e-8, max_iterations=200)
+        assert plain.converged and pre.converged
+        assert pre.iterations < plain.iterations / 2
+
+    def test_callable_matvec(self, rng):
+        a = random_spd_csr(12, 0.4, seed=7)
+        b = rng.normal(size=12)
+        res = gmres(a.matvec, b, tolerance=1e-9)
+        assert res.converged
+
+
+class TestBiCGStab:
+    def test_spd_system(self, rng):
+        a = random_spd_csr(30, 0.25, seed=8)
+        b = rng.normal(size=30)
+        res = bicgstab(a, b, tolerance=1e-10, max_iterations=300)
+        assert res.converged
+        np.testing.assert_allclose(a.matvec(res.x), b, atol=1e-6)
+
+    def test_nonsymmetric_system(self, rng):
+        a = _random_nonsymmetric(40, 9)
+        b = rng.normal(size=40)
+        res = bicgstab(a, b, tolerance=1e-10, max_iterations=400)
+        assert res.converged
+        np.testing.assert_allclose(a.matvec(res.x), b, atol=1e-5)
+
+    def test_zero_rhs(self):
+        a = random_spd_csr(10, 0.3, seed=10)
+        res = bicgstab(a, np.zeros(10))
+        assert res.converged and res.iterations == 0
+
+    def test_iteration_cap(self, rng):
+        a = _random_nonsymmetric(30, 11)
+        res = bicgstab(a, rng.normal(size=30), tolerance=1e-16,
+                       max_iterations=3)
+        assert not res.converged
+
+    def test_amg_preconditioned(self):
+        a = convection_diffusion_2d(20, velocity=(0.8, 0.5))
+        b = np.ones(a.nrows)
+        solver = AmgTSolver(backend="amgt", device="A100")
+        solver.setup(a)
+        res = bicgstab(a, b, preconditioner=solver.as_preconditioner(),
+                       tolerance=1e-9, max_iterations=100)
+        assert res.converged
+        np.testing.assert_allclose(a.matvec(res.x), b, atol=1e-5)
+
+    def test_breakdown_detected(self):
+        # A x = b where r_hat quickly becomes orthogonal: a rotation-like
+        # skew matrix often triggers the rho/denominator breakdown path.
+        a = CSRMatrix.from_dense(np.array([[0.0, 1.0], [-1.0, 0.0]]))
+        res = bicgstab(a, np.array([1.0, 0.0]), max_iterations=10)
+        # must terminate cleanly either way
+        assert res.iterations <= 10
+
+    def test_history_tracks_convergence(self, rng):
+        a = random_spd_csr(25, 0.3, seed=12)
+        b = rng.normal(size=25)
+        res = bicgstab(a, b, tolerance=1e-9)
+        assert res.residual_history[-1] <= 1e-9 * np.linalg.norm(b)
+
+
+class TestKrylovAgreement:
+    def test_all_solvers_same_solution(self, rng):
+        from repro.solvers import pcg
+
+        a = random_spd_csr(30, 0.3, seed=13)
+        b = rng.normal(size=30)
+        xs = [
+            pcg(a, b, tolerance=1e-11, max_iterations=500).x,
+            gmres(a, b, tolerance=1e-11, max_iterations=500).x,
+            bicgstab(a, b, tolerance=1e-11, max_iterations=500).x,
+        ]
+        for x in xs[1:]:
+            np.testing.assert_allclose(x, xs[0], atol=1e-6)

@@ -1,0 +1,255 @@
+"""Tests for the matrix generators, the 16-matrix suite, and MM I/O."""
+
+import numpy as np
+import pytest
+
+from repro.formats.convert import csr_to_mbsr
+from repro.matrices import (
+    SUITE,
+    anisotropic_diffusion_2d,
+    convection_diffusion_2d,
+    elasticity_2d,
+    epidemiology_grid,
+    load_suite_matrix,
+    poisson2d,
+    poisson3d,
+    power_network,
+    random_block_spd,
+    read_matrix_market,
+    suite_names,
+    write_matrix_market,
+)
+from repro.matrices.suite import expected_spmv_calls
+
+
+def _is_symmetric(a):
+    d = a.to_dense()
+    return np.allclose(d, d.T)
+
+
+def _is_spd(a):
+    d = a.to_dense()
+    return np.allclose(d, d.T) and np.linalg.eigvalsh(d).min() > -1e-10
+
+
+class TestGenerators:
+    def test_poisson2d_structure(self):
+        a = poisson2d(5)
+        assert a.shape == (25, 25)
+        d = a.to_dense()
+        assert d[0, 0] == 4.0 and d[0, 1] == -1.0 and d[0, 5] == -1.0
+        assert _is_spd(a)
+
+    def test_poisson2d_rectangular_grid(self):
+        a = poisson2d(4, 7)
+        assert a.shape == (28, 28)
+        assert _is_spd(a)
+
+    def test_poisson2d_validation(self):
+        with pytest.raises(ValueError):
+            poisson2d(0)
+
+    def test_poisson3d(self):
+        a = poisson3d(4)
+        assert a.shape == (64, 64)
+        assert _is_spd(a)
+        # 7-point stencil: interior rows have 7 entries
+        assert a.row_nnz().max() == 7
+
+    def test_anisotropic_strength_direction(self):
+        a = anisotropic_diffusion_2d(6, epsilon=0.01)
+        assert _is_spd(a)
+        d = a.to_dense()
+        # x-coupling much stronger than y-coupling
+        assert abs(d[1, 0]) > 10 * abs(d[1, 7])
+
+    def test_anisotropic_validation(self):
+        with pytest.raises(ValueError):
+            anisotropic_diffusion_2d(4, epsilon=0.0)
+
+    def test_convection_diffusion_nonsymmetric(self):
+        a = convection_diffusion_2d(8, velocity=(1.0, 0.0))
+        d = a.to_dense()
+        assert not np.allclose(d, d.T)
+        # row sums >= 0 (upwinding keeps diagonal dominance)
+        assert (d.sum(axis=1) >= -1e-12).all()
+
+    def test_elasticity_spd_and_blocked(self):
+        a = elasticity_2d(6)
+        assert _is_spd(a)
+        # two dofs per node -> dense 2x2 blocks -> high tile density
+        m = csr_to_mbsr(a)
+        assert m.avg_nnz_blc > 6
+
+    def test_elasticity_validation(self):
+        with pytest.raises(ValueError):
+            elasticity_2d(4, nu=0.6)
+
+    def test_epidemiology_diagonally_dominant(self):
+        a = epidemiology_grid(8, seed=1)
+        d = a.to_dense()
+        off = np.abs(d).sum(axis=1) - np.abs(np.diag(d))
+        assert (np.abs(np.diag(d)) >= off).all()
+
+    def test_power_network_laplacian(self):
+        a = power_network(50, seed=2)
+        assert _is_symmetric(a)
+        d = a.to_dense()
+        # shifted Laplacian: row sums equal the shift
+        np.testing.assert_allclose(d.sum(axis=1), 0.01, atol=1e-10)
+
+    def test_power_network_validation(self):
+        with pytest.raises(ValueError):
+            power_network(2)
+
+    def test_random_block_spd(self):
+        a = random_block_spd(10, 4, 0.05, seed=3)
+        assert a.shape == (40, 40)
+        assert _is_spd(a)
+        m = csr_to_mbsr(a)
+        assert m.avg_nnz_blc > 10  # dense 4x4 blocks by construction
+
+    def test_random_block_validation(self):
+        with pytest.raises(ValueError):
+            random_block_spd(4, density=0.0)
+
+    def test_generators_deterministic(self):
+        a = power_network(30, seed=7)
+        b = power_network(30, seed=7)
+        np.testing.assert_allclose(a.to_dense(), b.to_dense())
+
+
+class TestSuite:
+    def test_sixteen_matrices(self):
+        assert len(suite_names()) == 16
+        assert suite_names()[0] == "spmsrtls"
+        assert suite_names()[-1] == "ldoor"
+
+    def test_table2_metadata(self):
+        # spot-check Table II rows
+        e = SUITE["cant"]
+        assert e.paper_order == 62451
+        assert e.paper_nnz == 4007383
+        assert e.paper_levels == 7
+        assert e.paper_spgemm == 18
+        assert e.paper_spmv == 1701
+        assert SUITE["thermal1"].paper_levels == 2
+        assert SUITE["ldoor"].paper_nnz == 46522475
+
+    def test_spgemm_count_formula(self):
+        # #SpGEMM = 3 * (#Levels - 1) for every Table II row.
+        for e in SUITE.values():
+            assert e.paper_spgemm == 3 * (e.paper_levels - 1)
+
+    def test_spmv_count_formula(self):
+        """Table II #SpMV follows the Sec. V.A call-count formula."""
+        for e in SUITE.values():
+            direct = expected_spmv_calls(e.paper_levels)
+            iter1 = expected_spmv_calls(e.paper_levels, coarse_iterative=1)
+            iter3 = expected_spmv_calls(e.paper_levels, coarse_iterative=3)
+            assert e.paper_spmv in (direct, iter1, iter3), e.name
+
+    def test_unknown_matrix(self):
+        with pytest.raises(KeyError):
+            load_suite_matrix("bcsstk99")
+
+    @pytest.mark.parametrize("name", suite_names())
+    def test_generators_produce_usable_matrices(self, name):
+        a = load_suite_matrix(name)
+        assert a.nrows == a.ncols
+        assert a.nnz > 0
+        assert 100 <= a.nrows <= 50000  # laptop scale
+        # every matrix must have a nonzero diagonal (AMG-ready)
+        assert np.all(a.diagonal() != 0)
+
+
+class TestMMIO:
+    def test_roundtrip(self, tmp_path, rng):
+        from conftest import random_csr
+
+        a = random_csr(12, 9, 0.3, seed=1)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, a, comment="test matrix")
+        back = read_matrix_market(path)
+        np.testing.assert_allclose(back.to_dense(), a.to_dense(), atol=1e-15)
+
+    def test_gzip_roundtrip(self, tmp_path):
+        a = poisson2d(4)
+        path = tmp_path / "m.mtx.gz"
+        write_matrix_market(path, a)
+        back = read_matrix_market(path)
+        np.testing.assert_allclose(back.to_dense(), a.to_dense())
+
+    def test_symmetric_mirroring(self, tmp_path):
+        path = tmp_path / "sym.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 4\n"
+            "1 1 2.0\n2 2 2.0\n3 3 2.0\n3 1 -1.0\n"
+        )
+        a = read_matrix_market(path)
+        d = a.to_dense()
+        assert d[0, 2] == -1.0 and d[2, 0] == -1.0
+
+    def test_pattern_field(self, tmp_path):
+        path = tmp_path / "pat.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 2\n1 1\n2 2\n"
+        )
+        a = read_matrix_market(path)
+        np.testing.assert_allclose(a.to_dense(), np.eye(2))
+
+    def test_rejects_non_mm(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("hello world\n")
+        with pytest.raises(ValueError):
+            read_matrix_market(path)
+
+    def test_rejects_array_format(self, tmp_path):
+        path = tmp_path / "arr.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n2 2\n")
+        with pytest.raises(ValueError):
+            read_matrix_market(path)
+
+
+class TestRotatedAnisotropy:
+    def test_spd_and_nine_point(self):
+        from repro.matrices import rotated_anisotropy_2d
+
+        a = rotated_anisotropy_2d(8, epsilon=0.05)
+        d = a.to_dense()
+        assert np.allclose(d, d.T)
+        assert np.linalg.eigvalsh(d).min() > 0
+        # interior rows carry the full 9-point stencil
+        assert a.row_nnz().max() == 9
+
+    def test_strength_follows_rotation(self):
+        """With theta=0 the rotated operator reduces to the grid-aligned
+        one; a rotated theta produces diagonal couplings."""
+        from repro.matrices import anisotropic_diffusion_2d, rotated_anisotropy_2d
+
+        aligned = rotated_anisotropy_2d(8, epsilon=0.05, theta=0.0)
+        ref = anisotropic_diffusion_2d(8, epsilon=0.05)
+        # theta = 0 has no mixed derivative: identical to the aligned form
+        np.testing.assert_allclose(aligned.to_dense(), ref.to_dense(), atol=1e-12)
+        rotated = rotated_anisotropy_2d(8, epsilon=0.05)  # 45 degrees
+        d = rotated.to_dense()
+        assert abs(d[0, 9]) > 0  # diagonal (1,1) coupling appears
+
+    def test_amg_converges(self):
+        from repro.amg.cycle import SolveParams, amg_solve
+        from repro.amg.hierarchy import amg_setup
+        from repro.matrices import rotated_anisotropy_2d
+
+        a = rotated_anisotropy_2d(16, epsilon=0.1)
+        h = amg_setup(a)
+        _, stats = amg_solve(h, np.ones(a.nrows),
+                             params=SolveParams(max_iterations=100, tolerance=1e-8))
+        assert stats.converged
+
+    def test_validation(self):
+        from repro.matrices import rotated_anisotropy_2d
+
+        with pytest.raises(ValueError):
+            rotated_anisotropy_2d(4, epsilon=0.0)

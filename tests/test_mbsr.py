@@ -1,0 +1,188 @@
+"""Tests for the mBSR format (repro.formats.mbsr) and its invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats.bitmap import bitmap_popcount
+from repro.formats.convert import csr_to_mbsr
+from repro.formats.csr import CSRMatrix
+from repro.formats.mbsr import MBSRMatrix, block_rows
+
+from conftest import random_csr
+
+
+class TestBlockRows:
+    @pytest.mark.parametrize(
+        "n,expected", [(0, 0), (1, 1), (4, 1), (5, 2), (8, 2), (9, 3)]
+    )
+    def test_ceil_div(self, n, expected):
+        assert block_rows(n) == expected
+
+
+class TestConstruction:
+    def test_empty(self):
+        m = MBSRMatrix.empty((10, 6))
+        assert m.mb == 3 and m.nb == 2
+        assert m.blc_num == 0 and m.nnz == 0
+        assert m.to_dense().shape == (10, 6)
+
+    def test_from_dense_roundtrip(self, shape, rng):
+        d = rng.normal(size=shape) * (rng.random(shape) > 0.5)
+        m = MBSRMatrix.from_dense(d)
+        m.check_invariants()
+        np.testing.assert_allclose(m.to_dense(), d)
+
+    def test_flat_values_accepted(self):
+        m = MBSRMatrix(
+            (4, 4), [0, 1], [0], np.ones((1, 16)), np.array([0xFFFF], np.uint16)
+        )
+        assert m.blc_val.shape == (1, 4, 4)
+
+    def test_rejects_bad_ptr_length(self):
+        with pytest.raises(ValueError):
+            MBSRMatrix((8, 8), [0, 0], [], np.zeros((0, 4, 4)), [])
+
+    def test_rejects_map_length_mismatch(self):
+        with pytest.raises(ValueError):
+            MBSRMatrix((4, 4), [0, 1], [0], np.ones((1, 4, 4)), [])
+
+    def test_rejects_column_out_of_range(self):
+        with pytest.raises(ValueError):
+            MBSRMatrix(
+                (4, 4), [0, 1], [3], np.ones((1, 4, 4)),
+                np.array([1], np.uint16),
+            )
+
+    def test_rejects_decreasing_ptr(self):
+        with pytest.raises(ValueError):
+            MBSRMatrix(
+                (8, 4), [0, 1, 0], [0], np.ones((1, 4, 4)),
+                np.array([1], np.uint16),
+            )
+
+
+class TestProperties:
+    def test_nnz_is_popcount_sum(self):
+        a = random_csr(20, 20, 0.15, seed=3)
+        m = csr_to_mbsr(a)
+        assert m.nnz == a.nnz
+        assert m.nnz == int(bitmap_popcount(m.blc_map).sum())
+
+    def test_avg_nnz_blc(self):
+        a = random_csr(16, 16, 0.2, seed=4)
+        m = csr_to_mbsr(a)
+        assert m.avg_nnz_blc == pytest.approx(m.nnz / m.blc_num)
+
+    def test_avg_nnz_blc_empty(self):
+        assert MBSRMatrix.empty((4, 4)).avg_nnz_blc == 0.0
+
+    def test_block_row_ids(self):
+        a = random_csr(24, 24, 0.1, seed=5)
+        m = csr_to_mbsr(a)
+        rows = m.block_row_ids()
+        counts = np.bincount(rows, minlength=m.mb)
+        np.testing.assert_array_equal(counts, m.blocks_per_row())
+
+
+class TestTranspose:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_dense_transpose(self, seed):
+        a = random_csr(19, 13, 0.2, seed=seed)
+        m = csr_to_mbsr(a)
+        mt = m.transpose()
+        mt.check_invariants()
+        np.testing.assert_allclose(mt.to_dense(), a.to_dense().T)
+
+    def test_shape_swap(self):
+        m = csr_to_mbsr(random_csr(10, 6, 0.3))
+        assert m.transpose().shape == (6, 10)
+
+
+class TestAstype:
+    def test_cast_preserves_structure(self):
+        m = csr_to_mbsr(random_csr(12, 12, 0.2, seed=7))
+        m32 = m.astype(np.float32)
+        assert m32.dtype == np.float32
+        assert m32.blc_num == m.blc_num
+        np.testing.assert_allclose(m32.to_dense(), m.to_dense(), atol=1e-5)
+
+
+class TestInvariants:
+    def test_detects_value_outside_bitmap(self):
+        m = csr_to_mbsr(random_csr(8, 8, 0.3, seed=8))
+        bad = m.copy()
+        # Plant a value in a slot whose bit is clear.
+        bm = int(bad.blc_map[0])
+        clear = next(i for i in range(16) if not (bm >> i) & 1) if bm != 0xFFFF else None
+        if clear is None:
+            pytest.skip("dense tile; nothing to violate")
+        bad.blc_val[0, clear // 4, clear % 4] = 99.0
+        with pytest.raises(AssertionError):
+            bad.check_invariants()
+
+    def test_detects_zero_tile(self):
+        m = csr_to_mbsr(random_csr(8, 8, 0.3, seed=9))
+        bad = m.copy()
+        bad.blc_map[0] = 0
+        bad.blc_val[0] = 0
+        with pytest.raises(AssertionError):
+            bad.check_invariants()
+
+    def test_detects_unsorted_tiles(self):
+        a = CSRMatrix.from_dense(np.ones((4, 8)))
+        m = csr_to_mbsr(a)
+        assert m.blc_num == 2
+        bad = MBSRMatrix(
+            m.shape, m.blc_ptr, m.blc_idx[::-1].copy(), m.blc_val, m.blc_map,
+            _trusted=True,
+        )
+        with pytest.raises(AssertionError):
+            bad.check_invariants()
+
+    def test_detects_padding_violation(self):
+        # 6 rows -> last block row has 2 padding rows that must stay empty.
+        a = CSRMatrix.from_dense(np.ones((6, 4)))
+        m = csr_to_mbsr(a)
+        bad = m.copy()
+        bad.blc_map[-1] = 0xFFFF
+        bad.blc_val[-1] = 1.0
+        with pytest.raises(AssertionError):
+            bad.check_invariants()
+
+
+@given(st.integers(1, 40), st.integers(1, 40), st.floats(0.05, 0.6), st.integers(0, 99))
+@settings(max_examples=25, deadline=None)
+def test_property_csr_mbsr_equivalence(m, n, density, seed):
+    a = random_csr(m, n, density, seed=seed)
+    mb = csr_to_mbsr(a)
+    mb.check_invariants()
+    assert mb.nnz == a.nnz
+    np.testing.assert_allclose(mb.to_dense(), a.to_dense(), atol=1e-12)
+
+
+class TestScipyInterop:
+    def test_from_scipy_roundtrip(self):
+        import scipy.sparse as sp
+
+        rng = np.random.default_rng(5)
+        mat = sp.random(18, 14, density=0.2, random_state=rng, format="csr")
+        mat.data[:] = rng.normal(size=mat.nnz)
+        m = MBSRMatrix.from_scipy(mat)
+        m.check_invariants()
+        np.testing.assert_allclose(m.to_dense(), mat.toarray(), atol=1e-12)
+
+    def test_to_scipy(self):
+        a = random_csr(12, 12, 0.3, seed=6)
+        m = csr_to_mbsr(a)
+        back = m.to_scipy()
+        np.testing.assert_allclose(back.toarray(), a.to_dense(), atol=1e-12)
+
+    def test_from_scipy_coo_input(self):
+        import scipy.sparse as sp
+
+        mat = sp.coo_matrix(([1.0, 2.0], ([0, 3], [1, 2])), shape=(5, 6))
+        m = MBSRMatrix.from_scipy(mat)
+        assert m.nnz == 2
+        assert m.to_dense()[3, 2] == 2.0

@@ -1,0 +1,162 @@
+"""Gap-filling tests: small behaviours not covered by the main suites."""
+
+import numpy as np
+import pytest
+
+from repro.formats.csr import CSRMatrix
+from repro.formats.mbsr import MBSRMatrix
+from repro.gpu.counters import KernelCounters, Precision
+from repro.matrices import poisson2d
+
+from conftest import random_csr
+
+
+class TestCSRCorners:
+    def test_extract_rows_empty_selection(self):
+        a = random_csr(8, 8, 0.3)
+        sub = a.extract_rows(np.array([], dtype=np.int64))
+        assert sub.shape == (0, 8)
+        assert sub.nnz == 0
+
+    def test_extract_cols_empty_selection(self):
+        a = random_csr(8, 8, 0.3)
+        sub = a.extract_cols(np.array([], dtype=np.int64))
+        assert sub.shape == (8, 0)
+
+    def test_scale_rows_length_validation(self):
+        a = random_csr(5, 7, 0.3)
+        with pytest.raises(ValueError):
+            a.scale_rows(np.ones(6))
+        with pytest.raises(ValueError):
+            a.scale_cols(np.ones(6))
+
+    def test_from_coo_length_mismatch(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.from_coo([0], [0, 1], [1.0], (2, 2))
+
+    def test_copy_is_deep(self):
+        a = random_csr(6, 6, 0.4)
+        c = a.copy()
+        c.data[:] = 0
+        assert a.data.any()
+
+    def test_add_preserves_sparsity_union(self):
+        a = CSRMatrix.from_dense(np.array([[1.0, 0.0], [0.0, 0.0]]))
+        b = CSRMatrix.from_dense(np.array([[0.0, 2.0], [0.0, 0.0]]))
+        c = a.add(b)
+        assert c.nnz == 2
+
+    def test_transpose_empty(self):
+        a = CSRMatrix.zeros((4, 6))
+        assert a.transpose().shape == (6, 4)
+
+
+class TestMBSRCorners:
+    def test_empty_invariants_pass(self):
+        MBSRMatrix.empty((8, 8)).check_invariants()
+
+    def test_empty_transpose(self):
+        t = MBSRMatrix.empty((8, 4)).transpose()
+        assert t.shape == (4, 8)
+        assert t.blc_num == 0
+
+    def test_copy_independent(self):
+        from repro.formats.convert import csr_to_mbsr
+
+        m = csr_to_mbsr(random_csr(8, 8, 0.4))
+        c = m.copy()
+        c.blc_val[:] = 0
+        assert m.blc_val.any()
+
+
+class TestCountersRepr:
+    def test_counters_repr_mentions_work(self):
+        c = KernelCounters()
+        c.add_mma(Precision.FP16, 3)
+        c.add_flops(Precision.FP64, 100)
+        text = repr(c)
+        assert "fp16" in text and "fp64" in text
+
+    def test_precision_dtype_helpers(self):
+        assert Precision.FP32.np_dtype == np.float32
+        assert Precision.FP32.accum_dtype == np.float32
+
+
+class TestFiguresCorners:
+    def test_grouped_bars_empty(self):
+        from repro.perf.figures import grouped_bars
+
+        assert grouped_bars({}, title="t") == "t"
+
+    def test_scatter_series_skips_empty_series(self):
+        from repro.perf.figures import scatter_series
+
+        out = scatter_series({"a": [], "b": [1.0, 2.0]})
+        assert "a" not in out.splitlines()[0] or "b" in out
+
+    def test_sparkline_width_shorter_than_data(self):
+        from repro.perf.figures import sparkline
+
+        assert len(sparkline(list(range(100)), width=12)) == 12
+
+
+class TestCLISolveVariants:
+    def test_hypre_backend_random_rhs(self, capsys):
+        from repro.cli import main
+
+        rc = main(["solve", "--matrix", "poisson2d:10", "--backend", "hypre",
+                   "--random-rhs", "--seed", "3", "--max-iterations", "40"])
+        assert rc == 0
+        assert "converged=True" in capsys.readouterr().out
+
+    def test_nonconverged_exit_code(self, capsys):
+        from repro.cli import main
+
+        rc = main(["solve", "--matrix", "poisson2d:16",
+                   "--max-iterations", "1", "--tolerance", "1e-14"])
+        assert rc == 1  # tolerance set but not reached
+
+
+class TestCoarseSolverInjection:
+    def test_jacobi_path_counts_injected_spmv(self):
+        from repro.amg.coarse import CoarseSolver
+
+        a = poisson2d(3)
+        cs = CoarseSolver(a, "jacobi")
+        calls = []
+
+        def spmv(v):
+            calls.append(1)
+            return a.matvec(v)
+
+        cs.solve(np.ones(a.nrows), spmv=spmv, sweeps=7)
+        assert len(calls) == 7
+
+
+class TestHierarchyDescribeAndComplexity:
+    def test_single_level_complexity_is_one(self):
+        from repro.amg.hierarchy import amg_setup
+
+        h = amg_setup(CSRMatrix.identity(8))
+        assert h.operator_complexity() == 1.0
+
+    def test_zero_matrix_complexity_guard(self):
+        from repro.amg.hierarchy import amg_setup
+
+        h = amg_setup(CSRMatrix.zeros((4, 4)))
+        assert h.operator_complexity() == 1.0
+
+
+class TestRecordDefaults:
+    def test_price_remembers_class(self):
+        from repro.gpu import A100, H100, CostModel
+        from repro.kernels.record import KernelRecord
+
+        rec = KernelRecord(kernel="spmv", backend="cusparse",
+                           precision=Precision.FP64)
+        rec.counters.add_flops(Precision.FP64, 1e6)
+        rec.counters.launches = 1
+        t_a = rec.price(CostModel(A100))
+        assert rec.kernel_class == "cusparse_spmv"
+        t_h = rec.price(CostModel(H100))  # re-price without explicit class
+        assert t_h < t_a

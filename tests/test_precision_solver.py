@@ -1,0 +1,155 @@
+"""Tests for precision schedules and the AmgTSolver public API."""
+
+import numpy as np
+import pytest
+
+from repro import AmgTSolver, Precision, SetupParams
+from repro.amg.precision import PrecisionSchedule
+from repro.gpu import A100, H100, MI210
+from repro.matrices import poisson2d, elasticity_2d
+
+
+class TestPrecisionSchedule:
+    def test_uniform(self):
+        s = PrecisionSchedule.uniform(Precision.FP64)
+        for k in range(10):
+            assert s.for_level(k) == Precision.FP64
+
+    def test_mixed_paper_config(self):
+        """Tsai et al.: level 0 FP64, level 1 FP32, levels >= 2 FP16."""
+        s = PrecisionSchedule.mixed(H100)
+        assert s.for_level(0) == Precision.FP64
+        assert s.for_level(1) == Precision.FP32
+        for k in range(2, 8):
+            assert s.for_level(k) == Precision.FP16
+
+    def test_mixed_on_amd_demotes_fp16(self):
+        """Sec. V.F: MI210's limited FP16 support -> FP32 coarse levels."""
+        s = PrecisionSchedule.mixed(MI210)
+        assert s.for_level(0) == Precision.FP64
+        assert s.for_level(1) == Precision.FP32
+        assert s.for_level(5) == Precision.FP32
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            PrecisionSchedule.mixed(A100).for_level(-1)
+
+    def test_describe(self):
+        s = PrecisionSchedule.mixed(A100)
+        assert s.describe(4) == ["fp64", "fp32", "fp16", "fp16"]
+
+
+class TestAmgTSolver:
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            AmgTSolver(backend="cusparse")
+        with pytest.raises(ValueError):
+            AmgTSolver(precision="fp8")
+        with pytest.raises(KeyError):
+            AmgTSolver(device="B200")
+
+    def test_requires_setup_before_solve(self):
+        s = AmgTSolver()
+        with pytest.raises(RuntimeError):
+            s.solve(np.ones(4))
+        with pytest.raises(RuntimeError):
+            _ = s.hierarchy
+        with pytest.raises(RuntimeError):
+            s.as_preconditioner()
+
+    @pytest.mark.parametrize("backend", ["hypre", "amgt"])
+    @pytest.mark.parametrize("device", ["A100", "H100", "MI210"])
+    def test_converges_everywhere(self, backend, device):
+        a = poisson2d(12)
+        s = AmgTSolver(backend=backend, device=device)
+        s.setup(a)
+        res = s.solve(np.ones(a.nrows), tolerance=1e-8, max_iterations=60)
+        assert res.converged
+        np.testing.assert_allclose(
+            a.matvec(res.x), np.ones(a.nrows), atol=1e-5
+        )
+
+    def test_backends_agree_numerically_fp64(self):
+        a = poisson2d(12)
+        results = {}
+        for backend in ("hypre", "amgt"):
+            s = AmgTSolver(backend=backend, device="H100", precision="fp64")
+            s.setup(a)
+            results[backend] = s.solve(np.ones(a.nrows), max_iterations=10).x
+        np.testing.assert_allclose(results["hypre"], results["amgt"], atol=1e-9)
+
+    def test_mixed_precision_converges_like_fp64(self):
+        """The Sec. V.C claim: mixed precision keeps the iteration count."""
+        a = poisson2d(16)
+        iters = {}
+        for prec in ("fp64", "mixed"):
+            s = AmgTSolver(backend="amgt", device="H100", precision=prec)
+            s.setup(a)
+            res = s.solve(np.ones(a.nrows), tolerance=1e-8, max_iterations=80)
+            assert res.converged
+            iters[prec] = res.iterations
+        assert abs(iters["mixed"] - iters["fp64"]) <= 3
+
+    def test_performance_log_populated(self):
+        a = poisson2d(10)
+        s = AmgTSolver(backend="amgt", device="A100")
+        s.setup(a)
+        s.solve(np.ones(a.nrows), max_iterations=5)
+        summary = s.performance.summary()
+        assert summary["setup_us"] > 0
+        assert summary["solve_us"] > 0
+        assert summary["spgemm_calls"] == 3 * (s.hierarchy.num_levels - 1)
+        levels = s.hierarchy.num_levels
+        assert summary["spmv_calls"] == 5 * (5 * (levels - 1) + 1) + 1
+
+    def test_amgt_records_conversions(self):
+        a = poisson2d(10)
+        s = AmgTSolver(backend="amgt", device="A100")
+        s.setup(a)
+        conv = [r for r in s.performance.records if r.kernel == "csr2mbsr"]
+        assert conv  # the Fig. 6 data flow converts at least the top level
+
+    def test_hypre_records_no_conversions(self):
+        a = poisson2d(10)
+        s = AmgTSolver(backend="hypre", device="A100")
+        s.setup(a)
+        s.solve(np.ones(a.nrows), max_iterations=2)
+        conv = [r for r in s.performance.records
+                if r.kernel in ("csr2mbsr", "mbsr2csr")]
+        assert not conv
+
+    def test_custom_setup_params(self):
+        a = poisson2d(16)
+        s = AmgTSolver(setup_params=SetupParams(max_levels=2))
+        s.setup(a)
+        assert s.hierarchy.num_levels <= 2
+
+    def test_preconditioner_application(self):
+        a = poisson2d(10)
+        s = AmgTSolver(backend="amgt", device="A100")
+        s.setup(a)
+        m = s.as_preconditioner()
+        r = np.ones(a.nrows)
+        z = m(r)
+        # One V-cycle approximates A^{-1} r: the residual must shrink.
+        assert np.linalg.norm(r - a.matvec(z)) < np.linalg.norm(r)
+
+    def test_elasticity_tc_path_used(self):
+        """Elasticity tiles are dense: the solve must hit tensor cores."""
+        a = elasticity_2d(12)
+        s = AmgTSolver(backend="amgt", device="H100")
+        s.setup(a)
+        s.solve(np.ones(a.nrows), max_iterations=2)
+        spmv_paths = {
+            r.detail.get("path") for r in s.performance.by_kernel("spmv")
+        }
+        assert any(p and p.startswith("tc/") for p in spmv_paths)
+
+    def test_mi210_never_issues_mma(self):
+        """Sec. V.F: on MI210 AmgT runs on the standard compute cores."""
+        a = elasticity_2d(10)
+        s = AmgTSolver(backend="amgt", device="MI210")
+        s.setup(a)
+        s.solve(np.ones(a.nrows), max_iterations=2)
+        for rec in s.performance.records:
+            assert rec.counters.total_mma == 0

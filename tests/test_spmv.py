@@ -1,0 +1,175 @@
+"""Tests for the adaptive mBSR SpMV (repro.kernels.spmv)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats.convert import csr_to_mbsr
+from repro.formats.csr import CSRMatrix
+from repro.gpu.counters import Precision
+from repro.kernels.spmv import (
+    VARIATION_THRESHOLD,
+    WARP_CAPACITY,
+    build_spmv_plan,
+    mbsr_spmv,
+)
+
+from conftest import random_csr
+
+
+class TestPlan:
+    def test_warp_capacity_matches_paper(self):
+        # "we fix the workload of each warp to 64 blocks" (Sec. IV.D.1)
+        assert WARP_CAPACITY == 64
+
+    def test_core_selection_by_avg_density(self):
+        sparse = csr_to_mbsr(random_csr(40, 40, 0.05, seed=0))
+        assert sparse.avg_nnz_blc < 10
+        assert not build_spmv_plan(sparse).use_tensor_cores
+
+        dense = csr_to_mbsr(random_csr(40, 40, 0.9, seed=1))
+        assert dense.avg_nnz_blc >= 10
+        assert build_spmv_plan(dense).use_tensor_cores
+
+    def test_tensor_cores_can_be_disabled(self):
+        dense = csr_to_mbsr(random_csr(40, 40, 0.9, seed=2))
+        plan = build_spmv_plan(dense, allow_tensor_cores=False)
+        assert not plan.use_tensor_cores
+        assert plan.mma_issues == 0
+
+    def test_balanced_matrix_uses_row_schedule(self):
+        # uniform rows -> low variation -> row-per-warp
+        a = CSRMatrix.from_dense(np.tril(np.ones((32, 32)), 1) * 0 + np.eye(32))
+        plan = build_spmv_plan(csr_to_mbsr(a))
+        assert plan.variation <= VARIATION_THRESHOLD
+        assert not plan.load_balanced
+
+    def test_skewed_matrix_triggers_load_balancing(self):
+        # one dense row among empty-ish rows -> high variation
+        d = np.zeros((64, 64))
+        d[0, :] = 1.0
+        d[np.arange(64), np.arange(64)] = 1.0
+        plan = build_spmv_plan(csr_to_mbsr(CSRMatrix.from_dense(d)))
+        assert plan.variation > VARIATION_THRESHOLD
+        assert plan.load_balanced
+        # balanced schedule caps imbalance at the ragged-tail level
+        assert plan.imbalance <= 64.0 / 1.0
+        row_plan_imb = plan.imbalance
+        assert row_plan_imb < build_spmv_plan.__wrapped__(
+            csr_to_mbsr(CSRMatrix.from_dense(d))
+        ).imbalance if hasattr(build_spmv_plan, "__wrapped__") else True
+
+    def test_balanced_schedule_reduces_imbalance(self):
+        d = np.eye(128)
+        d[0, :] = 1.0
+        m = csr_to_mbsr(CSRMatrix.from_dense(d))
+        plan = build_spmv_plan(m)
+        # Without balancing, imbalance would be max/mean of blocks per row.
+        per_row = m.blocks_per_row().astype(float)
+        raw = per_row.max() / per_row.mean()
+        assert plan.imbalance < raw
+
+    def test_empty_matrix_plan(self):
+        from repro.formats.mbsr import MBSRMatrix
+
+        plan = build_spmv_plan(MBSRMatrix.empty((8, 8)))
+        assert plan.num_warps == 0 and plan.mma_issues == 0
+
+    def test_mma_issue_count_row_schedule(self):
+        dense = csr_to_mbsr(random_csr(32, 32, 0.95, seed=3))
+        plan = build_spmv_plan(dense)
+        if plan.use_tensor_cores and not plan.load_balanced:
+            per_row = dense.blocks_per_row()
+            assert plan.mma_issues == int(np.sum((per_row + 1) // 2))
+
+    def test_kernel_path_string(self):
+        dense = csr_to_mbsr(random_csr(32, 32, 0.9, seed=4))
+        assert build_spmv_plan(dense).kernel_path in {
+            "tc/row-warp", "tc/balanced", "cuda/row-warp", "cuda/balanced"
+        }
+
+
+class TestSpMV:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_scipy(self, seed, rng):
+        a = random_csr(30 + seed, 26 + seed, 0.15, seed=seed)
+        m = csr_to_mbsr(a)
+        x = rng.normal(size=a.ncols)
+        y, rec = mbsr_spmv(m, x)
+        np.testing.assert_allclose(y, a.to_scipy() @ x, atol=1e-12)
+
+    def test_rejects_wrong_length(self):
+        m = csr_to_mbsr(random_csr(8, 8, 0.3))
+        with pytest.raises(ValueError):
+            mbsr_spmv(m, np.ones(7))
+
+    def test_empty_matrix(self):
+        from repro.formats.mbsr import MBSRMatrix
+
+        y, _ = mbsr_spmv(MBSRMatrix.empty((6, 5)), np.ones(5))
+        np.testing.assert_array_equal(y, np.zeros(6))
+
+    def test_unaligned_shapes(self, rng):
+        a = random_csr(13, 9, 0.4, seed=7)
+        x = rng.normal(size=9)
+        y, _ = mbsr_spmv(csr_to_mbsr(a), x)
+        assert y.shape == (13,)
+        np.testing.assert_allclose(y, a.to_dense() @ x, atol=1e-12)
+
+    def test_fp32_precision(self, rng):
+        a = random_csr(24, 24, 0.3, seed=8)
+        x = rng.normal(size=24)
+        y, rec = mbsr_spmv(csr_to_mbsr(a), x, Precision.FP32)
+        assert y.dtype == np.float32
+        np.testing.assert_allclose(y, a.to_dense() @ x, rtol=1e-4, atol=1e-4)
+
+    def test_fp16_accumulates_fp32(self, rng):
+        a = random_csr(24, 24, 0.3, seed=9)
+        x = rng.normal(size=24)
+        y, rec = mbsr_spmv(csr_to_mbsr(a), x, Precision.FP16)
+        assert y.dtype == np.float32
+        ref = a.to_dense() @ x
+        assert np.abs(y - ref).max() / max(np.abs(ref).max(), 1) < 0.05
+
+    def test_plan_reuse_gives_same_result(self, rng):
+        a = random_csr(20, 20, 0.4, seed=10)
+        m = csr_to_mbsr(a)
+        x = rng.normal(size=20)
+        plan = build_spmv_plan(m)
+        y1, _ = mbsr_spmv(m, x, plan=plan)
+        y2, _ = mbsr_spmv(m, x)
+        np.testing.assert_allclose(y1, y2)
+
+    def test_counters_tc_path(self):
+        a = random_csr(32, 32, 0.9, seed=11)
+        m = csr_to_mbsr(a)
+        y, rec = mbsr_spmv(m, np.ones(32))
+        plan = build_spmv_plan(m)
+        assert rec.counters.mma_issues[Precision.FP64] == plan.mma_issues
+        assert rec.counters.scalar_flops[Precision.FP64] == 0
+
+    def test_counters_cuda_path(self):
+        from repro.gpu.counters import SCALAR_PIPELINE_OVERHEAD
+
+        a = random_csr(32, 32, 0.05, seed=12)
+        m = csr_to_mbsr(a)
+        y, rec = mbsr_spmv(m, np.ones(32))
+        assert rec.counters.mma_issues[Precision.FP64] == 0
+        assert rec.counters.scalar_flops[Precision.FP64] == (
+            2.0 * m.nnz * SCALAR_PIPELINE_OVERHEAD
+        )
+
+    def test_detail_reports_path(self):
+        a = random_csr(16, 16, 0.5, seed=13)
+        _, rec = mbsr_spmv(csr_to_mbsr(a), np.ones(16))
+        assert "path" in rec.detail and "variation" in rec.detail
+
+
+@given(st.integers(1, 40), st.integers(1, 40), st.floats(0.05, 0.6), st.integers(0, 999))
+@settings(max_examples=30, deadline=None)
+def test_property_spmv_equals_dense(m, n, density, seed):
+    a = random_csr(m, n, density, seed=seed)
+    x = np.random.default_rng(seed).normal(size=n)
+    y, _ = mbsr_spmv(csr_to_mbsr(a), x)
+    np.testing.assert_allclose(y, a.to_dense() @ x, atol=1e-9)

