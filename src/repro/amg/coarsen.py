@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.formats.csr import CSRMatrix
+from repro.util.segops import segment_max
 
 __all__ = ["pmis_coarsen", "CoarseningResult"]
 
@@ -78,8 +79,9 @@ def pmis_coarsen(strength: CSRMatrix, seed: int = 0) -> CoarseningResult:
         unassigned = cf == 0
         # Max measure over unassigned neighbours, per node.
         nbr_meas = np.where(unassigned[adj_cols], measure[adj_cols], -np.inf)
-        local_max = np.full(n, -np.inf)
-        np.maximum.at(local_max, adj_rows, nbr_meas)
+        local_max = segment_max(
+            nbr_meas, adj_rows, n, initial=-np.inf, sorted_ids=True
+        )
         new_c = unassigned & (measure > local_max)
         if not np.any(new_c):
             # Degenerate ties (only possible with equal random draws):

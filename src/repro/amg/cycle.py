@@ -82,10 +82,18 @@ class SolveStats:
 
 
 def _default_spmv(hierarchy: AMGHierarchy) -> LevelSpMV:
+    """Host CSR matvec fallback with the operator table built once.
+
+    The returned closure is hit ~5x per level per cycle; resolving the
+    operators up front (rather than per call) keeps the per-call work to
+    the matvec itself, whose row-expansion the CSR matrices memoise.
+    """
+    table = [
+        {"A": lvl.a, "R": lvl.r, "P": lvl.p} for lvl in hierarchy.levels
+    ]
+
     def spmv(level: int, op: str, x: np.ndarray) -> np.ndarray:
-        lvl = hierarchy.levels[level]
-        mat = {"A": lvl.a, "R": lvl.r, "P": lvl.p}[op]
-        return mat.matvec(x)
+        return table[level][op].matvec(x)
 
     return spmv
 

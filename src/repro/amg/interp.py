@@ -30,6 +30,7 @@ from typing import Callable
 import numpy as np
 
 from repro.formats.csr import CSRMatrix
+from repro.util.segops import segment_max
 
 __all__ = ["build_interpolation", "truncate_interpolation"]
 
@@ -177,8 +178,7 @@ def truncate_interpolation(
         return p
     rows = p.row_ids()
     mags = np.abs(p.data)
-    row_max = np.zeros(p.nrows)
-    np.maximum.at(row_max, rows, mags)
+    row_max = segment_max(mags, rows, p.nrows, sorted_ids=True)
     keep = mags >= trunc_factor * row_max[rows]
 
     # Cap entries per row at max_elmts, keeping the largest magnitudes.

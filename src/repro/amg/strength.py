@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.formats.csr import CSRMatrix
+from repro.util.segops import segment_max
 
 __all__ = ["strength_of_connection"]
 
@@ -52,13 +53,15 @@ def strength_of_connection(
     measure = np.where(signed > 0, signed, 0.0)
     # If a row has no positive signed couplings, fall back to |a_ij| so
     # rows with unexpected sign structure still coarsen.
-    row_max_signed = np.zeros(a.nrows)
-    np.maximum.at(row_max_signed, rows[off], measure[off])
+    row_max_signed = segment_max(measure[off], rows[off], a.nrows, sorted_ids=True)
     fallback_rows = row_max_signed == 0
     if fallback_rows.any():
         use_abs = fallback_rows[rows]
         measure = np.where(use_abs, np.abs(vals), measure)
-        np.maximum.at(row_max_signed, rows[off], measure[off])
+        row_max_signed = np.maximum(
+            row_max_signed,
+            segment_max(measure[off], rows[off], a.nrows, sorted_ids=True),
+        )
 
     strong = off & (measure >= theta * row_max_signed[rows]) & (measure > 0)
 

@@ -120,6 +120,23 @@ class ParAMGSolver:
         return self
 
     # ------------------------------------------------------------------
+    def _wrapped_block(
+        self, level: int, op: str, rank: int, block: str, csr: CSRMatrix
+    ) -> HypreCSRMatrix:
+        """Persistent wrapper per (level, op, rank, diag|offd) block.
+
+        The wrapper's operator cache carries the mBSR form, the SpMV plan
+        and the per-precision tile casts across the whole solve — one
+        preprocessing per block, reused by every V-cycle SpMV that rank
+        issues (the solve phase hits each block hundreds of times).
+        """
+        key = (level, op, rank, block)
+        wrapped = self._wrapped.get(key)
+        if wrapped is None:
+            wrapped = HypreCSRMatrix(csr=csr)
+            self._wrapped[key] = wrapped
+        return wrapped
+
     def _local_spmv_us(
         self, level: int, op: str, sl: ParCSRMatrix, x_local, x_halo
     ) -> tuple[np.ndarray, float]:
@@ -137,22 +154,14 @@ class ParAMGSolver:
             return np.asarray(y, dtype=np.float64), total_us
 
         allow_tc = self.device.mma_shape_compatible
-        key = (level, op, sl.rank, "diag")
-        wrapped = self._wrapped.get(key)
-        if wrapped is None:
-            wrapped = HypreCSRMatrix(csr=sl.diag)
-            self._wrapped[key] = wrapped
+        wrapped = self._wrapped_block(level, op, sl.rank, "diag", sl.diag)
         m = wrapped.mbsr_at_precision(prec)
         y, rec = mbsr_spmv(m, np.asarray(x_local, dtype=np.float64), prec,
                            wrapped.spmv_plan(allow_tc), allow_tensor_cores=allow_tc)
         total_us += rec.price(self.cost)
         y = np.asarray(y, dtype=np.float64)
         if sl.offd.nnz:
-            key = (level, op, sl.rank, "offd")
-            wrapped = self._wrapped.get(key)
-            if wrapped is None:
-                wrapped = HypreCSRMatrix(csr=sl.offd)
-                self._wrapped[key] = wrapped
+            wrapped = self._wrapped_block(level, op, sl.rank, "offd", sl.offd)
             m = wrapped.mbsr_at_precision(prec)
             y2, rec2 = mbsr_spmv(m, np.asarray(x_halo, dtype=np.float64), prec,
                                  wrapped.spmv_plan(allow_tc),

@@ -20,6 +20,7 @@ from repro.formats.bsr import BSRMatrix
 from repro.formats.csr import CSRMatrix
 from repro.formats.mbsr import MBSRMatrix, block_rows
 from repro.util.prefix_sum import counts_to_ptr
+from repro.util.segops import segment_bitwise_or, segment_sum
 
 __all__ = [
     "ConversionStats",
@@ -82,14 +83,23 @@ def csr_to_mbsr(csr: CSRMatrix, *, return_stats: bool = False):
     counts = np.bincount(tile_rows, minlength=mb)
     blc_ptr = counts_to_ptr(counts)
 
-    blc_val = np.zeros((blc_num, BLOCK_SIZE, BLOCK_SIZE), dtype=csr.data.dtype)
-    blc_map = np.zeros(blc_num, dtype=np.uint16)
-
     sslot = slot[order]
     svals = csr.data[order]
-    flat = blc_val.reshape(blc_num, BLOCK_SIZE * BLOCK_SIZE)
-    np.add.at(flat, (tile_of_entry, sslot), svals)
-    np.bitwise_or.at(blc_map, tile_of_entry, (1 << sslot.astype(np.uint32)).astype(np.uint16))
+    # Entries are stably grouped by tile and ordered by slot within each
+    # tile, so the (tile, slot) key is presorted — the segmented reduction
+    # scatters without re-sorting.
+    blc_val = segment_sum(
+        svals,
+        tile_of_entry * (BLOCK_SIZE * BLOCK_SIZE) + sslot,
+        blc_num * BLOCK_SIZE * BLOCK_SIZE,
+        sorted_ids=True,
+    ).reshape(blc_num, BLOCK_SIZE, BLOCK_SIZE)
+    blc_map = segment_bitwise_or(
+        (1 << sslot.astype(np.uint32)).astype(np.uint16),
+        tile_of_entry,
+        blc_num,
+        sorted_ids=True,
+    )
 
     out = MBSRMatrix((csr.nrows, csr.ncols), blc_ptr, tile_cols, blc_val, blc_map, _trusted=True)
     if not return_stats:
@@ -117,9 +127,12 @@ def csr_to_bsr(csr: CSRMatrix, *, return_stats: bool = False):
     tile_cols = tile_keys % nb
     counts = np.bincount(tile_rows, minlength=mb)
     blc_ptr = counts_to_ptr(counts)
-    blc_val = np.zeros((blc_num, BLOCK_SIZE, BLOCK_SIZE), dtype=csr.data.dtype)
-    flat = blc_val.reshape(blc_num, BLOCK_SIZE * BLOCK_SIZE)
-    np.add.at(flat, (tile_of_entry, slot[order]), csr.data[order])
+    blc_val = segment_sum(
+        csr.data[order],
+        tile_of_entry * (BLOCK_SIZE * BLOCK_SIZE) + slot[order],
+        blc_num * BLOCK_SIZE * BLOCK_SIZE,
+        sorted_ids=True,
+    ).reshape(blc_num, BLOCK_SIZE, BLOCK_SIZE)
     out = BSRMatrix((csr.nrows, csr.ncols), blc_ptr, tile_cols, blc_val, _trusted=True)
     if not return_stats:
         return out

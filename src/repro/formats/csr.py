@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.util.prefix_sum import counts_to_ptr
+from repro.util.segops import segment_sum
 
 __all__ = ["CSRMatrix"]
 
@@ -45,6 +46,8 @@ class CSRMatrix:
     indices: np.ndarray
     data: np.ndarray
     _canonical: bool = field(default=False, repr=False, compare=False)
+    #: Memoised COO row expansion; solve-phase matvecs hit it every call.
+    _row_ids: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.shape = (int(self.shape[0]), int(self.shape[1]))
@@ -150,13 +153,16 @@ class CSRMatrix:
             new[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
             if not new.all():
                 group = np.cumsum(new) - 1
-                summed = np.zeros(group[-1] + 1, dtype=np.float64)
-                np.add.at(summed, group, vals.astype(np.float64))
+                summed = segment_sum(
+                    vals.astype(np.float64), group, int(group[-1]) + 1,
+                    sorted_ids=True,
+                )
                 rows, cols, vals = rows[new], cols[new], summed.astype(vals.dtype)
         counts = np.bincount(rows, minlength=self.shape[0])
         self.indptr = counts_to_ptr(counts)
         self.indices = cols
         self.data = vals
+        self._row_ids = None
 
     # ------------------------------------------------------------------
     # basic properties
@@ -178,17 +184,26 @@ class CSRMatrix:
         return self.data.dtype
 
     def row_ids(self) -> np.ndarray:
-        """Row index per stored entry (COO expansion of ``indptr``)."""
-        counts = np.diff(self.indptr)
-        return np.repeat(np.arange(self.nrows, dtype=_INDEX_DTYPE), counts)
+        """Row index per stored entry (COO expansion of ``indptr``, cached)."""
+        if self._row_ids is None or self._row_ids.shape[0] != self.nnz:
+            counts = np.diff(self.indptr)
+            self._row_ids = np.repeat(
+                np.arange(self.nrows, dtype=_INDEX_DTYPE), counts
+            )
+            self._row_ids.setflags(write=False)
+        return self._row_ids
 
     def row_nnz(self) -> np.ndarray:
         return np.diff(self.indptr)
 
     def to_dense(self) -> np.ndarray:
-        out = np.zeros(self.shape, dtype=np.result_type(self.dtype, np.float64))
-        np.add.at(out, (self.row_ids(), self.indices), self.data)
-        return out
+        out_dtype = np.result_type(self.dtype, np.float64)
+        flat = self.row_ids() * self.ncols + self.indices
+        dense = segment_sum(
+            self.data.astype(out_dtype), flat, self.nrows * self.ncols,
+            sorted_ids=True,
+        )
+        return dense.reshape(self.shape)
 
     def to_scipy(self):
         import scipy.sparse as sp

@@ -28,8 +28,6 @@ import numpy as np
 
 from repro.formats.bitmap import (
     BLOCK_SIZE,
-    bitmap_from_dense,
-    bitmap_popcount,
     bitmap_to_mask,
     bitmap_transpose,
 )
@@ -55,6 +53,10 @@ class MBSRMatrix:
     blc_val: np.ndarray
     blc_map: np.ndarray
     _trusted: bool = field(default=False, repr=False, compare=False)
+    #: Lazily-built per-operator cache; every construction (astype, copy,
+    #: transpose, ...) yields a fresh one, so cached state never outlives
+    #: the arrays it was derived from.
+    _cache: object = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.shape = (int(self.shape[0]), int(self.shape[1]))
@@ -115,9 +117,23 @@ class MBSRMatrix:
         return int(self.blc_ptr[-1])
 
     @property
+    def cache(self):
+        """The per-operator :class:`~repro.kernels.cache.OperatorCache`."""
+        if self._cache is None:
+            from repro.kernels.cache import OperatorCache
+
+            self._cache = OperatorCache(self)
+        return self._cache
+
+    @property
+    def pop_per_tile(self) -> np.ndarray:
+        """Nonzeros per tile (cached ``bitmap_popcount(blc_map)``)."""
+        return self.cache.pop_per_tile
+
+    @property
     def nnz(self) -> int:
         """Number of scalar nonzeros (bitmap popcount sum)."""
-        return int(bitmap_popcount(self.blc_map).sum())
+        return self.cache.nnz
 
     @property
     def dtype(self) -> np.dtype:
@@ -131,12 +147,11 @@ class MBSRMatrix:
         return self.nnz / self.blc_num
 
     def block_row_ids(self) -> np.ndarray:
-        """Block-row index per stored tile."""
-        counts = np.diff(self.blc_ptr)
-        return np.repeat(np.arange(self.mb, dtype=_INDEX_DTYPE), counts)
+        """Block-row index per stored tile (cached, read-only view)."""
+        return self.cache.block_row_ids
 
     def blocks_per_row(self) -> np.ndarray:
-        return np.diff(self.blc_ptr)
+        return self.cache.blocks_per_row
 
     # ------------------------------------------------------------------
     # construction / conversion

@@ -16,6 +16,12 @@ NVIDIA devices, rocSPARSE on AMD) in FP64 — the paper's baseline.
 converted to mBSR once (conversion cost recorded on first touch), kernels
 run at the per-level precision of the schedule, and MI210's incompatible
 matrix-core shapes force the CUDA-core paths (Sec. V.F).
+
+Host-side, every per-operator invariant the kernels need — the SpMV plan,
+the quantised/widened tile arrays of each precision, tile popcounts —
+lives in the wrapped matrix's :class:`~repro.kernels.cache.OperatorCache`
+and is computed once per operator, mirroring the paper's
+"preprocessing once per matrix, reused for every SpMV".
 """
 
 from __future__ import annotations

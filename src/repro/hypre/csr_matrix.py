@@ -18,7 +18,7 @@ from repro.formats.convert import ConversionStats, csr_to_mbsr
 from repro.formats.csr import CSRMatrix
 from repro.formats.mbsr import MBSRMatrix
 from repro.gpu.counters import Precision
-from repro.kernels.spmv import SpMVPlan, build_spmv_plan
+from repro.kernels.spmv import SpMVPlan
 
 __all__ = ["HypreCSRMatrix"]
 
@@ -34,8 +34,6 @@ class HypreCSRMatrix:
     conversion_stats: ConversionStats | None = None
     #: Per-precision casts of the mBSR tile values (mixed-precision cache).
     _casts: dict[Precision, MBSRMatrix] = field(default_factory=dict, repr=False)
-    #: Cached SpMV plans keyed by tensor-core availability.
-    _spmv_plans: dict[bool, SpMVPlan] = field(default_factory=dict, repr=False)
 
     @classmethod
     def wrap(cls, mat) -> "HypreCSRMatrix":
@@ -72,8 +70,28 @@ class HypreCSRMatrix:
         self.conversion_stats = stats
         return self.mbsr, stats
 
+    @property
+    def operator_cache(self):
+        """The mBSR twin's :class:`~repro.kernels.cache.OperatorCache`.
+
+        Holds everything the solve phase reuses per operator: the SpMV
+        plan, the per-precision quantised/widened tile arrays, the tile
+        popcounts and the block-row expansion.  Casts produced by
+        :meth:`mbsr_at_precision` share the structural state lazily
+        through their own caches but the plan/popcounts live here, on the
+        canonical mBSR form.
+        """
+        base, _ = self.amgt_csr2mbsr()
+        return base.cache
+
     def mbsr_at_precision(self, precision: Precision) -> MBSRMatrix:
-        """mBSR tile values cast to *precision* (cached)."""
+        """mBSR tile values cast to *precision* (cached).
+
+        The returned matrix shares the index/bitmap arrays with the
+        canonical form; its operator cache additionally receives the
+        widened compute tiles so repeated kernel calls skip the per-call
+        ``astype`` pair entirely.
+        """
         base, _ = self.amgt_csr2mbsr()
         if precision == Precision.FP64 and base.dtype == np.float64:
             return base
@@ -85,9 +103,4 @@ class HypreCSRMatrix:
 
     def spmv_plan(self, allow_tensor_cores: bool) -> SpMVPlan:
         """Cached SpMV preprocessing (Sec. IV.D.1), reused across calls."""
-        plan = self._spmv_plans.get(allow_tensor_cores)
-        if plan is None:
-            base, _ = self.amgt_csr2mbsr()
-            plan = build_spmv_plan(base, allow_tensor_cores=allow_tensor_cores)
-            self._spmv_plans[allow_tensor_cores] = plan
-        return plan
+        return self.operator_cache.spmv_plan(allow_tensor_cores)

@@ -28,6 +28,7 @@ from repro.gpu.counters import Precision
 from repro.kernels.record import KernelRecord
 from repro.util.hashing import distinct_count_per_segment, distinct_sorted_per_segment
 from repro.util.prefix_sum import counts_to_ptr
+from repro.util.segops import segment_sum
 
 __all__ = ["csr_spgemm", "csr_spmv"]
 
@@ -75,11 +76,10 @@ def csr_spgemm(
     keys_c = row_of_out * b.ncols + indices_c
     keys_pair = pair_row * b.ncols + cols
     pos = np.searchsorted(keys_c, keys_pair)
-    vals = np.zeros(indices_c.shape[0], dtype=acc_dtype)
     prods = a.data[pair_a].astype(in_dtype).astype(acc_dtype) * b.data[pair_b].astype(
         in_dtype
     ).astype(acc_dtype)
-    np.add.at(vals, pos, prods)
+    vals = segment_sum(prods, pos, indices_c.shape[0])
 
     n_products = pair_a.shape[0]
     counters.add_flops(precision, 2.0 * n_products)

@@ -1,0 +1,144 @@
+"""Per-operator solve-phase cache (the host analogue of Sec. IV.D's
+"preprocessing once per matrix, reused for every SpMV").
+
+AmgT amortises everything that depends only on the *operator* — the SpMV
+schedule, the per-tile popcounts, the precision casts of the tile values —
+across the hundreds of kernel calls the solve phase issues against each
+level matrix.  The numpy reproduction used to redo most of that work per
+call: every ``mbsr_spmv`` re-derived the block-row ids and re-cast the full
+tile array twice (``.astype(in_dtype).astype(acc_dtype)``), and every
+``numeric_spgemm`` re-popcounted the operand bitmaps.
+
+:class:`OperatorCache` holds all of it, keyed per matrix.  It is created
+lazily by :attr:`repro.formats.mbsr.MBSRMatrix.cache` and is reachable from
+:class:`repro.hypre.csr_matrix.HypreCSRMatrix` via ``operator_cache``; the
+kernels consult it transparently, so callers that never reuse a matrix pay
+one extra attribute lookup and nothing else.
+
+The cache assumes the owning matrix's arrays are immutable after
+construction — the invariant every ``MBSRMatrix`` operation already
+follows (``astype``/``transpose``/``copy`` build new objects, each with a
+fresh cache).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["OperatorCache"]
+
+
+class OperatorCache:
+    """Memoised per-matrix state reused across kernel calls."""
+
+    def __init__(self, mat) -> None:
+        self._mat = mat
+        self._pop_per_tile: np.ndarray | None = None
+        self._nnz: int | None = None
+        self._block_row_ids: np.ndarray | None = None
+        self._blocks_per_row: np.ndarray | None = None
+        self._x_gather: np.ndarray | None = None
+        self._y_scatter: np.ndarray | None = None
+        #: Quantised-then-widened tile arrays, keyed by (in, acc) dtypes.
+        self._tiles: dict[tuple[np.dtype, np.dtype], np.ndarray] = {}
+        #: SpMV plans keyed by (allow_tensor_cores, tc_threshold).
+        self._spmv_plans: dict[tuple[bool, float], object] = {}
+
+    # -- structural invariants -----------------------------------------
+    @property
+    def pop_per_tile(self) -> np.ndarray:
+        """``bitmap_popcount(blc_map)``, computed once per matrix."""
+        if self._pop_per_tile is None:
+            from repro.formats.bitmap import bitmap_popcount
+
+            self._pop_per_tile = bitmap_popcount(self._mat.blc_map)
+            self._pop_per_tile.setflags(write=False)
+        return self._pop_per_tile
+
+    @property
+    def nnz(self) -> int:
+        if self._nnz is None:
+            self._nnz = int(self.pop_per_tile.sum())
+        return self._nnz
+
+    @property
+    def block_row_ids(self) -> np.ndarray:
+        """Block-row id per stored tile (COO expansion of ``blc_ptr``)."""
+        if self._block_row_ids is None:
+            mat = self._mat
+            self._block_row_ids = np.repeat(
+                np.arange(mat.mb, dtype=np.int64), self.blocks_per_row
+            )
+            self._block_row_ids.setflags(write=False)
+        return self._block_row_ids
+
+    @property
+    def blocks_per_row(self) -> np.ndarray:
+        if self._blocks_per_row is None:
+            self._blocks_per_row = np.diff(self._mat.blc_ptr)
+            self._blocks_per_row.setflags(write=False)
+        return self._blocks_per_row
+
+    @property
+    def x_gather(self) -> np.ndarray:
+        """Flat per-tile x-slice indices: ``xp[x_gather]`` is (blc_num, 4)."""
+        if self._x_gather is None:
+            from repro.formats.bitmap import BLOCK_SIZE
+
+            idx = self._mat.blc_idx * BLOCK_SIZE
+            self._x_gather = idx[:, None] + np.arange(BLOCK_SIZE, dtype=np.int64)
+            self._x_gather.setflags(write=False)
+        return self._x_gather
+
+    @property
+    def y_scatter(self) -> np.ndarray:
+        """Precomputed ``segment_sum`` bin ids for the SpMV epilogue.
+
+        The (blc_num, 4) per-tile contributions reduce into block rows via
+        the float64 bincount path; this is its flattened
+        (segment, component) id array, built once per matrix.
+        """
+        if self._y_scatter is None:
+            from repro.formats.bitmap import BLOCK_SIZE
+            from repro.util.segops import flat_segment_ids
+
+            self._y_scatter = flat_segment_ids(self.block_row_ids, BLOCK_SIZE)
+            self._y_scatter.setflags(write=False)
+        return self._y_scatter
+
+    # -- precision casts -----------------------------------------------
+    def tiles(self, in_dtype, acc_dtype) -> np.ndarray:
+        """Tile values quantised to *in_dtype* then widened to *acc_dtype*.
+
+        This is the per-call ``.astype(in_dtype).astype(acc_dtype)`` the
+        kernels used to run on every SpMV/SpGEMM, done once and kept.  The
+        quantise step is skipped (not re-rounded) when the stored values
+        already hold *in_dtype* — numerically identical either way.
+        """
+        key = (np.dtype(in_dtype), np.dtype(acc_dtype))
+        cached = self._tiles.get(key)
+        if cached is None:
+            vals = self._mat.blc_val
+            quant = vals if vals.dtype == key[0] else vals.astype(key[0])
+            cached = quant if quant.dtype == key[1] else quant.astype(key[1])
+            cached.setflags(write=False)
+            self._tiles[key] = cached
+        return cached
+
+    # -- SpMV preprocessing ----------------------------------------------
+    def spmv_plan(self, allow_tensor_cores: bool = True, tc_threshold=None):
+        """Memoised :func:`repro.kernels.spmv.build_spmv_plan`."""
+        from repro.formats.bitmap import TC_NNZ_THRESHOLD
+        from repro.kernels.spmv import build_spmv_plan
+
+        threshold = TC_NNZ_THRESHOLD if tc_threshold is None else tc_threshold
+        key = (bool(allow_tensor_cores), float(threshold))
+        plan = self._spmv_plans.get(key)
+        if plan is None:
+            plan = build_spmv_plan(
+                self._mat,
+                allow_tensor_cores=allow_tensor_cores,
+                tc_threshold=threshold,
+            )
+            self._spmv_plans[key] = plan
+        return plan

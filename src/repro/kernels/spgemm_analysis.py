@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.formats.mbsr import MBSRMatrix
+from repro.util.segops import segment_sum
 
 __all__ = ["BIN_BOUNDS", "NUM_BINS", "AnalysisResult", "analyse_and_bin"]
 
@@ -53,8 +54,7 @@ def analyse_and_bin(mat_a: MBSRMatrix, mat_b: MBSRMatrix) -> AnalysisResult:
     # For each tile of A, the contribution is the tile count of B's
     # block-row indexed by that tile's column.
     contrib = b_row_counts[mat_a.blc_idx]
-    cub = np.zeros(mat_a.mb, dtype=np.int64)
-    np.add.at(cub, mat_a.block_row_ids(), contrib)
+    cub = segment_sum(contrib, mat_a.block_row_ids(), mat_a.mb, sorted_ids=True)
 
     bin_of_row = np.digitize(cub, BIN_BOUNDS).astype(np.int64)
     rows_by_bin = [

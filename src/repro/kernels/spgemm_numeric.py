@@ -29,14 +29,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.formats.bitmap import (
-    TC_NNZ_THRESHOLD,
-    bitmap_popcount,
-    bitmap_scalar_mul_flops,
-)
+from repro.formats.bitmap import TC_NNZ_THRESHOLD, bitmap_scalar_mul_flops
 from repro.formats.mbsr import MBSRMatrix
 from repro.gpu.counters import KernelCounters, Precision
 from repro.kernels.spgemm_symbolic import SymbolicResult
+from repro.util.segops import segment_bitwise_or, segment_sum
 
 __all__ = ["NumericResult", "numeric_spgemm"]
 
@@ -89,36 +86,42 @@ def numeric_spgemm(
     blc_num_c = symbolic.blc_num_c
     acc_dtype = precision.accum_dtype
     in_dtype = precision.np_dtype
-    blc_val_c = np.zeros((blc_num_c, 4, 4), dtype=acc_dtype)
-    blc_map_c = np.zeros(blc_num_c, dtype=np.uint16)
 
     pair_a, pair_b = symbolic.pair_a, symbolic.pair_b
     if pair_a.shape[0] == 0:
         counters.launches = 1
-        return NumericResult(blc_val_c, blc_map_c, counters, 0, 0)
+        return NumericResult(
+            np.zeros((blc_num_c, 4, 4), dtype=acc_dtype),
+            np.zeros(blc_num_c, dtype=np.uint16),
+            counters,
+            0,
+            0,
+        )
 
     cols = mat_b.blc_idx[pair_b]
     pos = _locate_output_tiles(symbolic, cols, mat_b.nb)
 
-    # Mode selection by the A-tile popcount (Alg. 4 line 3).
-    pop_a = bitmap_popcount(mat_a.blc_map[pair_a])
+    # Mode selection by the A-tile popcount (Alg. 4 line 3); the per-tile
+    # popcounts are cached on the operand and reused across products.
+    pop_a = mat_a.pop_per_tile[pair_a]
     tc_mask = pop_a >= tc_threshold
 
     # --- numeric work, both modes ------------------------------------
     # The value math is the same tile product either way; precision
     # semantics follow the chosen mode's hardware (TC: low-precision
     # multiply, FP32+ accumulate; CUDA: scalar ops at input precision with
-    # the same accumulate dtype).  We batch it in one einsum per mode.
-    tiles_a = mat_a.blc_val[pair_a].astype(in_dtype)
-    tiles_b = mat_b.blc_val[pair_b].astype(in_dtype)
-    prod = np.einsum(
-        "pik,pkj->pij",
-        tiles_a.astype(acc_dtype),
-        tiles_b.astype(acc_dtype),
-        optimize=True,
-    )
-    np.add.at(blc_val_c, pos, prod)
-    np.bitwise_or.at(blc_map_c, pos, symbolic.pair_map)
+    # the same accumulate dtype).  The operand tiles come quantised and
+    # widened from the per-operator caches (one cast per matrix), and the
+    # batched 4x4 products run through matmul so no contraction path is
+    # re-searched per call.
+    tiles_a = mat_a.cache.tiles(in_dtype, acc_dtype)[pair_a]
+    tiles_b = mat_b.cache.tiles(in_dtype, acc_dtype)[pair_b]
+    prod = np.matmul(tiles_a, tiles_b)
+    # The pair lists are grouped by output block-row; within a row the
+    # output positions interleave, so the segmented reduction sorts (a
+    # near-sorted key, cheap) before reducing.
+    blc_val_c = segment_sum(prod, pos, blc_num_c)
+    blc_map_c = segment_bitwise_or(symbolic.pair_map, pos, blc_num_c)
 
     # --- cost accounting ----------------------------------------------
     # Tensor-core mode: per A-tile, the valid B-tiles are consumed two per
@@ -156,7 +159,7 @@ def numeric_spgemm(
         # Per-pair value gathers cost ~2x their raw bytes (sector
         # granularity), capped at streaming both whole tiles.
         nz_pair = (
-            pop_a[~tc_mask] + bitmap_popcount(mat_b.blc_map[pair_b[~tc_mask]])
+            pop_a[~tc_mask] + mat_b.pop_per_tile[pair_b[~tc_mask]]
         ).astype(np.float64)
         gather_bytes = float(
             np.minimum(nz_pair * SCALAR_GATHER_OVERHEAD, 32.0).sum()

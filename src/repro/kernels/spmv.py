@@ -22,10 +22,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.formats.bitmap import BLOCK_SIZE, TC_NNZ_THRESHOLD, bitmap_popcount
+from repro.formats.bitmap import BLOCK_SIZE, TC_NNZ_THRESHOLD
 from repro.formats.mbsr import MBSRMatrix
-from repro.gpu.counters import KernelCounters, Precision
+from repro.gpu.counters import KernelCounters, Precision, effective_value_bytes
 from repro.kernels.record import KernelRecord
+from repro.util.segops import segment_sum
 
 __all__ = [
     "WARP_CAPACITY",
@@ -148,32 +149,39 @@ def mbsr_spmv(
     x = np.asarray(x)
     if x.shape != (mat.ncols,):
         raise ValueError(f"x has shape {x.shape}, expected ({mat.ncols},)")
+    cache = mat.cache
     if plan is None:
-        plan = build_spmv_plan(mat, allow_tensor_cores=allow_tensor_cores)
+        plan = cache.spmv_plan(allow_tensor_cores, tc_threshold=TC_NNZ_THRESHOLD)
 
     record = KernelRecord(kernel="spmv", backend="amgt", precision=precision)
     counters = record.counters
     in_dtype = precision.np_dtype
     acc_dtype = precision.accum_dtype
 
-    y = np.zeros(mat.mb * BLOCK_SIZE, dtype=acc_dtype)
     if mat.blc_num:
-        xp = _padded_x(mat, x.astype(in_dtype), in_dtype)
-        # Gather the 4-vector of x per tile, batched tile matvec, segmented
-        # scatter-add into y — the same dataflow as both device kernels,
-        # with the precision semantics of the selected core type.
-        xblk = xp.reshape(mat.nb, BLOCK_SIZE)[mat.blc_idx]  # (blc_num, 4)
-        tiles = mat.blc_val.astype(in_dtype)
-        contrib = np.einsum(
-            "bij,bj->bi", tiles.astype(acc_dtype), xblk.astype(acc_dtype)
-        )
-        rows = mat.block_row_ids()
-        yblk = y.reshape(mat.mb, BLOCK_SIZE)
-        np.add.at(yblk, rows, contrib)
+        xq = np.asarray(x, dtype=in_dtype)
+        if mat.ncols == mat.nb * BLOCK_SIZE:
+            xp = xq  # already 4-aligned: gather straight from x
+        else:
+            xp = _padded_x(mat, xq, in_dtype)
+        # Gather the 4-vector of x per tile (cached flat indices), batched
+        # tile matvec, segmented reduction into y — the same dataflow as
+        # both device kernels, with the precision semantics of the selected
+        # core type.  The tile values arrive quantised-and-widened from the
+        # operator cache (one cast per matrix, not two per call).
+        xblk = xp[cache.x_gather]  # (blc_num, 4)
+        if xblk.dtype != acc_dtype:
+            xblk = xblk.astype(acc_dtype)
+        tiles = cache.tiles(in_dtype, acc_dtype)
+        contrib = np.matmul(tiles, xblk[:, :, None])[:, :, 0]
+        y = segment_sum(
+            contrib, cache.block_row_ids, mat.mb,
+            sorted_ids=True, flat_ids=cache.y_scatter,
+        ).reshape(-1)
+    else:
+        y = np.zeros(mat.mb * BLOCK_SIZE, dtype=acc_dtype)
 
     # ---- cost accounting ---------------------------------------------
-    from repro.gpu.counters import effective_value_bytes
-
     nnz = mat.nnz
     itemsize = storage_itemsize or precision.itemsize
     if plan.use_tensor_cores:

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.formats.bitmap import TC_NNZ_THRESHOLD, bitmap_popcount
+from repro.formats.bitmap import TC_NNZ_THRESHOLD
 from repro.formats.convert import csr_to_mbsr
 from repro.formats.csr import CSRMatrix
 from repro.formats.mbsr import MBSRMatrix
@@ -83,7 +83,7 @@ def profile_matrix(a: CSRMatrix | MBSRMatrix) -> MatrixProfile:
     else:
         symmetric = False
 
-    pops = bitmap_popcount(mbsr.blc_map) if mbsr.blc_num else np.zeros(0)
+    pops = mbsr.pop_per_tile if mbsr.blc_num else np.zeros(0)
     dense_fraction = float((pops >= TC_NNZ_THRESHOLD).mean()) if mbsr.blc_num else 0.0
 
     # storage at fp64: CSR = nnz*(8+8) + ptr; mBSR = tiles*(128+8+2) + ptr
@@ -117,5 +117,5 @@ def tile_density_histogram(a: CSRMatrix | MBSRMatrix) -> np.ndarray:
     the mass at bins >= 10 is the work share eligible for tensor cores.
     """
     mbsr = a if isinstance(a, MBSRMatrix) else csr_to_mbsr(a)
-    pops = bitmap_popcount(mbsr.blc_map)
+    pops = mbsr.pop_per_tile
     return np.bincount(pops, minlength=17).astype(np.int64)

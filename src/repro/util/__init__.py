@@ -9,6 +9,13 @@ GPU implementation uses.
 
 from repro.util.prefix_sum import exclusive_scan, inclusive_scan
 from repro.util.hashing import HashTable
+from repro.util.segops import (
+    flat_segment_ids,
+    scatter_accumulate,
+    segment_bitwise_or,
+    segment_max,
+    segment_sum,
+)
 from repro.util.validation import (
     check_1d,
     check_dtype,
@@ -20,6 +27,11 @@ __all__ = [
     "exclusive_scan",
     "inclusive_scan",
     "HashTable",
+    "flat_segment_ids",
+    "scatter_accumulate",
+    "segment_bitwise_or",
+    "segment_max",
+    "segment_sum",
     "check_1d",
     "check_dtype",
     "check_square",
