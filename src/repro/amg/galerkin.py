@@ -51,6 +51,14 @@ def galerkin_product(
     spgemm = spgemm or _default_spgemm
     ra = spgemm(r, a)
     rap = spgemm(ra, p)
+    from repro.check import runtime as check_runtime
+
+    if check_runtime.is_active():
+        # Verified before drop-tolerance pruning: the contract covers the
+        # two SpGEMM calls, not the (caller-requested) lossy cleanup.
+        from repro.check import oracle
+
+        oracle.verify_galerkin(r, a, p, rap)
     if drop_tol >= 0.0:
         rap = rap.eliminate_zeros(drop_tol)
     return rap

@@ -215,9 +215,16 @@ def amg_setup(
         current = coarse
 
     coarse_solver = CoarseSolver(levels[-1].a, method=params.coarse_solver)
-    return AMGHierarchy(
+    hierarchy = AMGHierarchy(
         levels=levels,
         coarse_solver=coarse_solver,
         params=params,
         spgemm_calls=spgemm_calls,
     )
+    from repro.check import runtime as check_runtime
+
+    if check_runtime.is_active():
+        from repro.check.structural import validate_hierarchy
+
+        validate_hierarchy(hierarchy)
+    return hierarchy

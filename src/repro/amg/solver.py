@@ -77,6 +77,7 @@ class AmgTSolver:
         device: str | DeviceSpec = "H100",
         precision: str = "fp64",
         setup_params: SetupParams | None = None,
+        checked: bool = False,
     ):
         if backend not in ("amgt", "hypre"):
             raise ValueError(f"unknown backend {backend!r}; use 'amgt' or 'hypre'")
@@ -86,16 +87,23 @@ class AmgTSolver:
         self.backend_name = backend
         self.precision_name = precision
         self.setup_params = setup_params or SetupParams()
+        #: When True, every kernel call of this solver's setup/solve runs
+        #: under the :mod:`repro.check` contract checker (same effect as
+        #: ``REPRO_CHECK=1``, scoped to this solver).
+        self.checked = bool(checked)
         self._driver: BoomerAMG | None = None
 
     # ------------------------------------------------------------------
     def setup(self, a: CSRMatrix) -> "AmgTSolver":
         """Run the setup phase (Alg. 1) on *a*."""
+        from repro.check import checked_region
+
         backend = make_backend(
             self.backend_name, self.device, precision=self.precision_name
         )
         self._driver = BoomerAMG(backend, self.setup_params)
-        self._driver.setup(a)
+        with checked_region(enabled=self.checked):
+            self._driver.setup(a)
         return self
 
     @property
@@ -122,19 +130,31 @@ class AmgTSolver:
     ) -> SolveResult:
         """Run multigrid cycles (Alg. 2) until *tolerance* or the cap.
 
+        The default ``tolerance=0.0`` is *paper mode*: all
+        ``max_iterations`` cycles run (the evaluation times fixed 50-cycle
+        solves), and ``result.converged`` reports whether the residual
+        reached the float64 machine-precision floor ``norm0 * eps`` — so a
+        solve that drives the residual to ~1e-17 relative is reported as
+        converged even though no positive tolerance stopped it early.
+        Pass a positive *tolerance* to stop as soon as
+        ``||r|| <= tolerance * ||r0||``.
+
         ``cycle_type`` selects V (the paper's configuration), W or F
         cycles; ``smoother`` selects ``'l1-jacobi'`` (paper default),
         ``'chebyshev'`` or ``'gauss-seidel'``.
         """
         if self._driver is None:
             raise RuntimeError("call setup() before solve()")
+        from repro.check import checked_region
+
         params = SolveParams(
             max_iterations=max_iterations,
             tolerance=tolerance,
             cycle_type=cycle_type,
             smoother=smoother,
         )
-        x, stats = self._driver.solve(b, x0=x0, params=params)
+        with checked_region(enabled=self.checked):
+            x, stats = self._driver.solve(b, x0=x0, params=params)
         return SolveResult(x=x, stats=stats, performance=self._driver.perf)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,55 @@
+"""Kernel contract checker: structural validators + differential oracles.
+
+Opt-in checked mode (``REPRO_CHECK=1`` or ``checked=True`` on the solvers)
+wraps every kernel entry point in this package's validators; any breach
+raises :class:`ContractViolation` naming the kernel, the invariant and the
+operand fingerprints.  See the "Checked mode" section of ``DESIGN.md``.
+"""
+
+from repro.check.oracle import (
+    verify_conversion,
+    verify_csr_spgemm,
+    verify_csr_spmv,
+    verify_distributed_spmv,
+    verify_galerkin,
+    verify_smoother,
+    verify_spgemm,
+    verify_spmv,
+)
+from repro.check.runtime import (
+    ENV_VAR,
+    checked_region,
+    disable,
+    enable,
+    is_active,
+)
+from repro.check.structural import (
+    validate_csr,
+    validate_hierarchy,
+    validate_mbsr,
+    validate_operator_cache,
+    validate_partition,
+)
+from repro.check.violation import ContractViolation
+
+__all__ = [
+    "ContractViolation",
+    "ENV_VAR",
+    "is_active",
+    "enable",
+    "disable",
+    "checked_region",
+    "validate_csr",
+    "validate_mbsr",
+    "validate_operator_cache",
+    "validate_hierarchy",
+    "validate_partition",
+    "verify_spmv",
+    "verify_csr_spmv",
+    "verify_spgemm",
+    "verify_csr_spgemm",
+    "verify_conversion",
+    "verify_galerkin",
+    "verify_smoother",
+    "verify_distributed_spmv",
+]

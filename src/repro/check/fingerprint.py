@@ -1,0 +1,49 @@
+"""Compact operand fingerprints for contract-violation reports.
+
+A fingerprint is a short, stable string identifying an operand well enough
+to reproduce a failure: type, shape, nnz, dtype and a truncated content
+hash over the defining arrays.  Hashing is only performed when a violation
+is being reported (never on the hot path), so cost does not matter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["fingerprint"]
+
+
+def _digest(*arrays: np.ndarray) -> str:
+    h = hashlib.sha1()
+    for arr in arrays:
+        a = np.ascontiguousarray(arr)
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()[:10]
+
+
+def fingerprint(obj) -> str:
+    """Return a short identifying string for *obj* (matrix, vector, plan)."""
+    # Imported lazily: this module must stay importable without the format
+    # layers (and without creating import cycles).
+    from repro.formats.csr import CSRMatrix
+    from repro.formats.mbsr import MBSRMatrix
+
+    if isinstance(obj, MBSRMatrix):
+        return (
+            f"mbsr{obj.shape}[tiles={obj.blc_num} nnz={obj.nnz} "
+            f"dtype={obj.dtype} h={_digest(obj.blc_ptr, obj.blc_idx, obj.blc_val, obj.blc_map)}]"
+        )
+    if isinstance(obj, CSRMatrix):
+        return (
+            f"csr{obj.shape}[nnz={obj.nnz} dtype={obj.dtype} "
+            f"h={_digest(obj.indptr, obj.indices, obj.data)}]"
+        )
+    if isinstance(obj, np.ndarray):
+        return f"ndarray{obj.shape}[dtype={obj.dtype} h={_digest(obj)}]"
+    if hasattr(obj, "value"):  # Precision and other enums
+        return str(obj.value)
+    return repr(obj)

@@ -1,0 +1,50 @@
+"""The structured error raised when a kernel contract fails.
+
+Every checked-mode validator raises :class:`ContractViolation` rather than
+a bare assertion so callers (and the fuzz driver) can report *which* kernel
+broke *which* invariant on *which* operands.  The class subclasses
+``AssertionError``: a violation is a bug in this library, never a user
+error, and existing ``check_invariants``-style expectations keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ContractViolation"]
+
+
+class ContractViolation(AssertionError):
+    """A kernel or data structure broke one of its stated invariants.
+
+    Attributes
+    ----------
+    kernel:
+        Name of the entry point (``"mbsr_spmv"``, ``"galerkin_product"``,
+        ...) or data structure (``"MBSRMatrix"``) whose contract failed.
+    invariant:
+        Slash-scoped invariant name, e.g. ``"mbsr/bitmap-value-agreement"``
+        or ``"spmv/differential"``.
+    operands:
+        Mapping of operand name to its fingerprint string (see
+        :mod:`repro.check.fingerprint`).
+    detail:
+        Free-form description of the observed mismatch.
+    """
+
+    def __init__(
+        self,
+        kernel: str,
+        invariant: str,
+        detail: str = "",
+        operands: dict[str, str] | None = None,
+    ) -> None:
+        self.kernel = str(kernel)
+        self.invariant = str(invariant)
+        self.detail = str(detail)
+        self.operands = dict(operands or {})
+        parts = [f"{self.kernel}: invariant {self.invariant!r} violated"]
+        if self.detail:
+            parts.append(self.detail)
+        if self.operands:
+            ops = ", ".join(f"{k}={v}" for k, v in sorted(self.operands.items()))
+            parts.append(f"operands: {ops}")
+        super().__init__("; ".join(parts))

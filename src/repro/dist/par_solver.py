@@ -63,6 +63,7 @@ class ParAMGSolver:
         precision: str = "fp64",
         comm_cost: CommCost | None = None,
         setup_params: SetupParams | None = None,
+        checked: bool = False,
     ):
         if backend not in ("amgt", "hypre"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -77,6 +78,9 @@ class ParAMGSolver:
         self.precision_mode = precision
         self.comm = SimComm(self.num_ranks, comm_cost or CommCost())
         self.setup_params = setup_params or SetupParams()
+        #: When True, setup/solve run under the :mod:`repro.check`
+        #: contract checker (same effect as ``REPRO_CHECK=1``, scoped).
+        self.checked = bool(checked)
         self.hierarchy: AMGHierarchy | None = None
         #: Per level, per operator: list of rank slices + wrapped locals.
         self._slices: list[dict[str, list[ParCSRMatrix]]] = []
@@ -90,11 +94,24 @@ class ParAMGSolver:
 
     # ------------------------------------------------------------------
     def setup(self, a: CSRMatrix) -> "ParAMGSolver":
-        """Build the hierarchy, then partition every level's operators."""
-        self.hierarchy = amg_setup(a, self.setup_params)
+        """Build the hierarchy, then partition every level's operators.
+
+        ``num_ranks`` may exceed a level's row count (coarse levels
+        routinely have fewer rows than ranks); the surplus ranks own empty
+        row ranges and the numerics are unchanged.
+        """
+        from repro.check import runtime as check_runtime
+
+        with check_runtime.checked_region(enabled=self.checked):
+            self.hierarchy = amg_setup(a, self.setup_params)
         parts = [
             partition_rows(lvl.a.nrows, self.num_ranks) for lvl in self.hierarchy.levels
         ]
+        if self.checked or check_runtime.is_active():
+            from repro.check.structural import validate_partition
+
+            for part, lvl in zip(parts, self.hierarchy.levels):
+                validate_partition(part, lvl.a.nrows)
         self._slices = []
         for k, lvl in enumerate(self.hierarchy.levels):
             part = parts[k]
@@ -197,6 +214,18 @@ class ParAMGSolver:
             y[lo:hi] = y_local
         report.local_kernel_us += worst
         report.spmv_calls += 1
+        from repro.check import runtime as check_runtime
+
+        if check_runtime.is_active():
+            from repro.check import oracle
+
+            lvl = self.hierarchy.levels[level]
+            global_op = {"A": lvl.a, "R": lvl.r, "P": lvl.p}[op]
+            oracle.verify_distributed_spmv(
+                global_op, x, y,
+                Precision.FP64 if self.backend == "hypre" else prec,
+                self.num_ranks,
+            )
         return y
 
     # ------------------------------------------------------------------
@@ -302,21 +331,31 @@ class ParAMGSolver:
         max_iterations: int = 50,
         tolerance: float = 0.0,
     ) -> tuple[np.ndarray, ParSolveReport]:
-        """Distributed V-cycles; numerics match the single-device solve."""
+        """Distributed V-cycles; numerics match the single-device solve.
+
+        The default ``tolerance=0.0`` is *paper mode*: all
+        ``max_iterations`` cycles run (Fig. 9 times fixed-cycle solves),
+        and ``report.converged`` still reports True when the residual
+        reaches the requested tolerance or underflows the float64
+        machine-precision floor ``norm0 * eps``.  Pass a positive
+        *tolerance* to also stop early.
+        """
         if self.hierarchy is None:
             raise RuntimeError("setup() must run before solve()")
         from repro.amg.cycle import SolveParams, amg_solve
+        from repro.check import runtime as check_runtime
 
         report = ParSolveReport(iterations=0, converged=False, relative_residual=1.0)
 
         def spmv(level: int, op: str, x: np.ndarray) -> np.ndarray:
             return self._par_spmv(level, op, x, report)
 
-        x, stats = amg_solve(
-            self.hierarchy, b,
-            spmv=spmv,
-            params=SolveParams(max_iterations=max_iterations, tolerance=tolerance),
-        )
+        with check_runtime.checked_region(enabled=self.checked):
+            x, stats = amg_solve(
+                self.hierarchy, b,
+                spmv=spmv,
+                params=SolveParams(max_iterations=max_iterations, tolerance=tolerance),
+            )
         report.iterations = stats.iterations
         report.converged = stats.converged
         report.relative_residual = stats.final_relative_residual

@@ -68,6 +68,12 @@ class HypreCSRMatrix:
             return self.mbsr, None
         self.mbsr, stats = csr_to_mbsr(self.csr, return_stats=True)
         self.conversion_stats = stats
+        from repro.check import runtime as check_runtime
+
+        if check_runtime.is_active():
+            from repro.check import oracle
+
+            oracle.verify_conversion(self.csr, self.mbsr)
         return self.mbsr, stats
 
     @property

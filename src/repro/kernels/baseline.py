@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.check import runtime as check_runtime
 from repro.formats.csr import CSRMatrix
 from repro.gpu.counters import Precision
 from repro.kernels.record import KernelRecord
@@ -96,6 +97,10 @@ def csr_spgemm(
     out = CSRMatrix(
         (a.nrows, b.ncols), indptr_c, indices_c, vals, _canonical=True
     )
+    if check_runtime.is_active():
+        from repro.check import oracle
+
+        oracle.verify_csr_spgemm(a, b, out, precision)
     return out, record
 
 
@@ -133,4 +138,8 @@ def csr_spmv(
     # Vendor kernels bound the skew penalty with internal row splitting.
     counters.imbalance = min(counters.imbalance, 4.0)
     counters.launches = 1
+    if check_runtime.is_active():
+        from repro.check import oracle
+
+        oracle.verify_csr_spmv(a, x, y, precision)
     return y, record

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.check import runtime as check_runtime
 from repro.formats.mbsr import MBSRMatrix
 from repro.gpu.counters import Precision
 from repro.kernels.record import KernelRecord
@@ -160,4 +161,8 @@ def mbsr_spgemm(
         numeric.blc_map_c,
         _trusted=True,
     )
+    if check_runtime.is_active():
+        from repro.check import oracle
+
+        oracle.verify_spgemm(mat_a, mat_b, out, precision, out_dtype)
     return out, record

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.check import runtime as check_runtime
 from repro.formats.bitmap import BLOCK_SIZE, TC_NNZ_THRESHOLD
 from repro.formats.mbsr import MBSRMatrix
 from repro.gpu.counters import KernelCounters, Precision, effective_value_bytes
@@ -215,4 +216,15 @@ def mbsr_spmv(
     counters.imbalance = plan.imbalance
     counters.launches = 1
     record.detail = {"path": plan.kernel_path, "variation": plan.variation}
-    return y[: mat.nrows], record
+    y = y[: mat.nrows]
+    # Output-dtype pin: both the segment-sum path and the blc_num == 0
+    # early exit must hand back the accumulator dtype, or mixed-precision
+    # callers silently lose (or fabricate) precision downstream.
+    assert y.dtype == acc_dtype, (
+        f"mbsr_spmv produced {y.dtype}, expected accumulator {acc_dtype}"
+    )
+    if check_runtime.is_active():
+        from repro.check import oracle
+
+        oracle.verify_spmv(mat, x, y, precision, plan)
+    return y, record

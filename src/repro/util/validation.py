@@ -25,9 +25,34 @@ def check_1d(arr: np.ndarray, name: str) -> np.ndarray:
     return out
 
 
-def check_dtype(arr: np.ndarray, dtype: np.dtype, name: str) -> np.ndarray:
-    """Return *arr* converted to *dtype* (no copy when already correct)."""
-    return np.asarray(arr, dtype=dtype)
+def check_dtype(
+    arr: np.ndarray, dtype: np.dtype, name: str, casting: str = "same_kind"
+) -> np.ndarray:
+    """Return *arr* converted to *dtype* (no copy when already correct).
+
+    Unlike a bare ``np.asarray(arr, dtype=...)``, which silently performs
+    *any* cast (object arrays of strings to float, floats to ints with
+    truncation), the conversion is rejected with :class:`ValueError` when
+
+    * the source dtype cannot be cast to *dtype* under the *casting* rule
+      (default ``"same_kind"``: float->int, complex->float and
+      non-numeric->numeric conversions all fail; pass ``casting="safe"``
+      to additionally reject narrowing within a kind), or
+    * the element-wise conversion itself fails (e.g. non-numeric strings).
+    """
+    arr = np.asanyarray(arr)
+    dtype = np.dtype(dtype)
+    if arr.dtype == dtype:
+        return arr
+    if not np.can_cast(arr.dtype, dtype, casting=casting):
+        raise ValueError(
+            f"{name}: cannot cast {arr.dtype} to {dtype} under the "
+            f"{casting!r} casting rule"
+        )
+    try:
+        return arr.astype(dtype)
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise ValueError(f"{name}: conversion to {dtype} failed: {exc}") from exc
 
 
 def check_square(shape: tuple[int, int], name: str = "matrix") -> None:
