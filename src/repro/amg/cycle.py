@@ -20,6 +20,7 @@ from typing import Callable
 import numpy as np
 
 from repro.amg.hierarchy import AMGHierarchy
+from repro.amg.precision import accumulator
 from repro.check import runtime as check_runtime
 
 __all__ = ["SolveParams", "SolveStats", "mg_cycle", "v_cycle", "amg_solve"]
@@ -177,7 +178,7 @@ def mg_cycle(
     # Coarse-grid visits: V = 1, W = 2, F = one W-style visit then a
     # V-style one (standard F-cycle recursion).
     n_coarse = hierarchy.levels[level + 1].n
-    x_coarse = np.zeros(n_coarse)
+    x_coarse = accumulator(n_coarse)
     if params.cycle_type == "V":
         visits = [params]
     elif params.cycle_type == "W":
@@ -194,7 +195,7 @@ def mg_cycle(
             stats.spmv_calls += 1
             b_coarse = np.asarray(spmv(level, "R", r2), dtype=np.float64)
             stats.spmv_calls += 1
-            x_coarse = np.zeros(n_coarse)
+            x_coarse = accumulator(n_coarse)
         x_coarse = mg_cycle(
             hierarchy, b_coarse, x_coarse, spmv, visit_params, stats, level + 1
         )
@@ -254,7 +255,7 @@ def amg_solve(
     n = hierarchy.levels[0].n
     if b.shape != (n,):
         raise ValueError(f"b has shape {b.shape}, expected ({n},)")
-    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    x = accumulator(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
     stats = SolveStats()
 
     r0 = b - np.asarray(spmv(0, "A", x), dtype=np.float64)

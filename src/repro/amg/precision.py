@@ -10,10 +10,30 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.gpu.counters import Precision
 from repro.gpu.specs import DeviceSpec
 
-__all__ = ["PrecisionSchedule"]
+__all__ = ["PrecisionSchedule", "accumulator", "accum_dtype"]
+
+
+def accum_dtype(precision: Precision = Precision.FP64):
+    """Accumulation dtype of *precision* (FP16 accumulates in FP32)."""
+    return precision.accum_dtype
+
+
+def accumulator(shape, precision: Precision = Precision.FP64) -> np.ndarray:
+    """Zero-initialised solve-phase accumulator for *precision*.
+
+    The single audit point for accumulator dtypes: every zero-filled work
+    vector of the solve phase (cycle iterates, coarse corrections, Krylov
+    workspaces) is created here, so the dtype consequences of the level
+    policy are grep-able in one place.  The ``repro.lint`` dtype-flow rule
+    (R1) flags solve-phase ``np.zeros``/``np.empty`` calls that bypass it
+    without stating a dtype.
+    """
+    return np.zeros(shape, dtype=precision.accum_dtype)
 
 
 @dataclass(frozen=True)

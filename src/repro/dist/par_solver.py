@@ -17,7 +17,7 @@ are lower than the single-GPU ones (1.32-1.46x): Amdahl on the comm share.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

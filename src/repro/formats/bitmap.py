@@ -24,6 +24,7 @@ import numpy as np
 
 __all__ = [
     "BLOCK_SIZE",
+    "TILE_SLOTS",
     "TC_NNZ_THRESHOLD",
     "bitmap_from_dense",
     "bitmap_to_mask",
@@ -37,11 +38,15 @@ __all__ = [
 #: (multiples of 4 on every dimension) can be pieced together from tiles.
 BLOCK_SIZE = 4
 
+#: Slots per tile (``BLOCK_SIZE ** 2``); the unit of dense tile traffic in
+#: the kernels' byte accounting.
+TILE_SLOTS = BLOCK_SIZE * BLOCK_SIZE
+
 #: Tiles whose popcount reaches this threshold take the tensor-core path in
 #: both SpGEMM (Alg. 4 line 3) and SpMV (Sec. IV.D.1).
 TC_NNZ_THRESHOLD = 10
 
-_BITS = BLOCK_SIZE * BLOCK_SIZE
+_BITS = TILE_SLOTS
 
 # Row r of the tile occupies bits [4r, 4r+4); precompute the masks.
 _ROW_MASKS = np.array([0xF << (BLOCK_SIZE * r) for r in range(BLOCK_SIZE)], dtype=np.uint32)

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.formats.bitmap import BLOCK_SIZE, bitmap_to_mask
+from repro.formats.bitmap import BLOCK_SIZE, TILE_SLOTS, bitmap_to_mask
 from repro.formats.bsr import BSRMatrix
 from repro.formats.csr import CSRMatrix
 from repro.formats.mbsr import MBSRMatrix, block_rows
@@ -113,7 +113,7 @@ def csr_to_mbsr(csr: CSRMatrix, *, return_stats: bool = False):
         bytes_read=csr.nnz * (itemsize + 8) + (csr.nrows + 1) * 8,
         # write blc_ptr, blc_idx, blc_val (dense tiles), blc_map (the only
         # array BSR lacks: 2 bytes per tile)
-        bytes_written=(mb + 1) * 8 + blc_num * 8 + blc_num * 16 * itemsize + blc_num * 2,
+        bytes_written=(mb + 1) * 8 + blc_num * 8 + blc_num * TILE_SLOTS * itemsize + blc_num * 2,
     )
     return out, stats
 
@@ -142,7 +142,7 @@ def csr_to_bsr(csr: CSRMatrix, *, return_stats: bool = False):
         nnz=csr.nnz,
         blc_num=blc_num,
         bytes_read=csr.nnz * (itemsize + 8) + (csr.nrows + 1) * 8,
-        bytes_written=(mb + 1) * 8 + blc_num * 8 + blc_num * 16 * itemsize,
+        bytes_written=(mb + 1) * 8 + blc_num * 8 + blc_num * TILE_SLOTS * itemsize,
     )
     return out, stats
 

@@ -12,7 +12,7 @@ coarse levels instead).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.gpu.counters import Precision
 

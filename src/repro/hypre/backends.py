@@ -29,9 +29,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.formats.convert import mbsr_to_csr
-from repro.formats.csr import CSRMatrix
 from repro.gpu.cost import CostModel
-from repro.gpu.counters import KernelCounters, Precision
+from repro.gpu.counters import Precision
 from repro.gpu.specs import DeviceSpec
 from repro.hypre.csr_matrix import HypreCSRMatrix
 from repro.kernels.baseline import csr_spgemm, csr_spmv
@@ -162,7 +161,6 @@ class AmgTBackend(KernelBackend):
         return mbsr
 
     def _record_mbsr2csr(self, result: HypreCSRMatrix, perf, phase, level):
-        from repro.formats.convert import ConversionStats
 
         mbsr = result.mbsr
         itemsize = 8

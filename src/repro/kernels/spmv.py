@@ -23,9 +23,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.check import runtime as check_runtime
-from repro.formats.bitmap import BLOCK_SIZE, TC_NNZ_THRESHOLD
+from repro.formats.bitmap import BLOCK_SIZE, TC_NNZ_THRESHOLD, TILE_SLOTS
 from repro.formats.mbsr import MBSRMatrix
-from repro.gpu.counters import KernelCounters, Precision, effective_value_bytes
+from repro.gpu.counters import Precision, effective_value_bytes
 from repro.kernels.record import KernelRecord
 from repro.util.segops import segment_sum
 
@@ -135,24 +135,28 @@ def mbsr_spmv(
     plan: SpMVPlan | None = None,
     *,
     allow_tensor_cores: bool = True,
+    tc_threshold: float | None = None,
     storage_itemsize: int | None = None,
 ) -> tuple[np.ndarray, KernelRecord]:
     """Compute ``y = A @ x`` with the adaptive mBSR kernel.
 
     Returns ``y`` in the accumulator dtype of *precision* and the kernel
-    record.  Pass a prebuilt *plan* to skip preprocessing on repeated calls.
-    ``storage_itemsize`` overrides the per-value byte size charged for
-    memory traffic: devices whose low-precision path computes in reduced
-    precision but keeps FP64-resident data (the MI210 configuration of
-    Sec. V.F) pass 8 here, which is what makes mixed precision a wash
-    there.
+    record.  Pass a prebuilt *plan* to skip preprocessing on repeated
+    calls; without one, the memoised per-operator plan is built with the
+    caller's *tc_threshold* (``None`` = the paper's ``TC_NNZ_THRESHOLD``)
+    — the threshold used to be hard-wired here, silently discarding any
+    non-default core-selection point.  ``storage_itemsize`` overrides the
+    per-value byte size charged for memory traffic: devices whose
+    low-precision path computes in reduced precision but keeps
+    FP64-resident data (the MI210 configuration of Sec. V.F) pass 8 here,
+    which is what makes mixed precision a wash there.
     """
     x = np.asarray(x)
     if x.shape != (mat.ncols,):
         raise ValueError(f"x has shape {x.shape}, expected ({mat.ncols},)")
     cache = mat.cache
     if plan is None:
-        plan = cache.spmv_plan(allow_tensor_cores, tc_threshold=TC_NNZ_THRESHOLD)
+        plan = cache.spmv_plan(allow_tensor_cores, tc_threshold=tc_threshold)
 
     record = KernelRecord(kernel="spmv", backend="amgt", precision=precision)
     counters = record.counters
@@ -189,7 +193,7 @@ def mbsr_spmv(
         counters.add_mma(precision, plan.mma_issues)
         # fragA: two dense tiles per issue; fragB: replicated x slices.
         counters.add_bytes(
-            read=effective_value_bytes(mat.blc_num * 16 * itemsize, itemsize)
+            read=effective_value_bytes(mat.blc_num * TILE_SLOTS * itemsize, itemsize)
         )
     else:
         # Thread-level path: one FMA per stored nonzero, plus the bitmap
@@ -204,13 +208,13 @@ def mbsr_spmv(
         counters.add_flops(precision, 2.0 * nnz * SCALAR_PIPELINE_OVERHEAD)
         value_bytes = min(
             float(nnz) * itemsize * SCALAR_GATHER_OVERHEAD,
-            float(mat.blc_num) * 16 * itemsize,
+            float(mat.blc_num) * TILE_SLOTS * itemsize,
         )
         counters.add_bytes(read=effective_value_bytes(value_bytes, itemsize))
     # Index structures + bitmaps + x gather + y write.
     counters.add_bytes(
         read=mat.blc_num * (8 + 2) + (mat.mb + 1) * 8
-        + effective_value_bytes(mat.blc_num * 4 * itemsize, itemsize),
+        + effective_value_bytes(mat.blc_num * BLOCK_SIZE * itemsize, itemsize),
         written=mat.nrows * max(acc_dtype().itemsize, itemsize),
     )
     counters.imbalance = plan.imbalance

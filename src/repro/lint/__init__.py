@@ -1,0 +1,40 @@
+"""``repro.lint`` — repo-specific AST static analysis.
+
+The runtime contract checker (``repro.check``, PR 2) verifies kernel
+behaviour *dynamically*; this package catches the recurring bug classes
+*statically*, before a kernel runs:
+
+====  ====================  ========  =============================================
+id    name                  severity  invariant guarded
+====  ====================  ========  =============================================
+R1    dtype-flow            error     no silent precision changes across the
+                                      FP64/FP32/FP16 level policy
+R2    scatter-ban           error     all scatters go through util/segops.py
+R3    constant-provenance   error     paper constants (popcount 10, 4x4 tiles,
+                                      variation 0.5, 8x8x4 fragments) are imported,
+                                      never re-typed
+R4    contract-hook         error     every public kernel entry point consults the
+                                      repro.check runtime hook
+R5    hot-loop-alloc        advisory  allocations inside kernel/format loops are
+                                      cache candidates
+====  ====================  ========  =============================================
+
+Run with ``python -m repro.lint [paths]``; suppress a finding with
+``# lint: disable=R2 -- <justification>`` (the justification is
+mandatory); grandfather findings with ``--write-baseline``.
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import LintResult, lint_file, lint_paths
+from repro.lint.finding import RULES, Finding, Rule, Severity
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "Severity",
+    "lint_file",
+    "lint_paths",
+]

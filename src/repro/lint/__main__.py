@@ -1,0 +1,107 @@
+"""CLI: ``python -m repro.lint [paths] [options]``.
+
+Exit status: 0 clean (advisories allowed), 1 on unsuppressed,
+unbaselined error findings (or warnings under ``--strict``), 2 on usage
+errors.  ``--write-baseline`` records the current findings and exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import lint_paths
+from repro.lint.reporter import render_json, render_text
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Repo-specific static analysis for the AmgT reproduction "
+        "(dtype-flow, scatter-ban, constant-provenance, contract-hook "
+        "coverage, hot-loop allocations).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", default=None,
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help=f"baseline file (default: ./{DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings as failures too",
+    )
+    return parser
+
+
+def _split(arg: str | None) -> list[str] | None:
+    if arg is None:
+        return None
+    return [part.strip() for part in arg.split(",") if part.strip()]
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
+    baseline = None
+    if not args.no_baseline and not args.write_baseline:
+        if baseline_path.exists():
+            try:
+                baseline = Baseline.load(baseline_path)
+            except (ValueError, OSError) as exc:
+                print(f"repro.lint: cannot read baseline: {exc}", file=sys.stderr)
+                return 2
+
+    try:
+        result = lint_paths(
+            args.paths,
+            select=_split(args.select),
+            ignore=_split(args.ignore),
+            baseline=baseline,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro.lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline.from_findings(result.findings, result.sources).save(baseline_path)
+        print(
+            f"repro.lint: wrote {len(result.findings)} finding(s) to "
+            f"{baseline_path}"
+        )
+        return 0
+
+    report = render_json(result) if args.format == "json" else render_text(result)
+    print(report)
+    return result.exit_code(strict=args.strict)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Baseline file: grandfathered findings that do not fail the run.
+
+The baseline lets a new rule land before every historical finding is
+fixed: ``--write-baseline`` records the current findings, subsequent
+runs subtract them, and only *new* findings affect the exit status.
+Entries are content-addressed — rule id, repo path, and the stripped
+source line text, plus an occurrence index so two identical lines in one
+file stay distinct — which keeps them stable across unrelated edits
+that shift line numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.lint.finding import Finding
+
+_VERSION = 1
+
+
+def _portable_path(path: str) -> str:
+    """Anchor *path* at the innermost ``repro`` package component.
+
+    Fingerprints must agree whether the tree was linted as ``src/repro``
+    from the repo root or via an absolute path; anchoring at the package
+    directory makes them invocation-independent.
+    """
+    parts = path.split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i:])
+    return path
+
+
+def _fingerprint(finding: Finding, line_text: str, occurrence: int) -> str:
+    payload = "\x1f".join(
+        (finding.rule, _portable_path(finding.path), line_text.strip(), str(occurrence))
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _line_text(sources: dict[str, list[str]], finding: Finding) -> str:
+    lines = sources.get(finding.path, [])
+    if 1 <= finding.line <= len(lines):
+        return lines[finding.line - 1]
+    return ""
+
+
+def fingerprints(
+    findings: list[Finding], sources: dict[str, list[str]]
+) -> list[tuple[Finding, str]]:
+    """Pair each finding with its stable fingerprint."""
+    seen: dict[tuple[str, str, str], int] = {}
+    out: list[tuple[Finding, str]] = []
+    for f in sorted(findings, key=Finding.sort_key):
+        text = _line_text(sources, f)
+        key = (f.rule, f.path, text.strip())
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        out.append((f, _fingerprint(f, text, occurrence)))
+    return out
+
+
+class Baseline:
+    """Set of accepted finding fingerprints, persisted as JSON."""
+
+    def __init__(self, entries: dict[str, dict] | None = None) -> None:
+        self.entries: dict[str, dict] = entries or {}
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"baseline {path} has version {data.get('version')!r}, "
+                f"expected {_VERSION}"
+            )
+        return cls(entries=data.get("entries", {}))
+
+    def save(self, path: Path) -> None:
+        payload = {"version": _VERSION, "entries": self.entries}
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def from_findings(
+        cls, findings: list[Finding], sources: dict[str, list[str]]
+    ) -> "Baseline":
+        entries: dict[str, dict] = {}
+        for f, fp in fingerprints(findings, sources):
+            entries[fp] = {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "message": f.message,
+            }
+        return cls(entries=entries)
+
+    def filter(
+        self, findings: list[Finding], sources: dict[str, list[str]]
+    ) -> list[Finding]:
+        """Findings not covered by the baseline."""
+        if not self.entries:
+            return findings
+        return [
+            f
+            for f, fp in fingerprints(findings, sources)
+            if fp not in self.entries
+        ]

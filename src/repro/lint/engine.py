@@ -1,0 +1,126 @@
+"""Orchestration: walk files, run rules, apply suppressions + baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.lint.baseline import Baseline
+from repro.lint.context import ModuleContext, load_module
+from repro.lint.finding import RULES, Finding, Severity, make_finding
+from repro.lint.rules_alloc import check_hot_loop_alloc
+from repro.lint.rules_constants import check_constant_provenance
+from repro.lint.rules_dtype import check_dtype_flow
+from repro.lint.rules_invariants import check_contract_hooks, check_scatter_ban
+from repro.lint.suppress import apply_suppressions, parse_suppressions
+
+#: rule id -> checker.  R0 has no checker; it is emitted by the machinery.
+CHECKERS: dict[str, Callable[[ModuleContext], list[Finding]]] = {
+    "R1": check_dtype_flow,
+    "R2": check_scatter_ban,
+    "R3": check_constant_provenance,
+    "R4": check_contract_hooks,
+    "R5": check_hot_loop_alloc,
+}
+
+
+@dataclass
+class LintResult:
+    """Findings plus the per-file sources needed for fingerprinting."""
+
+    findings: list[Finding] = field(default_factory=list)
+    sources: dict[str, list[str]] = field(default_factory=dict)
+    files_checked: int = 0
+
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    def advisories(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ADVISORY]
+
+    def exit_code(self, strict: bool = False) -> int:
+        if self.errors():
+            return 1
+        if strict and self.warnings():
+            return 1
+        return 0
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    seen: dict[Path, None] = {}
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                seen.setdefault(f, None)
+        elif p.suffix == ".py":
+            seen.setdefault(p, None)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {p}")
+    return list(seen)
+
+
+def _selected_rules(
+    select: Iterable[str] | None, ignore: Iterable[str] | None
+) -> set[str]:
+    rules = set(select) if select else set(CHECKERS)
+    unknown = (rules | set(ignore or ())) - set(RULES)
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {sorted(unknown)}")
+    return rules - set(ignore or ())
+
+
+def lint_file(
+    path: Path,
+    rules: set[str] | None = None,
+) -> tuple[list[Finding], list[str]]:
+    """Lint one file; returns (findings, source lines)."""
+    active = rules if rules is not None else set(CHECKERS)
+    display = path.as_posix()
+    try:
+        ctx = load_module(path, display_path=display)
+    except SyntaxError as exc:
+        return (
+            [
+                make_finding(
+                    "R0", display, exc.lineno or 1,
+                    f"file does not parse: {exc.msg}",
+                )
+            ],
+            [],
+        )
+    findings: list[Finding] = []
+    for rule_id in sorted(active):
+        findings += CHECKERS[rule_id](ctx)
+    # Nested defs are walked as part of their enclosing scope too; keep
+    # one finding per (rule, line, message).
+    findings = list(dict.fromkeys(findings))
+    suppressions, problems = parse_suppressions(ctx.path, ctx.lines)
+    findings = apply_suppressions(findings, suppressions) + problems
+    return findings, ctx.lines
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    *,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    baseline: Baseline | None = None,
+) -> LintResult:
+    """Lint *paths*; the module-level entry point used by the CLI and tests."""
+    rules = _selected_rules(select, ignore)
+    result = LintResult()
+    for path in iter_python_files(paths):
+        findings, lines = lint_file(path, rules)
+        result.findings += findings
+        result.sources[path.as_posix()] = lines
+        result.files_checked += 1
+    if baseline is not None:
+        result.findings = baseline.filter(result.findings, result.sources)
+    result.findings.sort(key=Finding.sort_key)
+    return result

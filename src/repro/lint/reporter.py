@@ -1,0 +1,38 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+from repro.lint.finding import RULES
+
+
+def render_text(result: LintResult) -> str:
+    lines = [f.format_text() for f in result.findings]
+    n_err = len(result.errors())
+    n_warn = len(result.warnings())
+    n_adv = len(result.advisories())
+    lines.append(
+        f"repro.lint: {result.files_checked} files checked — "
+        f"{n_err} error(s), {n_warn} warning(s), {n_adv} advisory"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "version": 1,
+        "files_checked": result.files_checked,
+        "counts": {
+            "error": len(result.errors()),
+            "warning": len(result.warnings()),
+            "advisory": len(result.advisories()),
+        },
+        "rules": {
+            rid: {"name": rule.name, "severity": rule.severity.value}
+            for rid, rule in RULES.items()
+        },
+        "findings": [f.to_json() for f in result.findings],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,98 @@
+"""R2 — scatter-ban and R4 — contract-hook coverage.
+
+R2 guards PR 1's invariant: every host-side scatter/accumulate goes
+through ``repro.util.segops``, whose segmented reductions are
+bit-identical to the unbuffered ``ufunc.at`` path but ~100x faster.  A
+reintroduced ``np.add.at`` is both a performance regression and a second
+rounding-order authority, so it is banned everywhere except inside the
+engine itself.
+
+R4 guards PR 2's invariant: checked mode (``REPRO_CHECK=1``) is only
+exhaustive if *every* public kernel entry point consults the
+``repro.check`` runtime hook.  A kernel function is recognised by the
+``KernelRecord(...)`` it constructs; such a function must call
+``...is_active()`` (or enter a ``checked_region``) somewhere in its body.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.astutil import dotted_name, toplevel_functions
+from repro.lint.context import ModuleContext
+from repro.lint.finding import Finding, make_finding
+
+#: ufuncs whose unbuffered ``.at`` scatter is banned outside segops.
+_BANNED_UFUNCS = (
+    "add",
+    "subtract",
+    "multiply",
+    "bitwise_or",
+    "bitwise_and",
+    "bitwise_xor",
+    "maximum",
+    "minimum",
+)
+
+
+def check_scatter_ban(ctx: ModuleContext) -> list[Finding]:
+    """R2: flag ``np.<ufunc>.at(...)`` calls outside the scatter engine."""
+    if ctx.is_scatter_engine():
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name is None or not name.endswith(".at"):
+            continue
+        parts = name.split(".")
+        if len(parts) == 3 and parts[0] in ("np", "numpy") and parts[1] in _BANNED_UFUNCS:
+            findings.append(
+                make_finding(
+                    "R2",
+                    ctx.path,
+                    node.lineno,
+                    f"unbuffered scatter {name}(...) outside util/segops.py: "
+                    "use repro.util.segops.scatter_accumulate / segment_* — "
+                    "bit-identical and vectorised",
+                )
+            )
+    return findings
+
+
+def _calls_in(body: list[ast.stmt]):
+    for stmt in body:
+        yield from (n for n in ast.walk(stmt) if isinstance(n, ast.Call))
+
+
+def check_contract_hooks(ctx: ModuleContext) -> list[Finding]:
+    """R4: kernel entry points must route through the repro.check hook."""
+    if not ctx.in_contract_scope():
+        return []
+    findings: list[Finding] = []
+    for func in toplevel_functions(ctx.tree):
+        if func.name.startswith("_"):
+            continue
+        builds_record = False
+        consults_hook = False
+        for call in _calls_in(func.body):
+            name = dotted_name(call.func) or ""
+            tail = name.rsplit(".", 1)[-1]
+            if tail == "KernelRecord":
+                builds_record = True
+            elif tail in ("is_active", "checked_region"):
+                consults_hook = True
+        if builds_record and not consults_hook:
+            findings.append(
+                make_finding(
+                    "R4",
+                    ctx.path,
+                    func.lineno,
+                    f"kernel entry point {func.name}() builds a KernelRecord "
+                    "but never consults the repro.check hook "
+                    "(check_runtime.is_active() / checked_region): checked "
+                    "mode would silently skip this kernel",
+                )
+            )
+    return findings

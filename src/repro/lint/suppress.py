@@ -1,0 +1,151 @@
+"""Per-line suppressions: ``# lint: disable=R2 -- justification``.
+
+A suppression must carry a justification after ``--``; the analyzer
+treats a bare ``# lint: disable=R2`` as an R0 error — the whole point of
+a repo-specific lint is that every override documents *why* the
+invariant does not apply at that site.
+
+Placement:
+
+* inline (on the flagged line) — suppresses findings on that line;
+* on its own line — suppresses findings on the next non-blank,
+  non-comment line (the conventional "decorator" position).
+
+``disable=all`` suppresses every rule except R0.  Comments are located
+with :mod:`tokenize`, so lint-control text inside strings and docstrings
+(this module included) is never mistaken for a directive.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+from repro.lint.finding import RULES, Finding, make_finding
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s*--\s*(?P<why>.*\S))?\s*$"
+)
+
+_CONTROL_RE = re.compile(r"#\s*lint\s*:")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed suppression comment."""
+
+    comment_line: int  # where the comment sits
+    target_line: int  # the line whose findings it suppresses
+    rules: frozenset[str]  # rule ids, or {'all'}
+    justification: str
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.line != self.target_line:
+            return False
+        if finding.rule == "R0":  # lint-integrity findings stay visible
+            return False
+        return finding.rule in self.rules or "all" in self.rules
+
+
+def _next_code_line(lines: list[str], after: int) -> int:
+    """1-based number of the first non-blank, non-comment line after *after*."""
+    for i in range(after, len(lines)):
+        stripped = lines[i].strip()
+        if stripped and not stripped.startswith("#"):
+            return i + 1
+    return after  # trailing comment: suppress nothing real
+
+
+def _comment_tokens(source: str):
+    """(line_number, comment_text) for every real comment in *source*."""
+    reader = io.StringIO(source).readline
+    try:
+        for tok in tokenize.generate_tokens(reader):
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.string
+    except (tokenize.TokenError, IndentationError):
+        # The AST parse already reported unparsable files; stop quietly.
+        return
+
+
+def parse_suppressions(
+    path: str, lines: list[str]
+) -> tuple[list[Suppression], list[Finding]]:
+    """Scan the comments of a file for suppression directives.
+
+    Returns the usable suppressions plus R0 findings for malformed ones
+    (unknown rule ids, missing justification).
+    """
+    source = "\n".join(lines) + "\n"
+    suppressions: list[Suppression] = []
+    problems: list[Finding] = []
+    for lineno, comment in _comment_tokens(source):
+        if not _CONTROL_RE.search(comment):
+            continue
+        m = _SUPPRESS_RE.search(comment)
+        if m is None:
+            problems.append(
+                make_finding(
+                    "R0",
+                    path,
+                    lineno,
+                    "unrecognised lint control comment; expected "
+                    "'# lint: disable=<RULES> -- <justification>'",
+                )
+            )
+            continue
+        rule_ids = {r.strip() for r in m.group("rules").split(",") if r.strip()}
+        unknown = {r for r in rule_ids if r != "all" and r not in RULES}
+        if unknown:
+            problems.append(
+                make_finding(
+                    "R0",
+                    path,
+                    lineno,
+                    f"suppression names unknown rule(s): {sorted(unknown)}",
+                )
+            )
+            rule_ids -= unknown
+        why = (m.group("why") or "").strip()
+        if not why:
+            problems.append(
+                make_finding(
+                    "R0",
+                    path,
+                    lineno,
+                    "suppression is missing its justification; write "
+                    "'# lint: disable=RULE -- <why the invariant does not "
+                    "apply here>'",
+                )
+            )
+            continue
+        if not rule_ids:
+            continue
+        raw = lines[lineno - 1] if lineno - 1 < len(lines) else ""
+        standalone = raw.strip().startswith("#")
+        target = _next_code_line(lines, lineno) if standalone else lineno
+        suppressions.append(
+            Suppression(
+                comment_line=lineno,
+                target_line=target,
+                rules=frozenset(rule_ids),
+                justification=why,
+            )
+        )
+    return suppressions, problems
+
+
+def apply_suppressions(
+    findings: list[Finding], suppressions: list[Suppression]
+) -> list[Finding]:
+    """Drop findings matched by a suppression."""
+    if not suppressions:
+        return findings
+    return [
+        f
+        for f in findings
+        if not any(s.matches(f) for s in suppressions)
+    ]

@@ -11,15 +11,15 @@ and the suite's Table II commentary.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.formats.bitmap import TC_NNZ_THRESHOLD
+from repro.formats.bitmap import TC_NNZ_THRESHOLD, TILE_SLOTS
 from repro.formats.convert import csr_to_mbsr
 from repro.formats.csr import CSRMatrix
 from repro.formats.mbsr import MBSRMatrix
-from repro.kernels.spmv import VARIATION_THRESHOLD, build_spmv_plan
+from repro.kernels.spmv import build_spmv_plan
 
 __all__ = ["MatrixProfile", "profile_matrix", "tile_density_histogram"]
 
@@ -101,7 +101,7 @@ def profile_matrix(a: CSRMatrix | MBSRMatrix) -> MatrixProfile:
         symmetric_pattern=symmetric,
         blc_num=mbsr.blc_num,
         avg_nnz_blc=mbsr.avg_nnz_blc,
-        tile_fill=mbsr.nnz / (16.0 * mbsr.blc_num) if mbsr.blc_num else 0.0,
+        tile_fill=mbsr.nnz / (TILE_SLOTS * mbsr.blc_num) if mbsr.blc_num else 0.0,
         dense_tile_fraction=dense_fraction,
         storage_ratio_mbsr_csr=mbsr_bytes / csr_bytes if csr_bytes else 0.0,
         spmv_path=plan.kernel_path,

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.formats.bitmap import BLOCK_SIZE
 from repro.formats.csr import CSRMatrix
 
 __all__ = [
@@ -243,7 +244,7 @@ def power_network(n: int, seed: int = 0, avg_degree: int = 3) -> CSRMatrix:
 
 def random_block_spd(
     n_blocks: int,
-    block_size: int = 4,
+    block_size: int = BLOCK_SIZE,
     density: float = 0.02,
     seed: int = 0,
 ) -> CSRMatrix:

@@ -8,7 +8,6 @@ Used by the CLI's ``bench`` command output and by the harness printouts.
 
 from __future__ import annotations
 
-import math
 
 __all__ = ["hbar_chart", "grouped_bars", "scatter_series", "sparkline"]
 

@@ -12,6 +12,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.amg.precision import accumulator
 from repro.formats.csr import CSRMatrix
 
 __all__ = ["bicgstab", "BiCGStabResult"]
@@ -49,7 +50,7 @@ def bicgstab(
     precond = preconditioner or (lambda r: r)
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
-    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    x = accumulator(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
 
     r = b - np.asarray(matvec(x), dtype=np.float64)
     r_hat = r.copy()
@@ -59,8 +60,8 @@ def bicgstab(
         return BiCGStabResult(x, 0, True, history)
 
     rho_old = alpha = omega = 1.0
-    v = np.zeros(n)
-    p = np.zeros(n)
+    v = accumulator(n)
+    p = accumulator(n)
     for it in range(1, max_iterations + 1):
         rho = float(r_hat @ r)
         if rho == 0.0:

@@ -14,6 +14,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.amg.precision import accumulator
 from repro.formats.csr import CSRMatrix
 
 __all__ = ["pcg", "PCGResult"]
@@ -59,7 +60,7 @@ def pcg(
     matvec: MatVec = a.matvec if isinstance(a, CSRMatrix) else a
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
-    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    x = accumulator(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
     precond = preconditioner or (lambda r: r)
 
     r = b - np.asarray(matvec(x), dtype=np.float64)

@@ -12,6 +12,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.amg.precision import accumulator
 from repro.formats.csr import CSRMatrix
 
 __all__ = ["gmres", "GMRESResult"]
@@ -56,7 +57,7 @@ def gmres(
     precond = preconditioner or (lambda r: r)
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
-    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    x = accumulator(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
 
     norm_b = float(np.linalg.norm(b))
     r = b - np.asarray(matvec(x), dtype=np.float64)
@@ -70,12 +71,12 @@ def gmres(
     while total_iters < max_iterations:
         m = min(restart, max_iterations - total_iters)
         # Arnoldi with modified Gram-Schmidt on the preconditioned operator.
-        v = np.zeros((m + 1, n))
-        h = np.zeros((m + 1, m))
-        z = np.zeros((m, n))  # preconditioned basis vectors (for the update)
-        cs = np.zeros(m)
-        sn = np.zeros(m)
-        g = np.zeros(m + 1)
+        v = accumulator((m + 1, n))
+        h = accumulator((m + 1, m))
+        z = accumulator((m, n))  # preconditioned basis vectors (for the update)
+        cs = accumulator(m)
+        sn = accumulator(m)
+        g = accumulator(m + 1)
         v[0] = r / beta
         g[0] = beta
         k_used = 0

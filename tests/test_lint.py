@@ -1,0 +1,660 @@
+"""Tests for the ``repro.lint`` static analyzer.
+
+Each rule gets a seeded-violation fixture (must be flagged) and a
+conforming twin (must stay clean); on top of that: suppression
+semantics, baseline round-trips, CLI exit codes, and the self-check
+that the merged tree lints clean.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Baseline, Severity, lint_paths
+from repro.lint.engine import lint_file
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write(tmp_path: Path, rel: str, source: str) -> Path:
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def rules_of(findings) -> set[str]:
+    return {f.rule for f in findings}
+
+
+def run_cli(args, cwd=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd or REPO_ROOT,
+        env=env,
+    )
+
+
+# ---------------------------------------------------------------------------
+# R1 — dtype-flow
+# ---------------------------------------------------------------------------
+
+
+class TestDtypeFlow:
+    def test_scalar_mix_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "snippet.py",
+            """
+            import numpy as np
+
+            def kernel(vals):
+                tiles = vals.astype(np.float16)
+                return tiles * 0.5
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R1" in rules_of(findings)
+        assert any("float" in f.message and "scalar" in f.message for f in findings)
+
+    def test_scalar_mix_clean_when_cast_explicit(self, tmp_path):
+        path = write(
+            tmp_path,
+            "snippet.py",
+            """
+            import numpy as np
+
+            def kernel(vals):
+                tiles = vals.astype(np.float16)
+                half = np.float16(0.5)
+                return tiles * half
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R1" not in rules_of(findings)
+
+    def test_silent_widening_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "snippet.py",
+            """
+            import numpy as np
+
+            def kernel(vals):
+                quant = vals.astype(np.float32)
+                return quant.astype(np.float64)
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert any(f.rule == "R1" and "widening" in f.message for f in findings)
+
+    def test_widening_with_casting_is_clean(self, tmp_path):
+        path = write(
+            tmp_path,
+            "snippet.py",
+            """
+            import numpy as np
+
+            def kernel(vals):
+                quant = vals.astype(np.float32)
+                return quant.astype(np.float64, casting="same_kind")
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R1" not in rules_of(findings)
+
+    def test_raw_accumulator_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "snippet.py",
+            """
+            import numpy as np
+
+            def solve(n):
+                x = np.zeros(n)
+                return x
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert any(f.rule == "R1" and "accumulator" in f.message for f in findings)
+
+    def test_accumulator_with_dtype_is_clean(self, tmp_path):
+        path = write(
+            tmp_path,
+            "snippet.py",
+            """
+            import numpy as np
+
+            def solve(n):
+                return np.zeros(n, dtype=np.float64)
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R1" not in rules_of(findings)
+
+    def test_accumulator_scope_limited_inside_repro(self, tmp_path):
+        # Inside the package, only the solve-phase modules are in scope.
+        in_scope = write(
+            tmp_path,
+            "repro/solvers/cg.py",
+            "import numpy as np\nx = np.zeros(5)\n",
+        )
+        out_of_scope = write(
+            tmp_path,
+            "repro/matrices/generators.py",
+            "import numpy as np\nx = np.zeros(5)\n",
+        )
+        flagged, _ = lint_file(in_scope)
+        clean, _ = lint_file(out_of_scope)
+        assert "R1" in rules_of(flagged)
+        assert "R1" not in rules_of(clean)
+
+
+# ---------------------------------------------------------------------------
+# R2 — scatter-ban
+# ---------------------------------------------------------------------------
+
+
+class TestScatterBan:
+    def test_add_at_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "snippet.py",
+            """
+            import numpy as np
+
+            def scatter(out, ids, vals):
+                np.add.at(out, ids, vals)
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert any(f.rule == "R2" and "np.add.at" in f.message for f in findings)
+
+    @pytest.mark.parametrize("ufunc", ["bitwise_or", "maximum"])
+    def test_other_ufuncs_flagged(self, tmp_path, ufunc):
+        path = write(
+            tmp_path,
+            "snippet.py",
+            f"import numpy as np\nnp.{ufunc}.at([], [], [])\n",
+        )
+        findings, _ = lint_file(path)
+        assert "R2" in rules_of(findings)
+
+    def test_segops_module_exempt(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/util/segops.py",
+            "import numpy as np\nnp.add.at([], [], [])\n",
+        )
+        findings, _ = lint_file(path)
+        assert "R2" not in rules_of(findings)
+
+    def test_segment_sum_usage_clean(self, tmp_path):
+        path = write(
+            tmp_path,
+            "snippet.py",
+            """
+            from repro.util.segops import segment_sum
+
+            def scatter(vals, ids, n):
+                return segment_sum(vals, ids, n)
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R2" not in rules_of(findings)
+
+
+# ---------------------------------------------------------------------------
+# R3 — constant-provenance
+# ---------------------------------------------------------------------------
+
+
+class TestConstantProvenance:
+    def test_popcount_threshold_literal_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "snippet.py",
+            """
+            def pick_core(avg_nnz_blc):
+                return avg_nnz_blc >= 10
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert any(
+            f.rule == "R3" and "TC_NNZ_THRESHOLD" in f.message for f in findings
+        )
+
+    def test_named_constant_clean(self, tmp_path):
+        path = write(
+            tmp_path,
+            "snippet.py",
+            """
+            from repro.formats.bitmap import TC_NNZ_THRESHOLD
+
+            def pick_core(avg_nnz_blc):
+                return avg_nnz_blc >= TC_NNZ_THRESHOLD
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R3" not in rules_of(findings)
+
+    def test_tc_threshold_keyword_literal_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "snippet.py",
+            """
+            def caller(build_plan, mat):
+                return build_plan(mat, tc_threshold=10)
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R3" in rules_of(findings)
+
+    def test_variation_threshold_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "snippet.py",
+            """
+            def schedule(variation):
+                return variation > 0.5
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert any(
+            f.rule == "R3" and "VARIATION_THRESHOLD" in f.message for f in findings
+        )
+
+    def test_tile_traffic_literal_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "snippet.py",
+            """
+            def traffic(blc_num, itemsize):
+                return blc_num * 16 * itemsize + blc_num * 4
+            """,
+        )
+        findings, _ = lint_file(path)
+        msgs = [f.message for f in findings if f.rule == "R3"]
+        assert any("TILE_SLOTS" in m for m in msgs)
+        assert any("BLOCK_SIZE" in m for m in msgs)
+
+    def test_frag_shape_tuple_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "snippet.py",
+            """
+            def check(frag_a):
+                return frag_a.shape[-2:] != (8, 4)
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert any(f.rule == "R3" and "FRAG" in f.message for f in findings)
+
+    def test_defining_module_exempt(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/formats/bitmap.py",
+            """
+            def pick_core(avg_nnz_blc):
+                return avg_nnz_blc >= 10
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R3" not in rules_of(findings)
+
+
+# ---------------------------------------------------------------------------
+# R4 — contract-hook coverage
+# ---------------------------------------------------------------------------
+
+
+class TestContractHook:
+    BAD = """
+    from repro.kernels.record import KernelRecord
+
+    def my_kernel(mat, x):
+        record = KernelRecord(kernel="spmv", backend="amgt")
+        return x, record
+    """
+
+    GOOD = """
+    from repro.check import runtime as check_runtime
+    from repro.kernels.record import KernelRecord
+
+    def my_kernel(mat, x):
+        record = KernelRecord(kernel="spmv", backend="amgt")
+        if check_runtime.is_active():
+            pass
+        return x, record
+    """
+
+    def test_unhooked_kernel_flagged(self, tmp_path):
+        path = write(tmp_path, "repro/kernels/custom.py", self.BAD)
+        findings, _ = lint_file(path)
+        assert any(f.rule == "R4" and "my_kernel" in f.message for f in findings)
+
+    def test_hooked_kernel_clean(self, tmp_path):
+        path = write(tmp_path, "repro/kernels/custom.py", self.GOOD)
+        findings, _ = lint_file(path)
+        assert "R4" not in rules_of(findings)
+
+    def test_private_helpers_exempt(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/kernels/custom.py",
+            self.BAD.replace("my_kernel", "_my_kernel"),
+        )
+        findings, _ = lint_file(path)
+        assert "R4" not in rules_of(findings)
+
+    def test_outside_kernels_dir_exempt(self, tmp_path):
+        path = write(tmp_path, "repro/perf/report2.py", self.BAD)
+        findings, _ = lint_file(path)
+        assert "R4" not in rules_of(findings)
+
+
+# ---------------------------------------------------------------------------
+# R5 — hot-loop allocation (advisory)
+# ---------------------------------------------------------------------------
+
+
+class TestHotLoopAlloc:
+    def test_alloc_in_loop_is_advisory(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/kernels/custom.py",
+            """
+            import numpy as np
+
+            def sweep(tiles):
+                out = []
+                for t in tiles:
+                    buf = np.zeros(t.shape, dtype=np.float64)
+                    out.append(buf)
+                return np.concatenate(out)
+            """,
+        )
+        findings, _ = lint_file(path)
+        r5 = [f for f in findings if f.rule == "R5"]
+        assert len(r5) == 1
+        assert r5[0].severity is Severity.ADVISORY
+
+    def test_hoisted_alloc_clean(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/kernels/custom.py",
+            """
+            import numpy as np
+
+            def sweep(tiles, n):
+                buf = np.zeros(n, dtype=np.float64)
+                for t in tiles:
+                    buf += t
+                return buf
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R5" not in rules_of(findings)
+
+    def test_advisory_does_not_fail_run(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/formats/custom.py",
+            """
+            import numpy as np
+
+            def sweep(tiles):
+                for t in tiles:
+                    buf = np.empty(4, dtype=np.int64)
+                return buf
+            """,
+        )
+        result = lint_paths([tmp_path])
+        assert result.advisories() and not result.errors()
+        assert result.exit_code() == 0
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressions:
+    def test_inline_suppression_with_justification(self, tmp_path):
+        path = write(
+            tmp_path,
+            "snippet.py",
+            """
+            import numpy as np
+
+            np.add.at([], [], [])  # lint: disable=R2 -- exercising the raw path
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert rules_of(findings) == set()
+
+    def test_standalone_suppression_covers_next_line(self, tmp_path):
+        path = write(
+            tmp_path,
+            "snippet.py",
+            """
+            import numpy as np
+
+            # lint: disable=R2 -- benchmark needs the unbuffered reference
+            np.add.at([], [], [])
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert rules_of(findings) == set()
+
+    def test_suppression_without_justification_is_r0(self, tmp_path):
+        path = write(
+            tmp_path,
+            "snippet.py",
+            """
+            import numpy as np
+
+            np.add.at([], [], [])  # lint: disable=R2
+            """,
+        )
+        findings, _ = lint_file(path)
+        # The justification-less directive is itself an error AND does not
+        # suppress the R2 finding.
+        assert {"R0", "R2"} <= rules_of(findings)
+
+    def test_unknown_rule_in_suppression_is_r0(self, tmp_path):
+        path = write(
+            tmp_path,
+            "snippet.py",
+            "x = 1  # lint: disable=R99 -- no such rule\n",
+        )
+        findings, _ = lint_file(path)
+        assert "R0" in rules_of(findings)
+
+    def test_suppression_only_covers_named_rule(self, tmp_path):
+        path = write(
+            tmp_path,
+            "snippet.py",
+            """
+            import numpy as np
+
+            np.add.at([], [], [])  # lint: disable=R5 -- wrong rule named
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R2" in rules_of(findings)
+
+    def test_disable_all(self, tmp_path):
+        path = write(
+            tmp_path,
+            "snippet.py",
+            """
+            import numpy as np
+
+            np.add.at([], [], [])  # lint: disable=all -- fixture exercises everything
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert rules_of(findings) == set()
+
+    def test_directive_text_in_string_is_ignored(self, tmp_path):
+        path = write(
+            tmp_path,
+            "snippet.py",
+            'DOC = "use # lint: disable=R2 to suppress"\n',
+        )
+        findings, _ = lint_file(path)
+        assert rules_of(findings) == set()
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+
+
+class TestBaseline:
+    SRC = """
+    import numpy as np
+
+    def scatter(out, ids, vals):
+        np.add.at(out, ids, vals)
+    """
+
+    def test_round_trip_filters_known_findings(self, tmp_path):
+        write(tmp_path, "snippet.py", self.SRC)
+        result = lint_paths([tmp_path])
+        assert result.errors()
+
+        baseline = Baseline.from_findings(result.findings, result.sources)
+        baseline_path = tmp_path / "baseline.json"
+        baseline.save(baseline_path)
+
+        reloaded = Baseline.load(baseline_path)
+        again = lint_paths([tmp_path], baseline=reloaded)
+        assert again.findings == []
+        assert again.exit_code() == 0
+
+    def test_new_findings_not_masked(self, tmp_path):
+        target = write(tmp_path, "snippet.py", self.SRC)
+        result = lint_paths([tmp_path])
+        baseline = Baseline.from_findings(result.findings, result.sources)
+
+        # A *new* violation on a different line must still be reported.
+        target.write_text(
+            target.read_text()
+            + "\n\ndef more(out, ids, vals):\n    np.maximum.at(out, ids, vals)\n"
+        )
+        again = lint_paths([tmp_path], baseline=baseline)
+        assert len(again.findings) == 1
+        assert "np.maximum.at" in again.findings[0].message
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text(json.dumps({"version": 99, "entries": {}}))
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(bad)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCLI:
+    SEEDED = {
+        "R1": "import numpy as np\n\ndef f(v):\n    q = v.astype(np.float16)\n    return q * 2.5\n",
+        "R2": "import numpy as np\n\nnp.add.at([], [], [])\n",
+        "R3": "def f(avg_nnz_blc):\n    return avg_nnz_blc >= 10\n",
+        "R4": (
+            "from repro.kernels.record import KernelRecord\n\n"
+            "def k(x):\n    r = KernelRecord(kernel='spmv', backend='b')\n"
+            "    return x, r\n"
+        ),
+    }
+
+    @pytest.mark.parametrize("rule", sorted(SEEDED))
+    def test_seeded_violation_fails(self, tmp_path, rule):
+        write(tmp_path, "repro/kernels/seeded.py", self.SEEDED[rule])
+        proc = run_cli([str(tmp_path), "--no-baseline"])
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert rule in proc.stdout
+
+    def test_clean_tree_exits_zero(self, tmp_path):
+        write(tmp_path, "ok.py", "VALUE = 1\n")
+        proc = run_cli([str(tmp_path)])
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_json_format(self, tmp_path):
+        write(tmp_path, "repro/kernels/seeded.py", self.SEEDED["R2"])
+        proc = run_cli([str(tmp_path), "--format=json", "--no-baseline"])
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["counts"]["error"] == 1
+        assert payload["findings"][0]["rule"] == "R2"
+        assert payload["findings"][0]["name"] == "scatter-ban"
+
+    def test_select_and_ignore(self, tmp_path):
+        write(tmp_path, "repro/kernels/seeded.py", self.SEEDED["R2"])
+        ignored = run_cli([str(tmp_path), "--ignore=R2", "--no-baseline"])
+        assert ignored.returncode == 0
+        selected = run_cli([str(tmp_path), "--select=R2", "--no-baseline"])
+        assert selected.returncode == 1
+
+    def test_unknown_rule_is_usage_error(self, tmp_path):
+        write(tmp_path, "ok.py", "VALUE = 1\n")
+        proc = run_cli([str(tmp_path), "--select=R42"])
+        assert proc.returncode == 2
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        proc = run_cli([str(tmp_path / "nope.txt")])
+        assert proc.returncode == 2
+
+    def test_unparsable_file_is_error(self, tmp_path):
+        write(tmp_path, "bad.py", "def broken(:\n")
+        proc = run_cli([str(tmp_path), "--no-baseline"])
+        assert proc.returncode == 1
+        assert "does not parse" in proc.stdout
+
+    def test_write_baseline_round_trip(self, tmp_path):
+        write(tmp_path, "repro/kernels/seeded.py", self.SEEDED["R2"])
+        baseline = tmp_path / "baseline.json"
+        wrote = run_cli(
+            [str(tmp_path), "--baseline", str(baseline), "--write-baseline"]
+        )
+        assert wrote.returncode == 0
+        assert baseline.exists()
+        rerun = run_cli([str(tmp_path), "--baseline", str(baseline)])
+        assert rerun.returncode == 0, rerun.stdout + rerun.stderr
+
+
+# ---------------------------------------------------------------------------
+# Self-check: the merged tree lints clean
+# ---------------------------------------------------------------------------
+
+
+class TestSelfCheck:
+    def test_src_repro_is_clean(self):
+        proc = run_cli(["src/repro"], cwd=REPO_ROOT)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_repo_baseline_is_loadable_and_current(self):
+        baseline_path = REPO_ROOT / "lint-baseline.json"
+        baseline = Baseline.load(baseline_path)
+        # Every baselined finding must still exist (no stale entries) and
+        # every non-baselined finding must be gone.
+        result = lint_paths([REPO_ROOT / "src" / "repro"])
+        fresh = Baseline.from_findings(result.findings, result.sources)
+        assert set(fresh.entries) == set(baseline.entries)
