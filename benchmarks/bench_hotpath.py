@@ -36,7 +36,7 @@ from repro.formats.bitmap import BLOCK_SIZE, bitmap_popcount
 from repro.formats.convert import csr_to_mbsr
 from repro.gpu.counters import Precision
 from repro.kernels.spgemm import mbsr_spgemm_symbolic_plan
-from repro.kernels.spgemm_numeric import _locate_output_tiles, numeric_spgemm
+from repro.kernels.spgemm_numeric import locate_output_tiles, numeric_spgemm
 from repro.kernels.spmv import build_spmv_plan, mbsr_spmv
 from repro.matrices import load_suite_matrix
 
@@ -104,7 +104,7 @@ def naive_numeric_values(mat_a, mat_b, symbolic, precision):
     if pair_a.shape[0] == 0:
         return blc_val_c, blc_map_c
     cols = mat_b.blc_idx[pair_b]
-    pos = _locate_output_tiles(symbolic, cols, mat_b.nb)
+    pos = locate_output_tiles(symbolic, cols, mat_b.nb)
     bitmap_popcount(mat_a.blc_map)[pair_a]  # recomputed per call pre-cache
     tiles_a = mat_a.blc_val[pair_a].astype(in_dtype).astype(acc_dtype)
     tiles_b = mat_b.blc_val[pair_b].astype(in_dtype).astype(acc_dtype)

@@ -1,0 +1,216 @@
+"""Setup-engine benchmark: pattern-keyed plan replay vs cold setup.
+
+Times the setup-phase engine of ``repro.kernels.setup_cache`` on suite
+matrices:
+
+* ``resetup``          — steady-state ``BoomerAMG.setup(a, reuse=True)``
+  (frozen coarsening/interpolation, fused numeric-only Galerkin replay)
+  versus a cold ``setup(a)`` on a fresh backend.  The serving scenario:
+  the operator's coefficients update, its pattern does not.
+* ``spgemm_plan_hit``  — ``mbsr_spgemm`` against a warm plan cache (the
+  analysis + symbolic phases replayed, numeric only) versus the cold
+  three-phase call.
+* ``conversion_replay`` — ``AmgT_CSR2mBSR`` through a captured tile-layout
+  template (value fill only) versus the cold two-pass conversion.
+
+Correctness is asserted in-run: every replayed hierarchy must be
+bit-identical to the cold one (level matrices, interpolation, smoothing
+diagonals, C/F markers), every cache-hit SpGEMM must launch exactly one
+kernel (the numeric phase) and produce the cold product's bits.
+
+Results land in ``BENCH_setup.json`` at the repo root with the same shape
+as ``BENCH_hotpath.json``: one record per (matrix, op) with median seconds
+per path and the speedup, plus per-op median-of-speedups in ``summary``.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_setup.py``; environment
+knobs: ``REPRO_SETUP_MATRICES`` (comma-separated names, default
+``thermal1,bcsstk39,cant``) and ``REPRO_SETUP_REPEATS``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+
+import numpy as np
+
+from repro.formats.convert import csr_to_mbsr
+from repro.gpu.specs import A100
+from repro.hypre.backends import AmgTBackend
+from repro.hypre.boomeramg import BoomerAMG
+from repro.kernels.setup_cache import SetupPlanCache
+from repro.kernels.spgemm import mbsr_spgemm
+from repro.matrices import load_suite_matrix
+
+DEFAULT_MATRICES = ["thermal1", "bcsstk39", "cant"]
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_setup.json")
+
+
+def _matrices() -> list[str]:
+    raw = os.environ.get("REPRO_SETUP_MATRICES", "")
+    if raw.strip():
+        return [n.strip() for n in raw.split(",") if n.strip()]
+    return list(DEFAULT_MATRICES)
+
+
+def _repeats() -> int:
+    return int(os.environ.get("REPRO_SETUP_REPEATS", "5"))
+
+
+def _median_time(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+def _assert_hierarchies_identical(cold, replayed) -> None:
+    """Bit-identity of the replayed hierarchy against the cold one."""
+    assert replayed.reused, "re-setup did not take the reuse path"
+    assert cold.num_levels == replayed.num_levels
+    for lc, lr in zip(cold.levels, replayed.levels):
+        for name in ("a", "p", "r"):
+            mc, mr = getattr(lc, name), getattr(lr, name)
+            assert (mc is None) == (mr is None)
+            if mc is None:
+                continue
+            np.testing.assert_array_equal(mc.indptr, mr.indptr)
+            np.testing.assert_array_equal(mc.indices, mr.indices)
+            np.testing.assert_array_equal(mc.data, mr.data)
+        np.testing.assert_array_equal(lc.dinv, lr.dinv)
+        if lc.cf_marker is not None:
+            np.testing.assert_array_equal(lc.cf_marker, lr.cf_marker)
+
+
+def _cold_setup(csr):
+    amg = BoomerAMG(AmgTBackend(A100, precision="fp64"))
+    return amg, amg.setup(csr)
+
+
+def bench_resetup(csr, repeats):
+    """Steady-state numeric re-setup vs cold setup (fresh backend each)."""
+    _, h_cold = _cold_setup(csr)
+
+    amg = BoomerAMG(AmgTBackend(A100, precision="fp64"))
+    amg.setup(csr)
+    # Warm-up replay: assembles the fused RAP plans (the intermediate's
+    # pattern differs from the cold path's pruned one when the Galerkin
+    # product cancels exactly, so its plan is built here, once).
+    h_warm = amg.setup(csr, reuse=True)
+    _assert_hierarchies_identical(h_cold, h_warm)
+
+    def resetup():
+        n0 = len(amg.perf.records)
+        h = amg.setup(csr, reuse=True)
+        _assert_hierarchies_identical(h_cold, h)
+        for rec in amg.perf.records[n0:]:
+            if rec.kernel == "spgemm":
+                assert rec.counters.launches == 1, (
+                    "steady-state re-setup ran a symbolic phase"
+                )
+        return h
+
+    resetup()  # steady state reached: every plan and template hits
+    return (
+        _median_time(resetup, repeats),
+        _median_time(lambda: _cold_setup(csr), repeats),
+    )
+
+
+def bench_spgemm_plan_hit(csr, repeats):
+    """Plan-cache-hit SpGEMM (numeric only) vs the cold three-phase call."""
+    mbsr = csr_to_mbsr(csr)
+    pt = csr_to_mbsr(csr.transpose())
+    cold, cold_rec = mbsr_spgemm(pt, mbsr)
+    assert cold_rec.counters.launches == 4
+
+    cache = SetupPlanCache()
+    mbsr_spgemm(pt, mbsr, plan_cache=cache)  # populates the plan
+
+    def hit():
+        out, rec = mbsr_spgemm(pt, mbsr, plan_cache=cache)
+        assert rec.counters.launches == 1, "plan-cache hit ran symbolic"
+        np.testing.assert_array_equal(out.blc_val, cold.blc_val)
+        np.testing.assert_array_equal(out.blc_map, cold.blc_map)
+        return out
+
+    return (
+        _median_time(hit, repeats),
+        _median_time(lambda: mbsr_spgemm(pt, mbsr), repeats),
+    )
+
+
+def bench_conversion_replay(csr, repeats):
+    """Template-hit CSR2MBSR (value fill only) vs the cold conversion."""
+    cold = csr_to_mbsr(csr)
+    cache = SetupPlanCache()
+    cache.csr2mbsr(csr)  # captures the tile layout
+
+    def hit():
+        out, stats = cache.csr2mbsr(csr)
+        np.testing.assert_array_equal(out.blc_val, cold.blc_val)
+        np.testing.assert_array_equal(out.blc_map, cold.blc_map)
+        return out, stats
+
+    return (
+        _median_time(hit, repeats),
+        _median_time(lambda: csr_to_mbsr(csr, return_stats=True), repeats),
+    )
+
+
+def run(matrices=None, repeats=None, out_path=OUT_PATH):
+    matrices = matrices or _matrices()
+    repeats = repeats or _repeats()
+    results = []
+    for name in matrices:
+        csr = load_suite_matrix(name)
+        for op, (new_s, cold_s) in (
+            ("resetup", bench_resetup(csr, repeats)),
+            ("spgemm_plan_hit", bench_spgemm_plan_hit(csr, repeats)),
+            ("conversion_replay", bench_conversion_replay(csr, repeats)),
+        ):
+            rec = {
+                "matrix": name,
+                "op": op,
+                "median_s": new_s,
+                "cold_median_s": cold_s,
+                "speedup": cold_s / new_s if new_s > 0 else float("inf"),
+            }
+            results.append(rec)
+            print(
+                f"{name:>12} {op:<18} replay {new_s:.5f}s  "
+                f"cold {cold_s:.5f}s  speedup {rec['speedup']:.2f}x"
+            )
+    summary = {}
+    for op in ("resetup", "spgemm_plan_hit", "conversion_replay"):
+        ratios = [r["speedup"] for r in results if r["op"] == op]
+        summary[op] = {
+            "median_speedup": statistics.median(ratios),
+            "min_speedup": min(ratios),
+        }
+    payload = {
+        "generated_by": "benchmarks/bench_setup.py",
+        "config": {
+            "matrices": matrices,
+            "repeats": repeats,
+            "precision": "fp64",
+        },
+        "results": results,
+        "summary": summary,
+    }
+    with open(out_path, "w") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+    print(f"\nwrote {os.path.abspath(out_path)}")
+    for op, s in summary.items():
+        print(f"  {op:<18} median speedup {s['median_speedup']:.2f}x "
+              f"(min {s['min_speedup']:.2f}x)")
+    return payload
+
+
+if __name__ == "__main__":
+    run()

@@ -88,6 +88,13 @@ class AMGHierarchy:
     #: Number of SpGEMM calls the setup performed (3 per non-coarsest level
     #: when extended+i interpolation is used: 1 interp + 2 Galerkin).
     spgemm_calls: int = 0
+    #: Per-level sparsity-pattern digests of the A matrices, finest first.
+    #: ``amg_setup(reuse=...)`` compares them against a recomputed setup to
+    #: decide whether the cached coarsening/interpolation still applies.
+    pattern_keys: list = field(default_factory=list)
+    #: True when this hierarchy was produced by a structure-reusing
+    #: re-setup (frozen coarsening + interpolation, numeric Galerkin only).
+    reused: bool = False
 
     @property
     def num_levels(self) -> int:
@@ -116,6 +123,8 @@ def amg_setup(
     spgemm: SpGEMMFn | None = None,
     *,
     on_level_built: Callable[[int, CSRMatrix], None] | None = None,
+    reuse: AMGHierarchy | None = None,
+    galerkin_planner: Callable | None = None,
 ) -> AMGHierarchy:
     """Run the M-level setup phase on *a*.
 
@@ -131,10 +140,32 @@ def amg_setup(
         Optional callback invoked with ``(level_index, A_level)`` as each
         coarse matrix is produced (the hypre layer uses it for per-level
         bookkeeping such as format conversions).
+    reuse:
+        A hierarchy from an earlier setup on a same-pattern matrix.  When
+        the pattern fingerprints match level by level, coarsening and
+        interpolation are frozen (HYPRE's reuse-interpolation semantics)
+        and only the numeric Galerkin passes and smoothing diagonals are
+        recomputed — the alpha-Setup scenario.  Any mismatch (different
+        fine pattern, different params, or a coarse matrix whose recomputed
+        pattern drifts from the cached one) falls back to a full setup, so
+        ``reuse`` is always safe to pass.
+    galerkin_planner:
+        Optional ``planner(r, a, p) -> plan`` producing fused RAP plans
+        for :func:`~repro.amg.galerkin.galerkin_product` during a reused
+        setup (the AmgT backend's ``galerkin_plan``).  Ignored on the full
+        path.
     """
     if a.nrows != a.ncols:
         raise ValueError("AMG requires a square matrix")
     params = params or SetupParams()
+    if reuse is not None and params.amg_family == "classical":
+        hierarchy = _numeric_resetup(
+            a, reuse, params, spgemm, galerkin_planner, on_level_built
+        )
+        if hierarchy is not None:
+            return hierarchy
+        # Pattern or parameter mismatch: the cached structure does not
+        # apply; run the full setup below.
     if params.amg_family == "aggregation":
         from repro.amg.aggregation import sa_setup
 
@@ -220,6 +251,102 @@ def amg_setup(
         coarse_solver=coarse_solver,
         params=params,
         spgemm_calls=spgemm_calls,
+        pattern_keys=[lvl.a.pattern_key() for lvl in levels],
+    )
+    from repro.check import runtime as check_runtime
+
+    if check_runtime.is_active():
+        from repro.check.structural import validate_hierarchy
+
+        validate_hierarchy(hierarchy)
+    return hierarchy
+
+
+def _numeric_resetup(
+    a: CSRMatrix,
+    reuse: AMGHierarchy,
+    params: SetupParams,
+    spgemm: SpGEMMFn | None,
+    galerkin_planner: Callable | None,
+    on_level_built: Callable[[int, CSRMatrix], None] | None,
+) -> AMGHierarchy | None:
+    """Re-run only the numeric Galerkin passes against cached structure.
+
+    Freezes the cached C/F splittings and interpolation operators (values
+    included — interpolation weights are a function of the level matrix,
+    but HYPRE's reuse-interpolation mode keeps them, and so does the
+    paper's alpha-Setup) and recomputes the smoothing diagonals plus the
+    two Galerkin products per level.  Returns ``None`` when the cached
+    structure does not apply, telling the caller to run a full setup:
+    every recomputed coarse matrix's pattern fingerprint is compared to
+    the cached one, so structural drift is detected level by level, never
+    silently propagated.
+    """
+    if (
+        params != reuse.params
+        or not reuse.pattern_keys
+        or reuse.num_levels != len(reuse.pattern_keys)
+        or a.shape != reuse.levels[0].a.shape
+        or a.pattern_key() != reuse.pattern_keys[0]
+    ):
+        return None
+
+    levels: list[AMGLevel] = []
+    spgemm_calls = 0
+    current = a
+    for k in range(reuse.num_levels - 1):
+        cached = reuse.levels[k]
+        if cached.p is None or cached.r is None:
+            return None
+        level = AMGLevel(
+            index=k,
+            a=current,
+            p=cached.p,
+            r=cached.r,
+            cf_marker=cached.cf_marker,
+        )
+        level.dinv = 1.0 / l1_jacobi_diagonal(current)
+        levels.append(level)
+
+        def counting_spgemm(x: CSRMatrix, y: CSRMatrix) -> CSRMatrix:
+            nonlocal spgemm_calls
+            spgemm_calls += 1
+            if spgemm is None:
+                from repro.kernels.baseline import csr_spgemm
+
+                return csr_spgemm(x, y)[0]
+            return spgemm(x, y)
+
+        plan = None
+        if galerkin_planner is not None:
+            plan = galerkin_planner(cached.r, current, cached.p)
+        coarse = galerkin_product(
+            cached.r, current, cached.p, spgemm=counting_spgemm,
+            drop_tol=0.0, plan=plan,
+        )
+        if plan is not None and getattr(plan, "consumed", False):
+            # The fused replay ran both products without touching the
+            # spgemm closure; keep the call accounting consistent.
+            spgemm_calls += 2
+        if coarse.pattern_key() != reuse.pattern_keys[k + 1]:
+            # Numeric cancellation (or a genuinely different operator)
+            # changed the coarse structure: the frozen interpolation no
+            # longer matches what a full setup would build.
+            return None
+        if on_level_built is not None:
+            on_level_built(k + 1, coarse)
+        current = coarse
+
+    last = AMGLevel(index=reuse.num_levels - 1, a=current)
+    last.dinv = 1.0 / l1_jacobi_diagonal(current)
+    levels.append(last)
+    hierarchy = AMGHierarchy(
+        levels=levels,
+        coarse_solver=CoarseSolver(current, method=params.coarse_solver),
+        params=params,
+        spgemm_calls=spgemm_calls,
+        pattern_keys=list(reuse.pattern_keys),
+        reused=True,
     )
     from repro.check import runtime as check_runtime
 

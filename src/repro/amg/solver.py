@@ -94,10 +94,21 @@ class AmgTSolver:
         self._driver: BoomerAMG | None = None
 
     # ------------------------------------------------------------------
-    def setup(self, a: CSRMatrix) -> "AmgTSolver":
-        """Run the setup phase (Alg. 1) on *a*."""
+    def setup(self, a: CSRMatrix, reuse: bool = False) -> "AmgTSolver":
+        """Run the setup phase (Alg. 1) on *a*.
+
+        With ``reuse=True`` (after an earlier :meth:`setup`) the previous
+        hierarchy's coarsening and interpolation are frozen and only the
+        numeric Galerkin passes replay, provided the sparsity pattern of
+        *a* matches; on any mismatch the full setup runs — see
+        :meth:`repro.hypre.boomeramg.BoomerAMG.setup`.
+        """
         from repro.check import checked_region
 
+        if reuse and self._driver is not None:
+            with checked_region(enabled=self.checked):
+                self._driver.setup(a, reuse=True)
+            return self
         backend = make_backend(
             self.backend_name, self.device, precision=self.precision_name
         )

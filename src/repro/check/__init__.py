@@ -6,6 +6,7 @@ raises :class:`ContractViolation` naming the kernel, the invariant and the
 operand fingerprints.  See the "Checked mode" section of ``DESIGN.md``.
 """
 
+from repro.check.fingerprint import fingerprint, pattern_fingerprint
 from repro.check.oracle import (
     verify_conversion,
     verify_csr_spgemm,
@@ -34,6 +35,8 @@ from repro.check.violation import ContractViolation
 
 __all__ = [
     "ContractViolation",
+    "fingerprint",
+    "pattern_fingerprint",
     "ENV_VAR",
     "is_active",
     "enable",

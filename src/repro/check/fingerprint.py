@@ -8,21 +8,40 @@ is being reported (never on the hot path), so cost does not matter.
 
 from __future__ import annotations
 
-import hashlib
-
 import numpy as np
 
-__all__ = ["fingerprint"]
+from repro.util.hashing import content_digest
+
+__all__ = ["fingerprint", "pattern_fingerprint"]
 
 
 def _digest(*arrays: np.ndarray) -> str:
-    h = hashlib.sha1()
-    for arr in arrays:
-        a = np.ascontiguousarray(arr)
-        h.update(str(a.dtype).encode())
-        h.update(str(a.shape).encode())
-        h.update(a.tobytes())
-    return h.hexdigest()[:10]
+    return content_digest(*arrays, length=10)
+
+
+def pattern_fingerprint(obj) -> str:
+    """Digest of an operand's *sparsity structure only* (values excluded).
+
+    Two matrices share a pattern fingerprint iff their shapes and index
+    arrays (and, for mBSR, tile bitmaps) are identical — exactly the
+    condition under which a captured SpGEMM plan, conversion template or
+    AMG hierarchy structure can be replayed against new values.  Unlike
+    :func:`fingerprint` this is used on the setup hot path (once per
+    operator, cached by the owners), so it returns the bare digest with
+    no decoration.
+    """
+    from repro.formats.csr import CSRMatrix
+    from repro.formats.mbsr import MBSRMatrix
+
+    if isinstance(obj, MBSRMatrix):
+        shape = np.asarray(obj.shape, dtype=np.int64)
+        return content_digest(shape, obj.blc_ptr, obj.blc_idx, obj.blc_map)
+    if isinstance(obj, CSRMatrix):
+        shape = np.asarray(obj.shape, dtype=np.int64)
+        return content_digest(shape, obj.indptr, obj.indices)
+    raise TypeError(
+        f"pattern_fingerprint expects a CSR or mBSR matrix, got {type(obj).__name__}"
+    )
 
 
 def fingerprint(obj) -> str:

@@ -48,6 +48,8 @@ class CSRMatrix:
     _canonical: bool = field(default=False, repr=False, compare=False)
     #: Memoised COO row expansion; solve-phase matvecs hit it every call.
     _row_ids: np.ndarray | None = field(default=None, repr=False, compare=False)
+    #: Memoised sparsity-pattern digest (setup-phase plan-cache key).
+    _pattern_key: str | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.shape = (int(self.shape[0]), int(self.shape[1]))
@@ -195,6 +197,21 @@ class CSRMatrix:
 
     def row_nnz(self) -> np.ndarray:
         return np.diff(self.indptr)
+
+    def pattern_key(self) -> str:
+        """Digest of the sparsity structure (shape + index arrays, no values).
+
+        Cached on first use; the arrays are immutable after construction
+        (every mutating operation returns a new matrix), so the key stays
+        valid for the object's lifetime.  Equal keys mean a setup-phase
+        plan, conversion template or hierarchy structure built on one
+        matrix replays exactly on the other.
+        """
+        if self._pattern_key is None:
+            from repro.check.fingerprint import pattern_fingerprint
+
+            self._pattern_key = pattern_fingerprint(self)
+        return self._pattern_key
 
     def to_dense(self) -> np.ndarray:
         out_dtype = np.result_type(self.dtype, np.float64)

@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.formats.convert import mbsr_to_csr
 from repro.gpu.cost import CostModel
 from repro.gpu.counters import Precision
 from repro.gpu.specs import DeviceSpec
@@ -75,6 +74,11 @@ class KernelBackend:
         level: int,
     ) -> np.ndarray:
         raise NotImplementedError
+
+    def galerkin_plan(self, r, a, p, perf, phase, level, on_result=None):
+        """Fused RAP plan, or None when the backend has no setup engine
+        (the baseline runs the plain two-call Galerkin path)."""
+        return None
 
     # -- shared helpers ---------------------------------------------------
     def record_other(
@@ -145,10 +149,18 @@ class AmgTBackend(KernelBackend):
         #: the kernels are charged FP64 memory traffic — which is why the
         #: paper finds AmgT (FP64) and AmgT (Mixed) nearly identical there.
         self.storage_itemsize = None if device.fp16_supported else 8
+        #: Setup-phase engine: pattern-keyed SpGEMM plans, fused RAP plans
+        #: and conversion templates, shared across every setup this
+        #: backend runs (the alpha-Setup / SPGEMM_REUSE scenario).
+        from repro.kernels.setup_cache import SetupPlanCache
+
+        self.setup_cache = SetupPlanCache()
 
     # -- conversions ------------------------------------------------------
     def _ensure_mbsr(self, mat: HypreCSRMatrix, perf, phase, level):
         """AmgT_CSR2mBSR with one-time cost recording (unified format)."""
+        if mat.setup_cache is None:
+            mat.setup_cache = self.setup_cache
         mbsr, stats = mat.amgt_csr2mbsr()
         if stats is not None:
             rec = KernelRecord(kernel="csr2mbsr", backend=self.name,
@@ -184,28 +196,53 @@ class AmgTBackend(KernelBackend):
         am = a.mbsr_at_precision(prec)
         bm = b.mbsr_at_precision(prec)
         cm, rec = mbsr_spgemm(am, bm, prec, out_dtype=np.float64,
-                              storage_itemsize=self.storage_itemsize)
-        if not self.allow_tensor_cores and rec.detail.get("tc_pairs"):
-            # MI210: the fragment shapes do not fit the matrix cores, so
-            # the warp-level pairs execute on scalar cores instead; reprice
-            # the MMA issues as scalar tile products (2*4*4*4 flops each).
-            mma = rec.counters.mma_issues[prec]
-            rec.counters.mma_issues[prec] = 0.0
-            rec.counters.add_flops(prec, mma * 2 * 2 * 64.0)
+                              storage_itemsize=self.storage_itemsize,
+                              plan_cache=self.setup_cache)
+        self._reprice_mma(rec, prec)
         rec.phase, rec.level = phase, level
         rec.price(self.cost)
         perf.append(rec)
         # The product is born in mBSR; the CSR twin is derived for the CSR
         # components.  Only RAP results pay a recorded MBSR2CSR (Fig. 6
         # step 5); other products stay on the device in mBSR.
-        csr = mbsr_to_csr(cm).eliminate_zeros(0.0)
-        out = HypreCSRMatrix(csr=csr)
+        csr = self.setup_cache.mbsr2csr(cm).eliminate_zeros(0.0)
+        out = HypreCSRMatrix(csr=csr, setup_cache=self.setup_cache)
         # Cache an exactly-consistent mBSR twin (structure of csr).
         out.amgt_csr2mbsr()
         out.conversion_stats = None
         if is_rap_result:
             self._record_mbsr2csr(out, perf, phase, level)
         return out
+
+    def _reprice_mma(self, rec: KernelRecord, prec: Precision) -> None:
+        """MI210: the fragment shapes do not fit the matrix cores, so the
+        warp-level pairs execute on scalar cores instead; reprice the MMA
+        issues as scalar tile products (2*4*4*4 flops each)."""
+        if not self.allow_tensor_cores and rec.detail.get("tc_pairs"):
+            mma = rec.counters.mma_issues[prec]
+            rec.counters.mma_issues[prec] = 0.0
+            rec.counters.add_flops(prec, mma * 2 * 2 * 64.0)
+
+    def galerkin_plan(
+        self,
+        r: HypreCSRMatrix,
+        a: HypreCSRMatrix,
+        p: HypreCSRMatrix,
+        perf: PerformanceLog,
+        phase: str,
+        level: int,
+        on_result=None,
+    ) -> "_BackendGalerkinPlan":
+        """Fused RAP plan for :func:`repro.amg.galerkin.galerkin_product`.
+
+        The returned object replays ``R @ A @ P`` as two numeric-only
+        passes against the pattern-keyed plan cache, skipping both
+        symbolic phases and the intermediate's CSR round-trip.  The
+        perf/pricing treatment matches :meth:`matmul_device` call for
+        call: two ``spgemm`` records plus the RAP's MBSR2CSR record.
+        """
+        return _BackendGalerkinPlan(self, r, a, p, perf, phase, level,
+                                    on_result)
 
     def matvec_device(self, a, x, perf, phase, level):
         a = HypreCSRMatrix.wrap(a)
@@ -220,6 +257,63 @@ class AmgTBackend(KernelBackend):
         rec.price(self.cost)
         perf.append(rec)
         return np.asarray(y, dtype=np.float64)
+
+
+class _BackendGalerkinPlan:
+    """One fused ``R @ A @ P`` through the AmgT backend's plan cache.
+
+    Implements the ``matches`` / ``replay`` protocol of
+    :func:`repro.amg.galerkin.galerkin_product`.  ``consumed`` turns True
+    once a replay ran, letting the setup driver keep its SpGEMM call
+    accounting consistent (the replay never touches the spgemm closure).
+    """
+
+    def __init__(self, backend, r, a, p, perf, phase, level, on_result=None):
+        self.backend = backend
+        self.rw, self.aw, self.pw = r, a, p
+        self.perf, self.phase, self.level = perf, phase, level
+        self.on_result = on_result
+        self.consumed = False
+
+    def matches(self, r, a, p) -> bool:
+        return (
+            r.pattern_key() == self.rw.csr.pattern_key()
+            and a.pattern_key() == self.aw.csr.pattern_key()
+            and p.pattern_key() == self.pw.csr.pattern_key()
+        )
+
+    def replay(self, r, a, p):
+        backend = self.backend
+        perf, phase, level = self.perf, self.phase, self.level
+        cache = backend.setup_cache
+        for w in (self.rw, self.aw, self.pw):
+            backend._ensure_mbsr(w, perf, phase, level)
+        prec = backend.schedule.for_level(level)
+        rm = self.rw.mbsr_at_precision(prec)
+        am = self.aw.mbsr_at_precision(prec)
+        pm = self.pw.mbsr_at_precision(prec)
+        plan, fresh = cache.rap_plan(rm, am, pm)
+        rap_mbsr, records = cache.rap_numeric(
+            plan, rm, am, pm, prec, out_dtype=np.float64,
+            storage_itemsize=backend.storage_itemsize,
+            # A plan built by this very call pays its analysis + symbolic
+            # cost here; a cached plan replays numeric-only.
+            charge_plan_build=fresh,
+        )
+        for rec in records:
+            backend._reprice_mma(rec, prec)
+            rec.phase, rec.level = phase, level
+            rec.price(backend.cost)
+            perf.append(rec)
+        csr = cache.mbsr2csr(rap_mbsr).eliminate_zeros(0.0)
+        out = HypreCSRMatrix(csr=csr, setup_cache=cache)
+        out.amgt_csr2mbsr()
+        out.conversion_stats = None
+        backend._record_mbsr2csr(out, perf, phase, level)
+        if self.on_result is not None:
+            self.on_result(out)
+        self.consumed = True
+        return csr
 
 
 def make_backend(name: str, device: DeviceSpec, precision: str = "fp64") -> KernelBackend:

@@ -32,6 +32,11 @@ class HypreCSRMatrix:
     mbsr: MBSRMatrix | None = None
     #: Stats of the conversion that produced :attr:`mbsr` (None until run).
     conversion_stats: ConversionStats | None = None
+    #: Optional :class:`~repro.kernels.setup_cache.SetupPlanCache`; when
+    #: set (the AmgT backend threads its own), :meth:`amgt_csr2mbsr` reuses
+    #: the cached tile layout of same-pattern matrices, paying only the
+    #: value fill.
+    setup_cache: object = None
     #: Per-precision casts of the mBSR tile values (mixed-precision cache).
     _casts: dict[Precision, MBSRMatrix] = field(default_factory=dict, repr=False)
 
@@ -66,7 +71,12 @@ class HypreCSRMatrix:
         """
         if self.mbsr is not None:
             return self.mbsr, None
-        self.mbsr, stats = csr_to_mbsr(self.csr, return_stats=True)
+        if self.setup_cache is not None:
+            # Pattern-keyed conversion: a template hit reuses the tile
+            # layout and returns reduced (value-fill-only) stats.
+            self.mbsr, stats = self.setup_cache.csr2mbsr(self.csr)
+        else:
+            self.mbsr, stats = csr_to_mbsr(self.csr, return_stats=True)
         self.conversion_stats = stats
         from repro.check import runtime as check_runtime
 
@@ -104,6 +114,10 @@ class HypreCSRMatrix:
         cached = self._casts.get(precision)
         if cached is None:
             cached = base.astype(precision.np_dtype)
+            # The cast shares the structure arrays; hand it the canonical
+            # form's pattern key so plan-cache lookups on any precision of
+            # an operator hash the structure once.
+            cached.cache.seed_pattern_key(base.cache.pattern_key)
             self._casts[precision] = cached
         return cached
 

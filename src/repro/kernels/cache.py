@@ -33,6 +33,7 @@ class OperatorCache:
 
     def __init__(self, mat) -> None:
         self._mat = mat
+        self._pattern_key: str | None = None
         self._pop_per_tile: np.ndarray | None = None
         self._nnz: int | None = None
         self._block_row_ids: np.ndarray | None = None
@@ -46,6 +47,27 @@ class OperatorCache:
 
     # -- structural invariants -----------------------------------------
     @property
+    def pattern_key(self) -> str:
+        """Sparsity-structure digest, the key of the setup-phase plan cache.
+
+        Hashes shape + ``blc_ptr``/``blc_idx``/``blc_map`` (never values),
+        so every precision cast of an operator shares the key.  Computed
+        once per matrix; casts seed it from the canonical form via
+        :meth:`seed_pattern_key`.
+        """
+        if self._pattern_key is None:
+            from repro.check.fingerprint import pattern_fingerprint
+
+            self._pattern_key = pattern_fingerprint(self._mat)
+        return self._pattern_key
+
+    def seed_pattern_key(self, key: str) -> None:
+        """Adopt a pattern key computed on a structurally identical matrix
+        (e.g. the canonical-precision form a cast was derived from)."""
+        if self._pattern_key is None:
+            self._pattern_key = key
+
+    @property
     def pop_per_tile(self) -> np.ndarray:
         """``bitmap_popcount(blc_map)``, computed once per matrix."""
         if self._pop_per_tile is None:
@@ -54,6 +76,14 @@ class OperatorCache:
             self._pop_per_tile = bitmap_popcount(self._mat.blc_map)
             self._pop_per_tile.setflags(write=False)
         return self._pop_per_tile
+
+    def seed_pop_per_tile(self, pop: np.ndarray) -> None:
+        """Adopt precomputed tile popcounts (e.g. from a replayed RAP plan
+        whose intermediate structure carries them)."""
+        if self._pop_per_tile is None:
+            pop = np.ascontiguousarray(pop)
+            pop.setflags(write=False)
+            self._pop_per_tile = pop
 
     @property
     def nnz(self) -> int:

@@ -1,0 +1,433 @@
+"""Setup-phase plan cache: pattern-keyed SpGEMM plans, fused RAP plans and
+CSR<->mBSR conversion templates.
+
+The AMG setup phase is pattern-dominated: the analysis + symbolic SpGEMM
+phases, the Galerkin chain's intermediate structure and both format
+conversions depend only on the operands' *sparsity structure*, never on
+the values.  When the same structure recurs — the alpha-Setup scenario the
+paper cites (re-running setup after coefficient updates), or cuSPARSE's
+``SPGEMM_REUSE`` API — all of it can be replayed.
+
+:class:`SetupPlanCache` memoises that structural work behind pattern
+fingerprints (:func:`repro.check.fingerprint.pattern_fingerprint`):
+
+* :meth:`spgemm_plan` — a :class:`~repro.kernels.spgemm.SpGEMMPlan` per
+  operand-pattern pair; a hit lets :func:`~repro.kernels.spgemm.mbsr_spgemm`
+  skip straight to the numeric phase (one launch instead of four).
+* :meth:`rap_plan` / :meth:`rap_numeric` — the fused Galerkin product:
+  both symbolic phases of ``R@A`` and ``(RA)@P`` are chained once,
+  including the intermediate's structure (derivable from bitmaps alone);
+  a replay runs only the two numeric passes and never materialises the
+  intermediate in CSR.
+* :meth:`csr2mbsr` / :meth:`mbsr2csr` — conversion templates: the tile
+  layout (``AmgT_CSR2mBSR`` pass 1) and the bitmap expansion are computed
+  once per pattern, replays only move values.
+
+Every replay is bit-identical to the cold path: the fill/gather templates
+reproduce the exact scatter order of :mod:`repro.formats.convert`, and the
+fused intermediate differs from the cold path's numerically-pruned one
+only by exact-zero entries, which add exact-zero terms to the IEEE sums
+and are eliminated from the final CSR either way.
+
+Entries are kept per pattern key in LRU order (``max_entries`` per kind)
+so long-running solvers with churning hierarchies stay bounded.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.check import runtime as check_runtime
+from repro.formats.bitmap import (
+    TC_NNZ_THRESHOLD,
+    TILE_SLOTS,
+    bitmap_popcount,
+    bitmap_to_mask,
+)
+from repro.formats.convert import ConversionStats, _tile_layout, csr_to_mbsr
+from repro.formats.csr import CSRMatrix
+from repro.formats.mbsr import MBSRMatrix
+from repro.gpu.counters import Precision
+from repro.kernels.record import KernelRecord
+from repro.kernels.spgemm import SpGEMMPlan, mbsr_spgemm_symbolic_plan
+from repro.kernels.spgemm_numeric import numeric_spgemm
+from repro.util.prefix_sum import counts_to_ptr
+from repro.util.segops import segment_bitwise_or
+
+__all__ = ["RAPPlan", "SetupPlanCache"]
+
+
+@dataclass
+class RAPPlan:
+    """Captured structure of one fused Galerkin product ``R @ A @ P``.
+
+    Chains the symbolic phases of both SpGEMMs.  The intermediate ``RA``
+    is stored structure-only (its bitmap is the OR of the pair bitmap
+    products — no numerics involved), so :meth:`SetupPlanCache.rap_numeric`
+    can rebuild it from a numeric pass alone and feed it straight into the
+    second plan.
+    """
+
+    plan_ra: SpGEMMPlan
+    plan_rap: SpGEMMPlan
+    #: Structure of the intermediate RA (shared across replays).
+    ra_shape: tuple[int, int]
+    ra_blc_ptr: np.ndarray
+    ra_blc_idx: np.ndarray
+    ra_blc_map: np.ndarray
+    ra_pop_per_tile: np.ndarray
+    ra_pattern_key: str
+    #: Pattern keys of (R, A, P) the plan was built for.
+    keys: tuple[str, str, str]
+    #: Whether each stage's SpGEMM plan was newly built (ran its symbolic
+    #: phase) when this RAP plan was assembled — False when the stage hit
+    #: a plan left by an earlier cold product.  Decides what a
+    #: ``charge_plan_build`` replay still owes.
+    built_ra_fresh: bool = True
+    built_rap_fresh: bool = True
+
+    def matches(self, r: MBSRMatrix, a: MBSRMatrix, p: MBSRMatrix) -> bool:
+        """True when the operands carry the plan's sparsity patterns."""
+        return self.keys == (
+            r.cache.pattern_key,
+            a.cache.pattern_key,
+            p.cache.pattern_key,
+        )
+
+
+@dataclass
+class _FillTemplate:
+    """CSR->mBSR layout captured once per CSR pattern (pass 1 of the
+    conversion); replays scatter values only."""
+
+    shape: tuple[int, int]
+    blc_ptr: np.ndarray
+    blc_idx: np.ndarray
+    blc_map: np.ndarray
+    pop_per_tile: np.ndarray
+    #: Source permutation and flat destination slot per CSR entry.
+    order: np.ndarray
+    slots: np.ndarray
+    mbsr_pattern_key: str
+
+
+@dataclass
+class _GatherTemplate:
+    """mBSR->CSR expansion captured once per mBSR pattern (bitmap included);
+    replays gather values only."""
+
+    shape: tuple[int, int]
+    indptr: np.ndarray
+    indices: np.ndarray
+    #: Flat source position in ``blc_val`` per CSR entry.
+    gather: np.ndarray
+    csr_pattern_key: str
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counts per cache kind (diagnostics and tests)."""
+
+    hits: dict = field(default_factory=dict)
+    misses: dict = field(default_factory=dict)
+
+    def count(self, kind: str, hit: bool) -> None:
+        bucket = self.hits if hit else self.misses
+        bucket[kind] = bucket.get(kind, 0) + 1
+
+
+class SetupPlanCache:
+    """Pattern-keyed store of replayable setup-phase structure."""
+
+    def __init__(self, max_entries: int = 128) -> None:
+        self.max_entries = int(max_entries)
+        self._spgemm: OrderedDict[tuple, SpGEMMPlan] = OrderedDict()
+        self._rap: OrderedDict[tuple, RAPPlan] = OrderedDict()
+        self._fill: OrderedDict[str, _FillTemplate] = OrderedDict()
+        self._gather: OrderedDict[str, _GatherTemplate] = OrderedDict()
+        self.stats = CacheStats()
+
+    def _get(self, store: OrderedDict, key):
+        entry = store.get(key)
+        if entry is not None:
+            store.move_to_end(key)
+        return entry
+
+    def _put(self, store: OrderedDict, key, entry) -> None:
+        store[key] = entry
+        while len(store) > self.max_entries:
+            store.popitem(last=False)
+
+    # -- SpGEMM plans ---------------------------------------------------
+    def spgemm_plan(
+        self, mat_a: MBSRMatrix, mat_b: MBSRMatrix
+    ) -> tuple[SpGEMMPlan, bool]:
+        """Plan for ``A @ B`` keyed by the operands' patterns.
+
+        Returns ``(plan, fresh)``: *fresh* is True when the plan was just
+        built (the caller charges the analysis + symbolic cost exactly
+        once); False means a same-pattern product ran before and the plan
+        replays straight into the numeric phase.
+        """
+        key = (mat_a.cache.pattern_key, mat_b.cache.pattern_key)
+        plan = self._get(self._spgemm, key)
+        if plan is not None:
+            self.stats.count("spgemm", hit=True)
+            return plan, False
+        plan = mbsr_spgemm_symbolic_plan(mat_a, mat_b)
+        self._put(self._spgemm, key, plan)
+        self.stats.count("spgemm", hit=False)
+        return plan, True
+
+    # -- fused RAP plans ------------------------------------------------
+    def rap_plan(
+        self, r: MBSRMatrix, a: MBSRMatrix, p: MBSRMatrix
+    ) -> tuple[RAPPlan, bool]:
+        """Fused Galerkin plan keyed by the (R, A, P) patterns.
+
+        Building one runs both symbolic phases (the ``R@A`` stage may hit
+        :meth:`spgemm_plan` entries left by an earlier cold setup) and
+        derives the intermediate's structure from bitmaps alone; no value
+        arithmetic happens here.
+        """
+        key = (
+            r.cache.pattern_key,
+            a.cache.pattern_key,
+            p.cache.pattern_key,
+        )
+        plan = self._get(self._rap, key)
+        if plan is not None:
+            self.stats.count("rap", hit=True)
+            return plan, False
+
+        plan_ra, fresh_ra = self.spgemm_plan(r, a)
+        sym = plan_ra.symbolic
+        _, pos = sym.locate_pairs(a)
+        # The intermediate's bitmap is the OR of the pair bitmap products —
+        # exactly what the numeric phase computes, minus the values.
+        ra_map = segment_bitwise_or(sym.pair_map, pos, sym.blc_num_c)
+        ra_pop = bitmap_popcount(ra_map)
+        ra_shape = (r.nrows, a.ncols)
+        template = MBSRMatrix(
+            ra_shape,
+            sym.blc_ptr_c,
+            sym.blc_idx_c,
+            np.zeros((sym.blc_num_c, 4, 4), dtype=np.float64),
+            ra_map,
+            _trusted=True,
+        )
+        template.cache.seed_pop_per_tile(ra_pop)
+        plan_rap, fresh_rap = self.spgemm_plan(template, p)
+
+        plan = RAPPlan(
+            plan_ra=plan_ra,
+            plan_rap=plan_rap,
+            ra_shape=ra_shape,
+            ra_blc_ptr=sym.blc_ptr_c,
+            ra_blc_idx=sym.blc_idx_c,
+            ra_blc_map=ra_map,
+            ra_pop_per_tile=template.cache.pop_per_tile,
+            ra_pattern_key=template.cache.pattern_key,
+            keys=key,
+            built_ra_fresh=fresh_ra,
+            built_rap_fresh=fresh_rap,
+        )
+        self._put(self._rap, key, plan)
+        self.stats.count("rap", hit=False)
+        return plan, True
+
+    def rap_numeric(
+        self,
+        plan: RAPPlan,
+        r: MBSRMatrix,
+        a: MBSRMatrix,
+        p: MBSRMatrix,
+        precision: Precision = Precision.FP64,
+        out_dtype=None,
+        *,
+        tc_threshold: int | None = None,
+        storage_itemsize: int | None = None,
+        charge_plan_build: bool = False,
+    ) -> tuple[MBSRMatrix, list[KernelRecord]]:
+        """Replay *plan* numerically: two numeric passes, no symbolic work.
+
+        Returns the RAP product in mBSR and the two ``spgemm`` records
+        (numeric-phase cost only, mirroring ``mbsr_spgemm``'s plan-reuse
+        accounting) for the perf layer to price.  With
+        ``charge_plan_build=True`` each record additionally carries its
+        stage's analysis + symbolic cost — the honest accounting when the
+        plan was built by this very call chain (a cold fused product).
+        """
+        if not plan.matches(r, a, p):
+            raise ValueError(
+                "RAP plan was built for operands with a different pattern"
+            )
+        threshold = TC_NNZ_THRESHOLD if tc_threshold is None else tc_threshold
+        ra, rec_ra = self._replay_stage(
+            plan.plan_ra, r, a, precision, out_dtype, threshold,
+            storage_itemsize, stage="ra",
+            charge_symbolic=charge_plan_build and plan.built_ra_fresh,
+        )
+        # Adopt the precomputed intermediate structure so the second pass
+        # skips popcounts and pattern hashing too.
+        ra.cache.seed_pop_per_tile(plan.ra_pop_per_tile)
+        ra.cache.seed_pattern_key(plan.ra_pattern_key)
+        rap, rec_rap = self._replay_stage(
+            plan.plan_rap, ra, p, precision, out_dtype, threshold,
+            storage_itemsize, stage="rap",
+            charge_symbolic=charge_plan_build and plan.built_rap_fresh,
+        )
+        return rap, [rec_ra, rec_rap]
+
+    def _replay_stage(
+        self, plan, mat_a, mat_b, precision, out_dtype, threshold,
+        storage_itemsize, stage, charge_symbolic=False,
+    ):
+        """One numeric pass over a captured symbolic result."""
+        record = KernelRecord(kernel="spgemm", backend="amgt", precision=precision)
+        numeric = numeric_spgemm(
+            mat_a, mat_b, plan.symbolic, precision,
+            tc_threshold=threshold, storage_itemsize=storage_itemsize,
+        )
+        if charge_symbolic:
+            record.counters.merge(plan.symbolic.counters)
+            # Analysis pass, as charged by a cold mbsr_spgemm call.
+            record.counters.launches += 1
+            record.counters.add_bytes(
+                # lint: disable=R3 -- index traffic only (see mbsr_spgemm)
+                read=mat_a.blc_num * 16 + mat_a.mb * 8 + mat_b.mb * 8
+            )
+        record.counters.merge(numeric.counters)
+        record.detail = {
+            "bins": {
+                b: int(rows.shape[0])
+                for b, rows in enumerate(plan.analysis.rows_by_bin)
+            },
+            "intermediate_tiles": plan.analysis.total_intermediate,
+            "tc_pairs": numeric.tc_pairs,
+            "cuda_pairs": numeric.cuda_pairs,
+            "blc_num_c": plan.symbolic.blc_num_c,
+            "symbolic_reused": not charge_symbolic,
+            "fused_rap": stage,
+        }
+        val = numeric.blc_val_c
+        if out_dtype is not None:
+            val = val.astype(out_dtype)
+        mask = bitmap_to_mask(numeric.blc_map_c)
+        val = np.where(mask, val, val.dtype.type(0))
+        out = MBSRMatrix(
+            (mat_a.nrows, mat_b.ncols),
+            plan.symbolic.blc_ptr_c,
+            plan.symbolic.blc_idx_c,
+            val,
+            numeric.blc_map_c,
+            _trusted=True,
+        )
+        if check_runtime.is_active():
+            from repro.check import oracle
+
+            oracle.verify_spgemm(mat_a, mat_b, out, precision, out_dtype)
+        return out, record
+
+    # -- conversion templates -------------------------------------------
+    def csr2mbsr(self, csr: CSRMatrix) -> tuple[MBSRMatrix, ConversionStats]:
+        """``AmgT_CSR2mBSR`` with the tile layout memoised per pattern.
+
+        A miss runs the full conversion (and is charged as such); a hit
+        scatters the values through the captured layout — bit-identical to
+        the cold conversion (every (tile, slot) destination is unique, so
+        the segmented sum degenerates to this scatter) — and returns
+        reduced stats covering only the value traffic.
+        """
+        key = csr.pattern_key()
+        tmpl = self._get(self._fill, key)
+        itemsize = csr.data.dtype.itemsize
+        if tmpl is not None:
+            self.stats.count("csr2mbsr", hit=True)
+            blc_num = tmpl.blc_map.shape[0]
+            flat = np.zeros(blc_num * TILE_SLOTS, dtype=csr.data.dtype)
+            flat[tmpl.slots] = csr.data[tmpl.order]
+            out = MBSRMatrix(
+                tmpl.shape,
+                tmpl.blc_ptr,
+                tmpl.blc_idx,
+                flat.reshape(blc_num, 4, 4),
+                tmpl.blc_map,
+                _trusted=True,
+            )
+            out.cache.seed_pop_per_tile(tmpl.pop_per_tile)
+            out.cache.seed_pattern_key(tmpl.mbsr_pattern_key)
+            stats = ConversionStats(
+                kind="csr2mbsr",
+                nnz=csr.nnz,
+                blc_num=blc_num,
+                # value gather through the template's permutation
+                bytes_read=csr.nnz * (itemsize + 8),
+                # tile values only; ptr/idx/map are reused
+                bytes_written=blc_num * TILE_SLOTS * itemsize,
+            )
+            return out, stats
+
+        self.stats.count("csr2mbsr", hit=False)
+        out, stats = csr_to_mbsr(csr, return_stats=True)
+        order, slot, tile_of_entry, _, _ = _tile_layout(csr)
+        tmpl = _FillTemplate(
+            shape=csr.shape,
+            blc_ptr=out.blc_ptr,
+            blc_idx=out.blc_idx,
+            blc_map=out.blc_map,
+            pop_per_tile=out.cache.pop_per_tile,
+            order=order,
+            slots=tile_of_entry * TILE_SLOTS + slot[order],
+            mbsr_pattern_key=out.cache.pattern_key,
+        )
+        self._put(self._fill, key, tmpl)
+        return out, stats
+
+    def mbsr2csr(self, mbsr: MBSRMatrix) -> CSRMatrix:
+        """``MBSR2CSR`` with the bitmap expansion memoised per pattern.
+
+        The template key includes the bitmap (it decides which slots
+        expand), so a hit gathers values straight into the captured CSR
+        index arrays — bit-identical to
+        :func:`repro.formats.convert.mbsr_to_csr`.
+        """
+        key = mbsr.cache.pattern_key
+        tmpl = self._get(self._gather, key)
+        if tmpl is not None:
+            self.stats.count("mbsr2csr", hit=True)
+            data = mbsr.blc_val.reshape(-1)[tmpl.gather]
+            out = CSRMatrix(
+                tmpl.shape, tmpl.indptr, tmpl.indices, data, _canonical=True
+            )
+            out._pattern_key = tmpl.csr_pattern_key
+            return out
+
+        self.stats.count("mbsr2csr", hit=False)
+        mask = bitmap_to_mask(mbsr.blc_map)
+        tile_ids, rr, cc = np.nonzero(mask)
+        brow = mbsr.block_row_ids()[tile_ids]
+        bcol = mbsr.blc_idx[tile_ids]
+        rows = brow * 4 + rr
+        cols = bcol * 4 + cc
+        flat_src = tile_ids * TILE_SLOTS + rr * 4 + cc
+        keep = (rows < mbsr.nrows) & (cols < mbsr.ncols)
+        rows, cols, flat_src = rows[keep], cols[keep], flat_src[keep]
+        # Same canonical ordering CSRMatrix.from_coo applies.
+        order = np.lexsort((cols, rows))
+        rows, cols, flat_src = rows[order], cols[order], flat_src[order]
+        indptr = counts_to_ptr(np.bincount(rows, minlength=mbsr.nrows))
+        out = CSRMatrix(mbsr.shape, indptr, cols,
+                        mbsr.blc_val.reshape(-1)[flat_src], _canonical=True)
+        tmpl = _GatherTemplate(
+            shape=mbsr.shape,
+            indptr=out.indptr,
+            indices=out.indices,
+            gather=flat_src,
+            csr_pattern_key=out.pattern_key(),
+        )
+        self._put(self._gather, key, tmpl)
+        return out

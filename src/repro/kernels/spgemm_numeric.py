@@ -35,7 +35,7 @@ from repro.gpu.counters import KernelCounters, Precision
 from repro.kernels.spgemm_symbolic import SymbolicResult
 from repro.util.segops import segment_bitwise_or, segment_sum
 
-__all__ = ["NumericResult", "numeric_spgemm"]
+__all__ = ["NumericResult", "locate_output_tiles", "numeric_spgemm"]
 
 
 @dataclass
@@ -50,7 +50,7 @@ class NumericResult:
     cuda_pairs: int
 
 
-def _locate_output_tiles(
+def locate_output_tiles(
     symbolic: SymbolicResult, cols: np.ndarray, nb: int
 ) -> np.ndarray:
     """Binary-search each pair's output tile position within BlcIdxC.
@@ -58,6 +58,11 @@ def _locate_output_tiles(
     ``BlcIdxC`` is sorted within every block-row, so the (row, col) pair of
     a product maps to a globally sorted key ``row * nb + col``; a single
     ``searchsorted`` reproduces the per-row binary search of Alg. 4 line 11.
+
+    The result depends only on the operands' sparsity patterns, so callers
+    that replay a product (plan reuse) fetch it from
+    :meth:`~repro.kernels.spgemm_symbolic.SymbolicResult.locate_pairs`,
+    which memoises this function per plan.
     """
     row_of_tile = np.repeat(
         np.arange(symbolic.blc_ptr_c.shape[0] - 1, dtype=np.int64),
@@ -98,8 +103,7 @@ def numeric_spgemm(
             0,
         )
 
-    cols = mat_b.blc_idx[pair_b]
-    pos = _locate_output_tiles(symbolic, cols, mat_b.nb)
+    _, pos = symbolic.locate_pairs(mat_b)
 
     # Mode selection by the A-tile popcount (Alg. 4 line 3); the per-tile
     # popcounts are cached on the operand and reused across products.

@@ -54,10 +54,32 @@ class SymbolicResult:
     #: Block-row of C per surviving pair.
     pair_row: np.ndarray
     counters: KernelCounters
+    #: Memoised numeric-phase geometry (see :meth:`locate_pairs`).
+    _pair_cols: np.ndarray | None = None
+    _pair_pos: np.ndarray | None = None
 
     @property
     def blc_num_c(self) -> int:
         return int(self.blc_ptr_c[-1])
+
+    def locate_pairs(self, mat_b: MBSRMatrix) -> tuple[np.ndarray, np.ndarray]:
+        """Per-pair B-tile columns and output tile positions, memoised.
+
+        Both arrays depend only on the operands' sparsity patterns, so a
+        plan that replays this symbolic result (``reuse_plan`` /
+        :class:`~repro.kernels.setup_cache.SetupPlanCache`) computes them
+        exactly once; every later numeric pass starts straight at the
+        value math.
+        """
+        if self._pair_pos is None:
+            from repro.kernels.spgemm_numeric import locate_output_tiles
+
+            cols = mat_b.blc_idx[self.pair_b]
+            pos = locate_output_tiles(self, cols, mat_b.nb)
+            cols.setflags(write=False)
+            pos.setflags(write=False)
+            self._pair_cols, self._pair_pos = cols, pos
+        return self._pair_cols, self._pair_pos
 
 
 def expand_candidate_pairs(
@@ -92,6 +114,7 @@ def symbolic_spgemm(
     pair_a, pair_b, pair_row = expand_candidate_pairs(mat_a, mat_b)
 
     # BITMAPMULTIPLY prunes structurally-zero products (Alg. 3 lines 7-8).
+    n_candidates = pair_a.shape[0]
     map_c = bitmap_multiply(mat_a.blc_map[pair_a], mat_b.blc_map[pair_b])
     keep = map_c != 0
     pair_a, pair_b, pair_row, map_c = (
@@ -117,13 +140,14 @@ def symbolic_spgemm(
     if not np.array_equal(check_ptr, blc_ptr_c):
         raise AssertionError("symbolic step 2 disagrees with step 1")
 
-    # Cost accounting: each candidate pair reads two bitmaps and does one
-    # bitmap product (~a handful of bit ops, modelled as 16 integer ops on
-    # the scalar cores at fp32 rate); hash inserts are integer work too.
-    n_candidates = keep.shape[0]
+    # Cost accounting: each of the n_candidates pre-filter pairs reads two
+    # bitmaps and does one bitmap product (~a handful of bit ops, modelled
+    # as 16 integer ops on the scalar cores at fp32 rate); only the
+    # surviving pairs pay hash inserts (integer work too).
+    n_survivors = pair_a.shape[0]
     from repro.gpu.counters import Precision
 
-    counters.add_flops(Precision.FP32, 16.0 * n_candidates + 8.0 * int(keep.sum()))
+    counters.add_flops(Precision.FP32, 16.0 * n_candidates + 8.0 * n_survivors)
     counters.add_bytes(
         read=n_candidates * (2 + 8) * 2,  # bitmaps + indices of both tiles
         written=blc_ptr_c.shape[0] * 8 + blc_idx_c.shape[0] * 8,

@@ -12,13 +12,19 @@ exhaustive if *every* public kernel entry point consults the
 ``repro.check`` runtime hook.  A kernel function is recognised by the
 ``KernelRecord(...)`` it constructs; such a function must call
 ``...is_active()`` (or enter a ``checked_region``) somewhere in its body.
+
+The rule also covers class-based entry points (the setup-engine caches
+expose kernel work as methods): a public method owes the hook when it
+builds a KernelRecord *itself or through the private methods of its own
+class* (``self._helper()`` delegation, followed transitively), and the
+hook consult may likewise live in the method or any of those helpers.
 """
 
 from __future__ import annotations
 
 import ast
 
-from repro.lint.astutil import dotted_name, toplevel_functions
+from repro.lint.astutil import dotted_name
 from repro.lint.context import ModuleContext
 from repro.lint.finding import Finding, make_finding
 
@@ -66,33 +72,84 @@ def _calls_in(body: list[ast.stmt]):
         yield from (n for n in ast.walk(stmt) if isinstance(n, ast.Call))
 
 
+def _hook_facts(func) -> tuple[bool, bool, set[str]]:
+    """(builds KernelRecord, consults hook, same-class methods called)."""
+    builds = consults = False
+    callees: set[str] = set()
+    for call in _calls_in(func.body):
+        name = dotted_name(call.func) or ""
+        tail = name.rsplit(".", 1)[-1]
+        if tail == "KernelRecord":
+            builds = True
+        elif tail in ("is_active", "checked_region"):
+            consults = True
+        parts = name.split(".")
+        if len(parts) == 2 and parts[0] in ("self", "cls"):
+            callees.add(parts[1])
+    return builds, consults, callees
+
+
+def _class_closure(name: str, facts: dict) -> tuple[bool, bool]:
+    """Facts of *name* plus everything reachable through same-class
+    private calls (``self._helper()``), followed transitively."""
+    builds = consults = False
+    seen: set[str] = set()
+    stack = [name]
+    while stack:
+        current = stack.pop()
+        if current in seen or current not in facts:
+            continue
+        seen.add(current)
+        b, c, callees = facts[current]
+        builds = builds or b
+        consults = consults or c
+        stack.extend(m for m in callees if m.startswith("_"))
+    return builds, consults
+
+
+def _unhooked(label: str) -> str:
+    return (
+        f"kernel entry point {label} builds a KernelRecord "
+        "but never consults the repro.check hook "
+        "(check_runtime.is_active() / checked_region): checked "
+        "mode would silently skip this kernel"
+    )
+
+
 def check_contract_hooks(ctx: ModuleContext) -> list[Finding]:
     """R4: kernel entry points must route through the repro.check hook."""
     if not ctx.in_contract_scope():
         return []
     findings: list[Finding] = []
-    for func in toplevel_functions(ctx.tree):
-        if func.name.startswith("_"):
-            continue
-        builds_record = False
-        consults_hook = False
-        for call in _calls_in(func.body):
-            name = dotted_name(call.func) or ""
-            tail = name.rsplit(".", 1)[-1]
-            if tail == "KernelRecord":
-                builds_record = True
-            elif tail in ("is_active", "checked_region"):
-                consults_hook = True
-        if builds_record and not consults_hook:
-            findings.append(
-                make_finding(
-                    "R4",
-                    ctx.path,
-                    func.lineno,
-                    f"kernel entry point {func.name}() builds a KernelRecord "
-                    "but never consults the repro.check hook "
-                    "(check_runtime.is_active() / checked_region): checked "
-                    "mode would silently skip this kernel",
+    for node in ctx.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name.startswith("_"):
+                continue
+            builds, consults, _ = _hook_facts(node)
+            if builds and not consults:
+                findings.append(
+                    make_finding(
+                        "R4", ctx.path, node.lineno,
+                        _unhooked(f"{node.name}()"),
+                    )
                 )
-            )
+        elif isinstance(node, ast.ClassDef):
+            facts = {
+                sub.name: _hook_facts(sub)
+                for sub in node.body
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            for sub in node.body:
+                if not isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if sub.name.startswith("_"):
+                    continue
+                builds, consults = _class_closure(sub.name, facts)
+                if builds and not consults:
+                    findings.append(
+                        make_finding(
+                            "R4", ctx.path, sub.lineno,
+                            _unhooked(f"{node.name}.{sub.name}()"),
+                        )
+                    )
     return findings

@@ -18,14 +18,35 @@ specification that the tests compare against.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 __all__ = [
     "HashTable",
+    "content_digest",
     "next_pow2",
     "distinct_count_per_segment",
     "distinct_sorted_per_segment",
 ]
+
+
+def content_digest(*arrays: np.ndarray, length: int = 16) -> str:
+    """Stable hex digest over the dtype, shape and bytes of *arrays*.
+
+    This is the one content-hashing primitive of the tree: the contract
+    checker truncates it into operand fingerprints, and the setup-phase
+    plan cache uses it to key SpGEMM plans and conversion templates by
+    sparsity pattern.  Two arrays hash equal iff they are bytewise equal
+    with the same dtype and shape.
+    """
+    h = hashlib.sha1()
+    for arr in arrays:
+        a = np.ascontiguousarray(arr)
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()[:length]
 
 _EMPTY = -1
 

@@ -365,6 +365,68 @@ class TestContractHook:
         findings, _ = lint_file(path)
         assert "R4" not in rules_of(findings)
 
+    # -- class-based entry points (setup-engine caches) -----------------
+    BAD_CLASS = """
+    from repro.kernels.record import KernelRecord
+
+    class PlanCache:
+        def replay(self, mat):
+            return self._stage(mat)
+
+        def _stage(self, mat):
+            record = KernelRecord(kernel="spgemm", backend="amgt")
+            return mat, record
+    """
+
+    GOOD_CLASS = """
+    from repro.check import runtime as check_runtime
+    from repro.kernels.record import KernelRecord
+
+    class PlanCache:
+        def replay(self, mat):
+            return self._stage(mat)
+
+        def _stage(self, mat):
+            record = KernelRecord(kernel="spgemm", backend="amgt")
+            if check_runtime.is_active():
+                pass
+            return mat, record
+    """
+
+    def test_unhooked_method_delegation_flagged(self, tmp_path):
+        """A public method owes the hook even when a private helper of the
+        same class builds the record on its behalf."""
+        path = write(tmp_path, "repro/kernels/cache2.py", self.BAD_CLASS)
+        findings, _ = lint_file(path)
+        assert any(
+            f.rule == "R4" and "PlanCache.replay" in f.message
+            for f in findings
+        )
+
+    def test_hooked_helper_covers_public_method(self, tmp_path):
+        path = write(tmp_path, "repro/kernels/cache2.py", self.GOOD_CLASS)
+        findings, _ = lint_file(path)
+        assert "R4" not in rules_of(findings)
+
+    def test_direct_method_record_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/kernels/cache2.py",
+            """
+            from repro.kernels.record import KernelRecord
+
+            class PlanCache:
+                def replay(self, mat):
+                    record = KernelRecord(kernel="spgemm", backend="amgt")
+                    return mat, record
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert any(
+            f.rule == "R4" and "PlanCache.replay" in f.message
+            for f in findings
+        )
+
 
 # ---------------------------------------------------------------------------
 # R5 — hot-loop allocation (advisory)
