@@ -14,7 +14,9 @@ Times the three wall-clock-dominant host paths on suite matrices:
 Both paths compute bit-identical values (asserted per run), so the measured
 ratio isolates the engine change.  Results land in ``BENCH_hotpath.json``
 at the repo root: one record per (matrix, op) with median seconds for each
-path and the speedup, plus per-op median-of-speedups in ``summary``.
+path and the speedup, per-op median-of-speedups in ``summary``, and a
+``repro.obs`` metrics snapshot from an untimed instrumented pass in
+``metrics`` (the timed sections always run with observability off).
 
 Run with ``PYTHONPATH=src python benchmarks/bench_hotpath.py``; environment
 knobs: ``REPRO_HOTPATH_MATRICES`` (comma-separated names, default
@@ -23,12 +25,11 @@ knobs: ``REPRO_HOTPATH_MATRICES`` (comma-separated names, default
 
 from __future__ import annotations
 
-import json
 import os
-import statistics
-import time
 
 import numpy as np
+
+import common
 
 from repro.amg.cycle import SolveParams, SolveStats, v_cycle
 from repro.amg.hierarchy import SetupParams, amg_setup
@@ -44,25 +45,7 @@ DEFAULT_MATRICES = ["thermal1", "bcsstk39", "cant"]
 SPMV_CALLS = 50
 OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_hotpath.json")
 
-
-def _matrices() -> list[str]:
-    raw = os.environ.get("REPRO_HOTPATH_MATRICES", "")
-    if raw.strip():
-        return [n.strip() for n in raw.split(",") if n.strip()]
-    return list(DEFAULT_MATRICES)
-
-
-def _repeats() -> int:
-    return int(os.environ.get("REPRO_HOTPATH_REPEATS", "5"))
-
-
-def _median_time(fn, repeats: int) -> float:
-    times = []
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - t0)
-    return statistics.median(times)
+_median_time = common.median_time
 
 
 # ----------------------------------------------------------------------
@@ -222,15 +205,34 @@ def bench_v_cycle(hierarchy, rng, repeats):
     )
 
 
+def _instrumented_pass(mbsr, hierarchy, rng):
+    """A representative slice of the workload, re-run (untimed) with
+    observability on so the payload's metrics snapshot documents the
+    dispatch paths and cache behaviour the benchmark exercised."""
+    x = rng.normal(size=mbsr.ncols)
+    for _ in range(3):
+        mbsr_spmv(mbsr, x, Precision.FP64)
+    lvl = hierarchy.levels[0]
+    a = csr_to_mbsr(lvl.a)
+    p = csr_to_mbsr(lvl.p)
+    plan = mbsr_spgemm_symbolic_plan(a, p)
+    numeric_spgemm(a, p, plan.symbolic, Precision.FP64)
+
+
 def run(matrices=None, repeats=None, out_path=OUT_PATH):
-    matrices = matrices or _matrices()
-    repeats = repeats or _repeats()
+    matrices = matrices or common.matrices_from_env(
+        "REPRO_HOTPATH_MATRICES", DEFAULT_MATRICES
+    )
+    repeats = repeats or common.repeats_from_env("REPRO_HOTPATH_REPEATS")
     rng = np.random.default_rng(0)
     results = []
+    first = {}
     for name in matrices:
         csr = load_suite_matrix(name)
         mbsr = csr_to_mbsr(csr)
         hierarchy = amg_setup(csr, SetupParams())
+        if not first:
+            first = {"mbsr": mbsr, "hierarchy": hierarchy}
         for op, (new_s, naive_s) in (
             ("spmv_warm", bench_spmv(mbsr, rng, repeats)),
             ("spgemm_rap", bench_spgemm_rap(hierarchy, repeats)),
@@ -248,32 +250,26 @@ def run(matrices=None, repeats=None, out_path=OUT_PATH):
                 f"{name:>12} {op:<10} new {new_s:.5f}s  "
                 f"naive {naive_s:.5f}s  speedup {rec['speedup']:.2f}x"
             )
-    summary = {}
-    for op in ("spmv_warm", "spgemm_rap", "v_cycle"):
-        ratios = [r["speedup"] for r in results if r["op"] == op]
-        summary[op] = {
-            "median_speedup": statistics.median(ratios),
-            "min_speedup": min(ratios),
-        }
-    payload = {
-        "generated_by": "benchmarks/bench_hotpath.py",
-        "config": {
+    summary = common.summarize_speedups(
+        results, ("spmv_warm", "spgemm_rap", "v_cycle")
+    )
+    metrics = common.collect_metrics(
+        lambda: _instrumented_pass(first["mbsr"], first["hierarchy"], rng)
+    )
+    return common.write_payload(
+        out_path,
+        "benchmarks/bench_hotpath.py",
+        {
             "matrices": matrices,
             "repeats": repeats,
             "spmv_calls": SPMV_CALLS,
             "precision": "fp64",
         },
-        "results": results,
-        "summary": summary,
-    }
-    with open(out_path, "w") as f:
-        json.dump(payload, f, indent=2)
-        f.write("\n")
-    print(f"\nwrote {os.path.abspath(out_path)}")
-    for op, s in summary.items():
-        print(f"  {op:<10} median speedup {s['median_speedup']:.2f}x "
-              f"(min {s['min_speedup']:.2f}x)")
-    return payload
+        results,
+        summary,
+        metrics,
+        op_width=10,
+    )
 
 
 if __name__ == "__main__":

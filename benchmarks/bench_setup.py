@@ -20,7 +20,9 @@ kernel (the numeric phase) and produce the cold product's bits.
 
 Results land in ``BENCH_setup.json`` at the repo root with the same shape
 as ``BENCH_hotpath.json``: one record per (matrix, op) with median seconds
-per path and the speedup, plus per-op median-of-speedups in ``summary``.
+per path and the speedup, per-op median-of-speedups in ``summary``, and a
+``repro.obs`` metrics snapshot from an untimed instrumented pass in
+``metrics`` (the timed sections always run with observability off).
 
 Run with ``PYTHONPATH=src python benchmarks/bench_setup.py``; environment
 knobs: ``REPRO_SETUP_MATRICES`` (comma-separated names, default
@@ -29,12 +31,11 @@ knobs: ``REPRO_SETUP_MATRICES`` (comma-separated names, default
 
 from __future__ import annotations
 
-import json
 import os
-import statistics
-import time
 
 import numpy as np
+
+import common
 
 from repro.formats.convert import csr_to_mbsr
 from repro.gpu.specs import A100
@@ -47,25 +48,7 @@ from repro.matrices import load_suite_matrix
 DEFAULT_MATRICES = ["thermal1", "bcsstk39", "cant"]
 OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_setup.json")
 
-
-def _matrices() -> list[str]:
-    raw = os.environ.get("REPRO_SETUP_MATRICES", "")
-    if raw.strip():
-        return [n.strip() for n in raw.split(",") if n.strip()]
-    return list(DEFAULT_MATRICES)
-
-
-def _repeats() -> int:
-    return int(os.environ.get("REPRO_SETUP_REPEATS", "5"))
-
-
-def _median_time(fn, repeats: int) -> float:
-    times = []
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - t0)
-    return statistics.median(times)
+_median_time = common.median_time
 
 
 def _assert_hierarchies_identical(cold, replayed) -> None:
@@ -162,12 +145,26 @@ def bench_conversion_replay(csr, repeats):
     )
 
 
+def _instrumented_pass(csr):
+    """One cold setup plus one numeric re-setup, re-run (untimed) with
+    observability on so the payload's metrics snapshot documents the
+    plan-cache and conversion-template behaviour being benchmarked."""
+    amg = BoomerAMG(AmgTBackend(A100, precision="fp64"))
+    amg.setup(csr)
+    amg.setup(csr, reuse=True)
+
+
 def run(matrices=None, repeats=None, out_path=OUT_PATH):
-    matrices = matrices or _matrices()
-    repeats = repeats or _repeats()
+    matrices = matrices or common.matrices_from_env(
+        "REPRO_SETUP_MATRICES", DEFAULT_MATRICES
+    )
+    repeats = repeats or common.repeats_from_env("REPRO_SETUP_REPEATS")
     results = []
+    first_csr = None
     for name in matrices:
         csr = load_suite_matrix(name)
+        if first_csr is None:
+            first_csr = csr
         for op, (new_s, cold_s) in (
             ("resetup", bench_resetup(csr, repeats)),
             ("spgemm_plan_hit", bench_spgemm_plan_hit(csr, repeats)),
@@ -185,31 +182,23 @@ def run(matrices=None, repeats=None, out_path=OUT_PATH):
                 f"{name:>12} {op:<18} replay {new_s:.5f}s  "
                 f"cold {cold_s:.5f}s  speedup {rec['speedup']:.2f}x"
             )
-    summary = {}
-    for op in ("resetup", "spgemm_plan_hit", "conversion_replay"):
-        ratios = [r["speedup"] for r in results if r["op"] == op]
-        summary[op] = {
-            "median_speedup": statistics.median(ratios),
-            "min_speedup": min(ratios),
-        }
-    payload = {
-        "generated_by": "benchmarks/bench_setup.py",
-        "config": {
+    summary = common.summarize_speedups(
+        results, ("resetup", "spgemm_plan_hit", "conversion_replay")
+    )
+    metrics = common.collect_metrics(lambda: _instrumented_pass(first_csr))
+    return common.write_payload(
+        out_path,
+        "benchmarks/bench_setup.py",
+        {
             "matrices": matrices,
             "repeats": repeats,
             "precision": "fp64",
         },
-        "results": results,
-        "summary": summary,
-    }
-    with open(out_path, "w") as f:
-        json.dump(payload, f, indent=2)
-        f.write("\n")
-    print(f"\nwrote {os.path.abspath(out_path)}")
-    for op, s in summary.items():
-        print(f"  {op:<18} median speedup {s['median_speedup']:.2f}x "
-              f"(min {s['min_speedup']:.2f}x)")
-    return payload
+        results,
+        summary,
+        metrics,
+        op_width=18,
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,108 @@
+"""Shared plumbing for the benchmark scripts.
+
+Both ``bench_hotpath.py`` and ``bench_setup.py`` follow the same recipe:
+read the matrix list and repeat count from environment knobs, median-time
+paired fast/baseline closures, summarise per-op speedups, and write a
+``BENCH_*.json`` payload at the repo root.  This module holds that recipe
+once.
+
+Payloads additionally carry a ``metrics`` key: a
+:class:`repro.obs.MetricsRegistry` snapshot taken from a separate,
+*untimed* instrumented pass over a representative slice of the workload.
+The timed sections always run with observability off — tracing costs
+would perturb the medians — so the snapshot documents what the benchmark
+exercised (cache hits, dispatch paths, kernel counters) without touching
+the numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from typing import Callable
+
+__all__ = [
+    "matrices_from_env",
+    "repeats_from_env",
+    "median_time",
+    "summarize_speedups",
+    "collect_metrics",
+    "write_payload",
+]
+
+
+def matrices_from_env(env_var: str, default: list[str]) -> list[str]:
+    """Comma-separated matrix names from *env_var*, else *default*."""
+    raw = os.environ.get(env_var, "")
+    if raw.strip():
+        return [n.strip() for n in raw.split(",") if n.strip()]
+    return list(default)
+
+
+def repeats_from_env(env_var: str, default: int = 5) -> int:
+    return int(os.environ.get(env_var, str(default)))
+
+
+def median_time(fn: Callable[[], object], repeats: int) -> float:
+    """Median wall-clock seconds of *repeats* calls to *fn*."""
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+def summarize_speedups(results: list[dict], ops) -> dict:
+    """Per-op ``{median_speedup, min_speedup}`` over the result records."""
+    summary = {}
+    for op in ops:
+        ratios = [r["speedup"] for r in results if r["op"] == op]
+        summary[op] = {
+            "median_speedup": statistics.median(ratios),
+            "min_speedup": min(ratios),
+        }
+    return summary
+
+
+def collect_metrics(workload: Callable[[], object]) -> dict:
+    """Run *workload* once with observability on; return the registry
+    snapshot it produced.  Obs state is clean before and after, so the
+    snapshot covers exactly this pass."""
+    import repro.obs as obs
+
+    obs.reset()
+    with obs.trace_region():
+        workload()
+    snapshot = obs.REGISTRY.snapshot()
+    obs.reset()
+    return snapshot
+
+
+def write_payload(
+    out_path: str,
+    generated_by: str,
+    config: dict,
+    results: list[dict],
+    summary: dict,
+    metrics: dict,
+    op_width: int = 10,
+) -> dict:
+    """Assemble the payload, write it as JSON, print the summary lines."""
+    payload = {
+        "generated_by": generated_by,
+        "config": config,
+        "results": results,
+        "summary": summary,
+        "metrics": metrics,
+    }
+    with open(out_path, "w") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+    print(f"\nwrote {os.path.abspath(out_path)}")
+    for op, s in summary.items():
+        print(f"  {op:<{op_width}} median speedup {s['median_speedup']:.2f}x "
+              f"(min {s['min_speedup']:.2f}x)")
+    return payload

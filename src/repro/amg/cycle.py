@@ -22,6 +22,8 @@ import numpy as np
 from repro.amg.hierarchy import AMGHierarchy
 from repro.amg.precision import accumulator
 from repro.check import runtime as check_runtime
+from repro.obs import convergence as obs_conv
+from repro.obs import trace as obs_trace
 
 __all__ = ["SolveParams", "SolveStats", "mg_cycle", "v_cycle", "amg_solve"]
 
@@ -111,9 +113,38 @@ def _smooth(
     num_sweeps: int,
 ) -> np.ndarray:
     """Apply *num_sweeps* of the configured smoother at *level*."""
-    lvl = hierarchy.levels[level]
     if num_sweeps == 0:
         return x
+    if obs_trace.is_active():
+        from repro.obs import metrics as obs_metrics
+
+        sp = obs_trace.TRACER.open(
+            "smoother", "kernel",
+            {"smoother": params.smoother, "level": level, "sweeps": num_sweeps},
+        )
+        obs_metrics.REGISTRY.counter(
+            "repro_smoother_sweeps_total",
+            smoother=params.smoother, level=level,
+        ).inc(num_sweeps)
+    else:
+        sp = obs_trace.NULL_SPAN
+    with sp:
+        return _apply_smoother(
+            hierarchy, level, x, b, spmv, params, stats, num_sweeps
+        )
+
+
+def _apply_smoother(
+    hierarchy: AMGHierarchy,
+    level: int,
+    x: np.ndarray,
+    b: np.ndarray,
+    spmv: LevelSpMV,
+    params: SolveParams,
+    stats: SolveStats,
+    num_sweeps: int,
+) -> np.ndarray:
+    lvl = hierarchy.levels[level]
     if params.smoother == "l1-jacobi":
         x0 = x
         for _ in range(num_sweeps):
@@ -162,7 +193,24 @@ def mg_cycle(
     params = params or SolveParams()
     spmv = spmv or _default_spmv(hierarchy)
     stats = stats if stats is not None else SolveStats()
+    lsp = (
+        obs_trace.TRACER.open(f"level[{level}]", "level", {"level": level})
+        if obs_trace.is_active()
+        else obs_trace.NULL_SPAN
+    )
+    with lsp:
+        return _cycle_at_level(hierarchy, b, x, spmv, params, stats, level)
 
+
+def _cycle_at_level(
+    hierarchy: AMGHierarchy,
+    b: np.ndarray,
+    x: np.ndarray,
+    spmv: LevelSpMV,
+    params: SolveParams,
+    stats: SolveStats,
+    level: int,
+) -> np.ndarray:
     if level == hierarchy.num_levels - 1:
         return hierarchy.coarse_solver.solve(b)
 
@@ -258,29 +306,51 @@ def amg_solve(
     x = accumulator(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
     stats = SolveStats()
 
-    r0 = b - np.asarray(spmv(0, "A", x), dtype=np.float64)
-    stats.spmv_calls += 1
-    norm0 = float(np.linalg.norm(r0))
-    stats.residual_history.append(norm0)
-    if norm0 == 0.0:
-        stats.converged = True
-        return x, stats
-
-    for it in range(params.max_iterations):
-        x = mg_cycle(hierarchy, b, x, spmv, params, stats)
-        r = b - np.asarray(spmv(0, "A", x), dtype=np.float64)
+    psp = obs_trace.phase_span("solve")
+    tel = obs_conv.start_solve(
+        "amg",
+        cycle_type=params.cycle_type,
+        smoother=params.smoother,
+        levels=hierarchy.num_levels,
+    )
+    with psp:
+        r0 = b - np.asarray(spmv(0, "A", x), dtype=np.float64)
         stats.spmv_calls += 1
-        rnorm = float(np.linalg.norm(r))
-        stats.residual_history.append(rnorm)
-        stats.iterations = it + 1
-        # Converged when the residual meets the tolerance, or underflows
-        # machine precision (norm0 * eps): with the paper-mode default
-        # tolerance=0.0 a residual of ~1e-17 * norm0 is converged by any
-        # usable definition, and must be reported as such even though all
-        # iterations still run for the fixed-cycle timing methodology.
-        eps_floor = norm0 * float(np.finfo(np.float64).eps)
-        if rnorm <= max(params.tolerance * norm0, eps_floor):
+        norm0 = float(np.linalg.norm(r0))
+        stats.residual_history.append(norm0)
+        if tel is not None:
+            tel.record_initial(norm0)
+        if norm0 == 0.0:
             stats.converged = True
-            if params.tolerance > 0:
-                break
+            if tel is not None:
+                tel.converged = True
+            return x, stats
+
+        for it in range(params.max_iterations):
+            csp = (
+                obs_trace.TRACER.open(f"cycle[{it}]", "cycle", {"iteration": it})
+                if obs_trace.is_active()
+                else obs_trace.NULL_SPAN
+            )
+            with csp:
+                x = mg_cycle(hierarchy, b, x, spmv, params, stats)
+                r = b - np.asarray(spmv(0, "A", x), dtype=np.float64)
+                stats.spmv_calls += 1
+                rnorm = float(np.linalg.norm(r))
+            stats.residual_history.append(rnorm)
+            stats.iterations = it + 1
+            if tel is not None:
+                tel.record_iteration(rnorm, csp if csp else None)
+            # Converged when the residual meets the tolerance, or underflows
+            # machine precision (norm0 * eps): with the paper-mode default
+            # tolerance=0.0 a residual of ~1e-17 * norm0 is converged by any
+            # usable definition, and must be reported as such even though all
+            # iterations still run for the fixed-cycle timing methodology.
+            eps_floor = norm0 * float(np.finfo(np.float64).eps)
+            if rnorm <= max(params.tolerance * norm0, eps_floor):
+                stats.converged = True
+                if params.tolerance > 0:
+                    break
+        if tel is not None:
+            tel.converged = stats.converged
     return x, stats

@@ -25,6 +25,7 @@ from repro.amg.interp import build_interpolation
 from repro.amg.smoothers import l1_jacobi_diagonal
 from repro.amg.strength import strength_of_connection
 from repro.formats.csr import CSRMatrix
+from repro.obs import trace as obs_trace
 
 __all__ = ["SetupParams", "AMGLevel", "AMGHierarchy", "amg_setup"]
 
@@ -158,6 +159,24 @@ def amg_setup(
     if a.nrows != a.ncols:
         raise ValueError("AMG requires a square matrix")
     params = params or SetupParams()
+    with obs_trace.phase_span("setup"):
+        return _amg_setup_impl(
+            a, params, spgemm,
+            on_level_built=on_level_built,
+            reuse=reuse,
+            galerkin_planner=galerkin_planner,
+        )
+
+
+def _amg_setup_impl(
+    a: CSRMatrix,
+    params: SetupParams,
+    spgemm: SpGEMMFn | None,
+    *,
+    on_level_built: Callable[[int, CSRMatrix], None] | None,
+    reuse: AMGHierarchy | None,
+    galerkin_planner: Callable | None,
+) -> AMGHierarchy:
     if reuse is not None and params.amg_family == "classical":
         hierarchy = _numeric_resetup(
             a, reuse, params, spgemm, galerkin_planner, on_level_built

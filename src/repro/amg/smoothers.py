@@ -18,6 +18,7 @@ from typing import Callable
 import numpy as np
 
 from repro.formats.csr import CSRMatrix
+from repro.obs import metrics as obs_metrics
 
 __all__ = [
     "l1_jacobi_diagonal",
@@ -69,6 +70,8 @@ def jacobi_sweep(
     """
     x = np.asarray(x, dtype=np.float64).copy()
     b = np.asarray(b, dtype=np.float64)
+    obs_metrics.inc("repro_smoother_applications_total", kind="jacobi",
+                    amount=num_sweeps)
     for _ in range(num_sweeps):
         r = b - np.asarray(spmv(x), dtype=np.float64)
         x += dinv * r
@@ -93,6 +96,8 @@ def gauss_seidel_sweep(
     """
     if not (0.0 < omega < 2.0):
         raise ValueError(f"SOR omega must lie in (0, 2), got {omega}")
+    obs_metrics.inc("repro_smoother_applications_total", kind="gauss-seidel",
+                    amount=num_sweeps)
     x = np.asarray(x, dtype=np.float64).copy()
     b = np.asarray(b, dtype=np.float64)
     n = a.nrows
@@ -158,6 +163,7 @@ def chebyshev_smooth(
     """
     if degree < 1:
         raise ValueError("degree must be >= 1")
+    obs_metrics.inc("repro_smoother_applications_total", kind="chebyshev")
     x = np.asarray(x, dtype=np.float64).copy()
     b = np.asarray(b, dtype=np.float64)
     lam_min = lam_min_fraction * lam_max

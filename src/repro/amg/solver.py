@@ -104,17 +104,19 @@ class AmgTSolver:
         :meth:`repro.hypre.boomeramg.BoomerAMG.setup`.
         """
         from repro.check import checked_region
+        from repro.obs import trace as obs_trace
 
-        if reuse and self._driver is not None:
+        with obs_trace.span("AmgTSolver.setup", "solver"):
+            if reuse and self._driver is not None:
+                with checked_region(enabled=self.checked):
+                    self._driver.setup(a, reuse=True)
+                return self
+            backend = make_backend(
+                self.backend_name, self.device, precision=self.precision_name
+            )
+            self._driver = BoomerAMG(backend, self.setup_params)
             with checked_region(enabled=self.checked):
-                self._driver.setup(a, reuse=True)
-            return self
-        backend = make_backend(
-            self.backend_name, self.device, precision=self.precision_name
-        )
-        self._driver = BoomerAMG(backend, self.setup_params)
-        with checked_region(enabled=self.checked):
-            self._driver.setup(a)
+                self._driver.setup(a)
         return self
 
     @property
@@ -157,6 +159,7 @@ class AmgTSolver:
         if self._driver is None:
             raise RuntimeError("call setup() before solve()")
         from repro.check import checked_region
+        from repro.obs import trace as obs_trace
 
         params = SolveParams(
             max_iterations=max_iterations,
@@ -164,8 +167,9 @@ class AmgTSolver:
             cycle_type=cycle_type,
             smoother=smoother,
         )
-        with checked_region(enabled=self.checked):
-            x, stats = self._driver.solve(b, x0=x0, params=params)
+        with obs_trace.span("AmgTSolver.solve", "solver"):
+            with checked_region(enabled=self.checked):
+                x, stats = self._driver.solve(b, x0=x0, params=params)
         return SolveResult(x=x, stats=stats, performance=self._driver.perf)
 
     # ------------------------------------------------------------------
@@ -188,6 +192,7 @@ class AmgTSolver:
         """
         if self._driver is None:
             raise RuntimeError("call setup() before solve_krylov()")
+        from repro.obs import trace as obs_trace
         from repro.solvers import bicgstab, gmres, pcg
 
         solvers = {"pcg": pcg, "gmres": gmres, "bicgstab": bicgstab}
@@ -202,14 +207,15 @@ class AmgTSolver:
             return driver.backend.matvec_device(wrapped, v, driver.perf,
                                                 "solve", 0)
 
-        return solvers[method](
-            matvec,
-            np.asarray(b, dtype=np.float64),
-            preconditioner=driver.precondition,
-            x0=x0,
-            tolerance=tolerance,
-            max_iterations=max_iterations,
-        )
+        with obs_trace.span("AmgTSolver.solve_krylov", "solver"):
+            return solvers[method](
+                matvec,
+                np.asarray(b, dtype=np.float64),
+                preconditioner=driver.precondition,
+                x0=x0,
+                tolerance=tolerance,
+                max_iterations=max_iterations,
+            )
 
     # ------------------------------------------------------------------
     def as_preconditioner(self):

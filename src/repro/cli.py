@@ -1,17 +1,20 @@
 """Command-line interface.
 
-Three subcommands mirror the library's main uses::
+The subcommands mirror the library's main uses::
 
-    python -m repro solve  --matrix thermal1 --backend amgt --device H100
-    python -m repro bench  --matrices thermal1,cant --iterations 10
-    python -m repro info   [--device H100] [--matrix cant]
+    python -m repro solve      --matrix thermal1 --backend amgt --device H100
+    python -m repro bench      --matrices thermal1,cant --iterations 10
+    python -m repro info       [--device H100] [--matrix cant]
+    python -m repro obs report --matrix thermal1 [--trace-out trace.json]
 
 ``solve`` runs one AMG solve (optionally as a Krylov preconditioner) and
 prints convergence plus the simulated phase times; ``bench`` prints the
 Fig. 7-style three-way comparison for a matrix subset; ``info`` dumps the
-device registry and suite metadata.  ``--matrix`` accepts a suite name
-(Table II analog), ``poisson2d:N`` / ``poisson3d:N`` grid shorthands, or a
-path to a MatrixMarket file.
+device registry and suite metadata; ``obs report`` runs one traced
+setup+solve and prints the measured phase breakdown next to the simulated
+one (optionally exporting a Perfetto trace and Prometheus metrics).
+``--matrix`` accepts a suite name (Table II analog), ``poisson2d:N`` /
+``poisson3d:N`` grid shorthands, or a path to a MatrixMarket file.
 """
 
 from __future__ import annotations
@@ -168,6 +171,40 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_obs_report(args) -> int:
+    """Run one traced setup+solve; print measured vs simulated breakdown."""
+    import repro.obs as obs
+    from repro import AmgTSolver
+
+    a = load_matrix_arg(args.matrix)
+    b = np.ones(a.nrows)
+    obs.reset()
+    with obs.trace_region():
+        solver = AmgTSolver(backend=args.backend, device=args.device,
+                            precision=args.precision)
+        solver.setup(a)
+        solver.solve(b, max_iterations=args.iterations)
+    print(f"observed setup+solve: {args.matrix} on {args.device} "
+          f"({args.backend}, {args.precision}), "
+          f"{obs.TRACER.span_count} spans\n")
+    print(obs.phase_report(solver.performance, obs.TRACER))
+    tel = obs.CONVERGENCE.last()
+    if tel is not None:
+        print(f"convergence: {tel.iterations} iterations, "
+              f"average contraction {tel.average_contraction:.3f}, "
+              f"final residual {tel.residual_norms[-1]:.3e}")
+    if args.trace_out:
+        obs.write_chrome_trace(args.trace_out, obs.TRACER)
+        print(f"wrote Chrome trace to {args.trace_out} "
+              f"(load in Perfetto / chrome://tracing)")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as f:
+            f.write(obs.prometheus_text(obs.REGISTRY))
+        print(f"wrote Prometheus metrics to {args.metrics_out}")
+    obs.reset()
+    return 0
+
+
 def _cmd_profile(args) -> int:
     from repro.matrices.analysis import profile_matrix, tile_density_histogram
     from repro.perf.figures import sparkline
@@ -212,6 +249,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--device", choices=["A100", "H100", "MI210"], default="H100")
     p.add_argument("--iterations", type=int, default=10)
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("obs", help="observability: traced runs and reports")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    p = obs_sub.add_parser(
+        "report",
+        help="traced setup+solve with measured-vs-simulated phase breakdown",
+    )
+    p.add_argument("--matrix", default="thermal1",
+                   help="suite name, poisson2d:N / poisson3d:N, or .mtx path")
+    p.add_argument("--backend", choices=["amgt", "hypre"], default="amgt")
+    p.add_argument("--device", choices=["A100", "H100", "MI210"], default="H100")
+    p.add_argument("--precision", choices=["fp64", "mixed"], default="fp64")
+    p.add_argument("--iterations", type=int, default=10)
+    p.add_argument("--trace-out", default=None,
+                   help="write the span tree as Chrome-trace JSON (Perfetto)")
+    p.add_argument("--metrics-out", default=None,
+                   help="write the metrics registry in Prometheus text format")
+    p.set_defaults(func=_cmd_obs_report)
 
     p = sub.add_parser("info", help="device / suite metadata")
     p.add_argument("--device", default=None)

@@ -32,6 +32,7 @@ from repro.gpu.specs import DeviceSpec, get_device
 from repro.hypre.csr_matrix import HypreCSRMatrix
 from repro.kernels.baseline import csr_spmv
 from repro.kernels.spmv import mbsr_spmv
+from repro.obs import trace as obs_trace
 
 __all__ = ["ParAMGSolver", "ParSolveReport"]
 
@@ -100,6 +101,10 @@ class ParAMGSolver:
         routinely have fewer rows than ranks); the surplus ranks own empty
         row ranges and the numerics are unchanged.
         """
+        with obs_trace.span("ParAMGSolver.setup", "solver"):
+            return self._setup_impl(a)
+
+    def _setup_impl(self, a: CSRMatrix) -> "ParAMGSolver":
         from repro.check import runtime as check_runtime
 
         with check_runtime.checked_region(enabled=self.checked):
@@ -204,12 +209,28 @@ class ParAMGSolver:
         part: RowPartition = entry["R_partition"] if op == "R" else entry["partition"]
         y = np.zeros(part.n)
         worst = 0.0
+        traced = obs_trace.is_active()
         for sl in slices:
             lo, hi = part.local_range(sl.rank)
             col_lo, col_hi = sl.col_partition.local_range(sl.rank)
             x_local = x[col_lo:col_hi]
             x_halo = sl.gather_halo(x)
-            y_local, us = self._local_spmv_us(level, op, sl, x_local, x_halo)
+            if traced:
+                # Each rank's local kernel gets its own span, stamped with
+                # the rank tag so exporters can lay ranks on separate rows.
+                with obs_trace.TRACER.tagged(rank=sl.rank):
+                    sp = obs_trace.TRACER.open(
+                        "spmv", "kernel", {"phase": "solve", "level": level,
+                                           "op": op},
+                    )
+                    with sp:
+                        y_local, us = self._local_spmv_us(
+                            level, op, sl, x_local, x_halo
+                        )
+                    if sp:
+                        sp.set(sim_us=us, backend=self.backend)
+            else:
+                y_local, us = self._local_spmv_us(level, op, sl, x_local, x_halo)
             worst = max(worst, us)
             y[lo:hi] = y_local
         report.local_kernel_us += worst
@@ -297,6 +318,12 @@ class ParAMGSolver:
         """
         if self.hierarchy is None:
             raise RuntimeError("setup() must run before solve_pcg()")
+        with obs_trace.span("ParAMGSolver.solve_pcg", "solver"):
+            return self._solve_pcg_impl(b, max_iterations, tolerance)
+
+    def _solve_pcg_impl(
+        self, b: np.ndarray, max_iterations: int, tolerance: float
+    ) -> tuple[np.ndarray, ParSolveReport]:
         from repro.amg.cycle import SolveParams, SolveStats, mg_cycle
         from repro.solvers import pcg
 
@@ -342,6 +369,12 @@ class ParAMGSolver:
         """
         if self.hierarchy is None:
             raise RuntimeError("setup() must run before solve()")
+        with obs_trace.span("ParAMGSolver.solve", "solver"):
+            return self._solve_impl(b, max_iterations, tolerance)
+
+    def _solve_impl(
+        self, b: np.ndarray, max_iterations: int, tolerance: float
+    ) -> tuple[np.ndarray, ParSolveReport]:
         from repro.amg.cycle import SolveParams, amg_solve
         from repro.check import runtime as check_runtime
 

@@ -37,9 +37,33 @@ from repro.kernels.record import KernelRecord
 from repro.kernels.spgemm import mbsr_spgemm
 from repro.kernels.spmv import mbsr_spmv
 from repro.amg.precision import PrecisionSchedule
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.perf.timeline import PerformanceLog
 
 __all__ = ["KernelBackend", "HypreBackend", "AmgTBackend", "make_backend"]
+
+
+def _kernel_span(name: str, phase: str, level: int):
+    """Open a ``kind='kernel'`` span around real kernel work (gated)."""
+    if obs_trace.is_active():
+        return obs_trace.TRACER.open(
+            name, "kernel", {"phase": phase, "level": level}
+        )
+    return obs_trace.NULL_SPAN
+
+
+def _finish_record(sp, rec: KernelRecord) -> None:
+    """Stamp the priced record's facts onto its span and fold it into the
+    metrics registry.  ``sp`` may already be closed — attrs stay mutable."""
+    if sp:
+        sp.set(
+            sim_us=rec.sim_time_us,
+            backend=rec.backend,
+            precision=rec.precision.name.lower(),
+            path=rec.detail.get("path"),
+        )
+    obs_metrics.observe_kernel(rec)
 
 
 class KernelBackend:
@@ -100,6 +124,7 @@ class KernelBackend:
         rec.phase, rec.level = phase, level
         rec.price(self.cost, "generic")
         perf.append(rec)
+        obs_metrics.observe_kernel(rec)
         return rec
 
 
@@ -114,18 +139,24 @@ class HypreBackend(KernelBackend):
     def matmul_device(self, a, b, perf, phase, level, *, is_rap_result=False):
         a = HypreCSRMatrix.wrap(a)
         b = HypreCSRMatrix.wrap(b)
-        c, rec = csr_spgemm(a.csr, b.csr, Precision.FP64, backend=self.vendor)
+        sp = _kernel_span("spgemm", phase, level)
+        with sp:
+            c, rec = csr_spgemm(a.csr, b.csr, Precision.FP64, backend=self.vendor)
         rec.phase, rec.level = phase, level
         rec.price(self.cost)
         perf.append(rec)
+        _finish_record(sp, rec)
         return HypreCSRMatrix(csr=c)
 
     def matvec_device(self, a, x, perf, phase, level):
         a = HypreCSRMatrix.wrap(a)
-        y, rec = csr_spmv(a.csr, x, Precision.FP64, backend=self.vendor)
+        sp = _kernel_span("spmv", phase, level)
+        with sp:
+            y, rec = csr_spmv(a.csr, x, Precision.FP64, backend=self.vendor)
         rec.phase, rec.level = phase, level
         rec.price(self.cost)
         perf.append(rec)
+        _finish_record(sp, rec)
         return np.asarray(y, dtype=np.float64)
 
 
@@ -161,7 +192,9 @@ class AmgTBackend(KernelBackend):
         """AmgT_CSR2mBSR with one-time cost recording (unified format)."""
         if mat.setup_cache is None:
             mat.setup_cache = self.setup_cache
-        mbsr, stats = mat.amgt_csr2mbsr()
+        sp = _kernel_span("csr2mbsr", phase, level)
+        with sp:
+            mbsr, stats = mat.amgt_csr2mbsr()
         if stats is not None:
             rec = KernelRecord(kernel="csr2mbsr", backend=self.name,
                                precision=Precision.FP64)
@@ -170,6 +203,9 @@ class AmgTBackend(KernelBackend):
             rec.phase, rec.level = phase, level
             rec.price(self.cost, "amgt_convert")
             perf.append(rec)
+            _finish_record(sp, rec)
+        elif sp:
+            sp.set(cached=True)
         return mbsr
 
     def _record_mbsr2csr(self, result: HypreCSRMatrix, perf, phase, level):
@@ -185,6 +221,7 @@ class AmgTBackend(KernelBackend):
         rec.phase, rec.level = phase, level
         rec.price(self.cost, "amgt_convert")
         perf.append(rec)
+        obs_metrics.observe_kernel(rec)
 
     # -- kernels ----------------------------------------------------------
     def matmul_device(self, a, b, perf, phase, level, *, is_rap_result=False):
@@ -195,21 +232,26 @@ class AmgTBackend(KernelBackend):
         prec = self.schedule.for_level(level)
         am = a.mbsr_at_precision(prec)
         bm = b.mbsr_at_precision(prec)
-        cm, rec = mbsr_spgemm(am, bm, prec, out_dtype=np.float64,
-                              storage_itemsize=self.storage_itemsize,
-                              plan_cache=self.setup_cache)
+        sp = _kernel_span("spgemm", phase, level)
+        with sp:
+            cm, rec = mbsr_spgemm(am, bm, prec, out_dtype=np.float64,
+                                  storage_itemsize=self.storage_itemsize,
+                                  plan_cache=self.setup_cache)
         self._reprice_mma(rec, prec)
         rec.phase, rec.level = phase, level
         rec.price(self.cost)
         perf.append(rec)
+        _finish_record(sp, rec)
         # The product is born in mBSR; the CSR twin is derived for the CSR
         # components.  Only RAP results pay a recorded MBSR2CSR (Fig. 6
         # step 5); other products stay on the device in mBSR.
-        csr = self.setup_cache.mbsr2csr(cm).eliminate_zeros(0.0)
-        out = HypreCSRMatrix(csr=csr, setup_cache=self.setup_cache)
-        # Cache an exactly-consistent mBSR twin (structure of csr).
-        out.amgt_csr2mbsr()
-        out.conversion_stats = None
+        csp = _kernel_span("mbsr2csr", phase, level)
+        with csp:
+            csr = self.setup_cache.mbsr2csr(cm).eliminate_zeros(0.0)
+            out = HypreCSRMatrix(csr=csr, setup_cache=self.setup_cache)
+            # Cache an exactly-consistent mBSR twin (structure of csr).
+            out.amgt_csr2mbsr()
+            out.conversion_stats = None
         if is_rap_result:
             self._record_mbsr2csr(out, perf, phase, level)
         return out
@@ -250,12 +292,15 @@ class AmgTBackend(KernelBackend):
         prec = self.schedule.for_level(level)
         am = a.mbsr_at_precision(prec)
         plan = a.spmv_plan(self.allow_tensor_cores)
-        y, rec = mbsr_spmv(am, np.asarray(x, dtype=np.float64), prec, plan,
-                           allow_tensor_cores=self.allow_tensor_cores,
-                           storage_itemsize=self.storage_itemsize)
+        sp = _kernel_span("spmv", phase, level)
+        with sp:
+            y, rec = mbsr_spmv(am, np.asarray(x, dtype=np.float64), prec, plan,
+                               allow_tensor_cores=self.allow_tensor_cores,
+                               storage_itemsize=self.storage_itemsize)
         rec.phase, rec.level = phase, level
         rec.price(self.cost)
         perf.append(rec)
+        _finish_record(sp, rec)
         return np.asarray(y, dtype=np.float64)
 
 
@@ -293,22 +338,31 @@ class _BackendGalerkinPlan:
         am = self.aw.mbsr_at_precision(prec)
         pm = self.pw.mbsr_at_precision(prec)
         plan, fresh = cache.rap_plan(rm, am, pm)
-        rap_mbsr, records = cache.rap_numeric(
-            plan, rm, am, pm, prec, out_dtype=np.float64,
-            storage_itemsize=backend.storage_itemsize,
-            # A plan built by this very call pays its analysis + symbolic
-            # cost here; a cached plan replays numeric-only.
-            charge_plan_build=fresh,
-        )
+        sp = _kernel_span("spgemm", phase, level)
+        with sp:
+            rap_mbsr, records = cache.rap_numeric(
+                plan, rm, am, pm, prec, out_dtype=np.float64,
+                storage_itemsize=backend.storage_itemsize,
+                # A plan built by this very call pays its analysis + symbolic
+                # cost here; a cached plan replays numeric-only.
+                charge_plan_build=fresh,
+            )
+        if sp:
+            sp.set(fused="rap", plan_reused=not fresh)
         for rec in records:
             backend._reprice_mma(rec, prec)
             rec.phase, rec.level = phase, level
             rec.price(backend.cost)
             perf.append(rec)
-        csr = cache.mbsr2csr(rap_mbsr).eliminate_zeros(0.0)
-        out = HypreCSRMatrix(csr=csr, setup_cache=cache)
-        out.amgt_csr2mbsr()
-        out.conversion_stats = None
+            obs_metrics.observe_kernel(rec)
+        if sp:
+            sp.set(sim_us=sum(rec.sim_time_us for rec in records))
+        csp = _kernel_span("mbsr2csr", phase, level)
+        with csp:
+            csr = cache.mbsr2csr(rap_mbsr).eliminate_zeros(0.0)
+            out = HypreCSRMatrix(csr=csr, setup_cache=cache)
+            out.amgt_csr2mbsr()
+            out.conversion_stats = None
         backend._record_mbsr2csr(out, perf, phase, level)
         if self.on_result is not None:
             self.on_result(out)

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+
 __all__ = ["OperatorCache"]
 
 
@@ -35,6 +37,7 @@ class OperatorCache:
         self._mat = mat
         self._pattern_key: str | None = None
         self._pop_per_tile: np.ndarray | None = None
+        self._pop_hist: np.ndarray | None = None
         self._nnz: int | None = None
         self._block_row_ids: np.ndarray | None = None
         self._blocks_per_row: np.ndarray | None = None
@@ -44,6 +47,14 @@ class OperatorCache:
         self._tiles: dict[tuple[np.dtype, np.dtype], np.ndarray] = {}
         #: SpMV plans keyed by (allow_tensor_cores, tc_threshold).
         self._spmv_plans: dict[tuple[bool, float], object] = {}
+        #: Reuse telemetry over the per-call entries (:meth:`tiles` and
+        #: :meth:`spmv_plan` — the lookups every kernel call makes).
+        #: Plain ints so tests and the obs registry can read them with no
+        #: tracing gate; ``evictions`` stays 0 — the cache lives and dies
+        #: with its matrix and never drops entries.
+        self.hits: int = 0
+        self.misses: int = 0
+        self.evictions: int = 0
 
     # -- structural invariants -----------------------------------------
     @property
@@ -84,6 +95,17 @@ class OperatorCache:
             pop = np.ascontiguousarray(pop)
             pop.setflags(write=False)
             self._pop_per_tile = pop
+
+    @property
+    def pop_hist(self) -> np.ndarray:
+        """Histogram of nonzeros per tile, bins 0..16 — the distribution
+        the TC-vs-CUDA dispatch threshold (Sec. IV.D) cuts through.
+        Computed once; the obs layer folds it into its popcount
+        histogram on every traced kernel call."""
+        if self._pop_hist is None:
+            self._pop_hist = np.bincount(self.pop_per_tile, minlength=17)
+            self._pop_hist.setflags(write=False)
+        return self._pop_hist
 
     @property
     def nnz(self) -> int:
@@ -148,11 +170,20 @@ class OperatorCache:
         key = (np.dtype(in_dtype), np.dtype(acc_dtype))
         cached = self._tiles.get(key)
         if cached is None:
+            self.misses += 1
+            obs_metrics.inc(
+                "repro_operator_cache_requests_total", entry="tiles", result="miss"
+            )
             vals = self._mat.blc_val
             quant = vals if vals.dtype == key[0] else vals.astype(key[0])
             cached = quant if quant.dtype == key[1] else quant.astype(key[1])
             cached.setflags(write=False)
             self._tiles[key] = cached
+        else:
+            self.hits += 1
+            obs_metrics.inc(
+                "repro_operator_cache_requests_total", entry="tiles", result="hit"
+            )
         return cached
 
     # -- SpMV preprocessing ----------------------------------------------
@@ -165,10 +196,21 @@ class OperatorCache:
         key = (bool(allow_tensor_cores), float(threshold))
         plan = self._spmv_plans.get(key)
         if plan is None:
+            self.misses += 1
+            obs_metrics.inc(
+                "repro_operator_cache_requests_total", entry="spmv_plan",
+                result="miss",
+            )
             plan = build_spmv_plan(
                 self._mat,
                 allow_tensor_cores=allow_tensor_cores,
                 tc_threshold=threshold,
             )
             self._spmv_plans[key] = plan
+        else:
+            self.hits += 1
+            obs_metrics.inc(
+                "repro_operator_cache_requests_total", entry="spmv_plan",
+                result="hit",
+            )
         return plan

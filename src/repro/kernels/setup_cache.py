@@ -53,6 +53,7 @@ from repro.formats.mbsr import MBSRMatrix
 from repro.gpu.counters import Precision
 from repro.kernels.record import KernelRecord
 from repro.kernels.spgemm import SpGEMMPlan, mbsr_spgemm_symbolic_plan
+from repro.obs import metrics as obs_metrics
 from repro.kernels.spgemm_numeric import numeric_spgemm
 from repro.util.prefix_sum import counts_to_ptr
 from repro.util.segops import segment_bitwise_or
@@ -137,6 +138,11 @@ class CacheStats:
     def count(self, kind: str, hit: bool) -> None:
         bucket = self.hits if hit else self.misses
         bucket[kind] = bucket.get(kind, 0) + 1
+        obs_metrics.inc(
+            "repro_setup_cache_requests_total",
+            kind=kind,
+            result="hit" if hit else "miss",
+        )
 
 
 class SetupPlanCache:
@@ -149,6 +155,18 @@ class SetupPlanCache:
         self._fill: OrderedDict[str, _FillTemplate] = OrderedDict()
         self._gather: OrderedDict[str, _GatherTemplate] = OrderedDict()
         self.stats = CacheStats()
+        #: LRU drops across all stores (per-kind detail in ``stats``).
+        self.evictions: int = 0
+
+    #: Aggregate reuse counts (per-kind detail lives in ``stats``); the
+    #: same hits/misses/evictions surface OperatorCache exposes.
+    @property
+    def hits(self) -> int:
+        return sum(self.stats.hits.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(self.stats.misses.values())
 
     def _get(self, store: OrderedDict, key):
         entry = store.get(key)
@@ -160,6 +178,8 @@ class SetupPlanCache:
         store[key] = entry
         while len(store) > self.max_entries:
             store.popitem(last=False)
+            self.evictions += 1
+            obs_metrics.inc("repro_setup_cache_evictions_total")
 
     # -- SpGEMM plans ---------------------------------------------------
     def spgemm_plan(

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.check import runtime as check_runtime
 from repro.formats.mbsr import MBSRMatrix
+from repro.obs import trace as obs_trace
 from repro.gpu.counters import Precision
 from repro.kernels.record import KernelRecord
 from repro.kernels.spgemm_analysis import AnalysisResult, analyse_and_bin
@@ -199,4 +200,26 @@ def mbsr_spgemm(
         from repro.check import oracle
 
         oracle.verify_spgemm(mat_a, mat_b, out, precision, out_dtype)
+    if obs_trace.is_active():
+        from repro.obs import metrics as obs_metrics
+
+        # The numeric phase dispatches per intermediate pair: tensor cores
+        # for dense-enough tiles, CUDA cores otherwise (Sec. IV.C).
+        if numeric.tc_pairs:
+            obs_metrics.REGISTRY.counter(
+                "repro_spgemm_pair_dispatch_total", core="tc"
+            ).inc(numeric.tc_pairs)
+        if numeric.cuda_pairs:
+            obs_metrics.REGISTRY.counter(
+                "repro_spgemm_pair_dispatch_total", core="cuda"
+            ).inc(numeric.cuda_pairs)
+        obs_metrics.inc(
+            "repro_spgemm_symbolic_total",
+            result="reused" if not fresh_symbolic else "built",
+        )
+        obs_metrics.REGISTRY.histogram(
+            "repro_spgemm_tile_popcount",
+            buckets=obs_metrics.POP_BUCKETS,
+            kernel="spgemm",
+        ).observe_counts(out.cache.pop_hist)
     return out, record

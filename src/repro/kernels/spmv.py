@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.check import runtime as check_runtime
 from repro.formats.bitmap import BLOCK_SIZE, TC_NNZ_THRESHOLD, TILE_SLOTS
+from repro.obs import trace as obs_trace
 from repro.formats.mbsr import MBSRMatrix
 from repro.gpu.counters import Precision, effective_value_bytes
 from repro.kernels.record import KernelRecord
@@ -231,4 +232,17 @@ def mbsr_spmv(
         from repro.check import oracle
 
         oracle.verify_spmv(mat, x, y, precision, plan)
+    if obs_trace.is_active():
+        from repro.obs import metrics as obs_metrics
+
+        obs_metrics.REGISTRY.counter(
+            "repro_spmv_dispatch_total",
+            core="tc" if plan.use_tensor_cores else "cuda",
+            schedule="balanced" if plan.load_balanced else "row-warp",
+        ).inc()
+        obs_metrics.REGISTRY.histogram(
+            "repro_spmv_tile_popcount",
+            buckets=obs_metrics.POP_BUCKETS,
+            kernel="spmv",
+        ).observe_counts(cache.pop_hist)
     return y, record

@@ -40,6 +40,18 @@ CONTRACT_SCOPE_DIR = "kernels"
 #: Subtrees where R5 (hot-loop allocation) applies.
 HOT_LOOP_SCOPE_DIRS = ("kernels", "formats")
 
+#: Modules whose public entry points drive whole setup/solve phases; R6
+#: (advisory) asks them to open a repro.obs root span so traced runs
+#: (REPRO_TRACE=1) cover every phase.
+SOLVER_SCOPE = (
+    "amg/solver.py",
+    "hypre/boomeramg.py",
+    "dist/par_solver.py",
+    "solvers/cg.py",
+    "solvers/gmres.py",
+    "solvers/bicgstab.py",
+)
+
 #: Constant name -> module (repro-relative) that owns its definition.
 #: The owner is exempt from R3 findings *for that constant only*.
 CONSTANT_OWNERS = {
@@ -100,6 +112,12 @@ class ModuleContext:
         if rel is None:
             return True
         return rel.split("/", 1)[0] in HOT_LOOP_SCOPE_DIRS
+
+    def in_solver_scope(self) -> bool:
+        rel = self._rel()
+        if rel is None:
+            return True
+        return rel in SOLVER_SCOPE
 
     def owns_constant(self, constant: str) -> bool:
         rel = self._rel()

@@ -12,7 +12,11 @@ from repro.lint.finding import RULES, Finding, Severity, make_finding
 from repro.lint.rules_alloc import check_hot_loop_alloc
 from repro.lint.rules_constants import check_constant_provenance
 from repro.lint.rules_dtype import check_dtype_flow
-from repro.lint.rules_invariants import check_contract_hooks, check_scatter_ban
+from repro.lint.rules_invariants import (
+    check_contract_hooks,
+    check_root_spans,
+    check_scatter_ban,
+)
 from repro.lint.suppress import apply_suppressions, parse_suppressions
 
 #: rule id -> checker.  R0 has no checker; it is emitted by the machinery.
@@ -22,6 +26,7 @@ CHECKERS: dict[str, Callable[[ModuleContext], list[Finding]]] = {
     "R3": check_constant_provenance,
     "R4": check_contract_hooks,
     "R5": check_hot_loop_alloc,
+    "R6": check_root_spans,
 }
 
 

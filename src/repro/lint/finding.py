@@ -90,6 +90,14 @@ RULES: dict[str, Rule] = {
             "np.zeros / np.empty / np.concatenate inside loops in kernels/ "
             "and formats/: candidates for the per-operator cache.",
         ),
+        Rule(
+            "R6",
+            "root-span",
+            Severity.ADVISORY,
+            "Public solver entry points (setup/solve/precondition and the "
+            "Krylov drivers) that never open a repro.obs span: traced runs "
+            "(REPRO_TRACE=1) would record nothing for this phase.",
+        ),
     )
 }
 

@@ -1,4 +1,4 @@
-"""R2 — scatter-ban and R4 — contract-hook coverage.
+"""R2 — scatter-ban, R4 — contract-hook coverage, R6 — root spans.
 
 R2 guards PR 1's invariant: every host-side scatter/accumulate goes
 through ``repro.util.segops``, whose segmented reductions are
@@ -18,6 +18,13 @@ expose kernel work as methods): a public method owes the hook when it
 builds a KernelRecord *itself or through the private methods of its own
 class* (``self._helper()`` delegation, followed transitively), and the
 hook consult may likewise live in the method or any of those helpers.
+
+R6 (advisory) guards the observability PR's invariant: a traced run
+(``REPRO_TRACE=1``) only covers every phase if each public solver entry
+point — ``setup`` / ``solve`` / ``precondition`` and the Krylov drivers —
+opens a ``repro.obs`` span somewhere on its call path.  The span may be
+opened in the entry point itself or in a private helper it delegates to
+(``self._impl()`` / module-level ``_impl()``, followed transitively).
 """
 
 from __future__ import annotations
@@ -114,6 +121,116 @@ def _unhooked(label: str) -> str:
         "(check_runtime.is_active() / checked_region): checked "
         "mode would silently skip this kernel"
     )
+
+
+#: Public names that count as solver entry points for R6: each drives a
+#: whole setup/solve phase when called from user code.
+_SOLVER_ENTRY_NAMES = frozenset(
+    {
+        "setup",
+        "solve",
+        "solve_pcg",
+        "solve_krylov",
+        "precondition",
+        "pcg",
+        "gmres",
+        "bicgstab",
+    }
+)
+
+#: Call-name tails that open (or scope) a repro.obs span.
+_SPAN_OPENERS = ("span", "phase_span", "trace_region", "traced")
+
+
+def _span_facts(func) -> tuple[bool, set[str]]:
+    """(opens a span, private helpers called) for one function body."""
+    opens = any(
+        (dotted_name(dec) or "").rsplit(".", 1)[-1] == "traced"
+        or (
+            isinstance(dec, ast.Call)
+            and (dotted_name(dec.func) or "").rsplit(".", 1)[-1] == "traced"
+        )
+        for dec in func.decorator_list
+    )
+    callees: set[str] = set()
+    for call in _calls_in(func.body):
+        name = dotted_name(call.func) or ""
+        tail = name.rsplit(".", 1)[-1]
+        if tail in _SPAN_OPENERS or name.endswith("TRACER.open"):
+            opens = True
+        parts = name.split(".")
+        if len(parts) == 2 and parts[0] in ("self", "cls"):
+            callees.add(parts[1])
+        elif len(parts) == 1 and parts[0].startswith("_"):
+            callees.add(parts[0])
+    return opens, callees
+
+
+def _span_closure(name: str, facts: dict) -> bool:
+    """Whether *name* opens a span itself or through private helpers
+    (``self._impl()`` / module-level ``_impl()``), followed transitively."""
+    seen: set[str] = set()
+    stack = [name]
+    while stack:
+        current = stack.pop()
+        if current in seen or current not in facts:
+            continue
+        seen.add(current)
+        opens, callees = facts[current]
+        if opens:
+            return True
+        stack.extend(m for m in callees if m.startswith("_"))
+    return False
+
+
+def check_root_spans(ctx: ModuleContext) -> list[Finding]:
+    """R6: public solver entry points should open a repro.obs span."""
+    if not ctx.in_solver_scope():
+        return []
+
+    def spanless(label: str) -> str:
+        return (
+            f"public solver entry point {label} never opens a repro.obs "
+            "span (obs_trace.span / phase_span / trace_region): traced "
+            "runs (REPRO_TRACE=1) would record nothing for this phase"
+        )
+
+    findings: list[Finding] = []
+    module_facts = {
+        node.name: _span_facts(node)
+        for node in ctx.tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    for node in ctx.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name not in _SOLVER_ENTRY_NAMES:
+                continue
+            if not _span_closure(node.name, module_facts):
+                findings.append(
+                    make_finding(
+                        "R6", ctx.path, node.lineno,
+                        spanless(f"{node.name}()"),
+                    )
+                )
+        elif isinstance(node, ast.ClassDef):
+            facts = {
+                sub.name: _span_facts(sub)
+                for sub in node.body
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            for sub in node.body:
+                if not isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if sub.name not in _SOLVER_ENTRY_NAMES:
+                    continue
+                if not _span_closure(sub.name, facts):
+                    findings.append(
+                        make_finding(
+                            "R6", ctx.path, sub.lineno,
+                            spanless(f"{node.name}.{sub.name}()"),
+                        )
+                    )
+    return findings
 
 
 def check_contract_hooks(ctx: ModuleContext) -> list[Finding]:

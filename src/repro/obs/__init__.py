@@ -1,0 +1,114 @@
+"""repro.obs — hierarchical tracing, metrics, and convergence telemetry.
+
+Three instruments behind one ``REPRO_TRACE`` gate:
+
+* :mod:`repro.obs.trace` — wall-clock span trees
+  (``solve > cycle[k] > level[l] > kernel``);
+* :mod:`repro.obs.metrics` — counters/gauges/histograms (cache hit
+  rates, TC-vs-CUDA dispatch, popcount distributions, bytes/MMA);
+* :mod:`repro.obs.convergence` — per-iteration residual norms and
+  contraction factors per solve.
+
+Exporters in :mod:`repro.obs.export`: Chrome-trace JSON (Perfetto),
+Prometheus text, and the ``repro obs report`` measured-vs-simulated
+phase breakdown.  Everything is a no-op until ``REPRO_TRACE=1`` (or
+:func:`trace_region` / :func:`enable`).
+"""
+
+from repro.obs.convergence import (
+    CONVERGENCE,
+    ConvergenceLog,
+    SolveTelemetry,
+    get_convergence,
+    observe_history,
+    start_solve,
+)
+from repro.obs.export import (
+    chrome_trace,
+    measured_phase_totals,
+    parse_prometheus,
+    phase_report,
+    prometheus_text,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    inc,
+    observe,
+    observe_counts,
+    observe_kernel,
+    set_gauge,
+)
+from repro.obs.trace import (
+    ENV_VAR,
+    NULL_SPAN,
+    TRACER,
+    Span,
+    Tracer,
+    current_span,
+    disable,
+    enable,
+    get_tracer,
+    is_active,
+    phase_span,
+    span,
+    trace_region,
+    traced,
+)
+
+__all__ = [
+    # trace
+    "ENV_VAR",
+    "NULL_SPAN",
+    "TRACER",
+    "Span",
+    "Tracer",
+    "current_span",
+    "disable",
+    "enable",
+    "get_tracer",
+    "is_active",
+    "phase_span",
+    "span",
+    "trace_region",
+    "traced",
+    # metrics
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "inc",
+    "observe",
+    "observe_counts",
+    "observe_kernel",
+    "set_gauge",
+    # convergence
+    "CONVERGENCE",
+    "ConvergenceLog",
+    "SolveTelemetry",
+    "get_convergence",
+    "observe_history",
+    "start_solve",
+    # export
+    "chrome_trace",
+    "measured_phase_totals",
+    "parse_prometheus",
+    "phase_report",
+    "prometheus_text",
+    "write_chrome_trace",
+    "reset",
+]
+
+
+def reset() -> None:
+    """Clear all obs state (tracer, registry, convergence log)."""
+    TRACER.reset()
+    REGISTRY.reset()
+    CONVERGENCE.reset()

@@ -19,8 +19,13 @@ def geomean(values) -> float:
     arr = np.asarray(list(values), dtype=np.float64)
     if arr.size == 0:
         raise ValueError("geomean of an empty sequence")
-    if np.any(arr <= 0):
-        raise ValueError("geomean requires positive values")
+    bad = np.flatnonzero(arr <= 0)
+    if bad.size:
+        i = int(bad[0])
+        raise ValueError(
+            f"geomean requires positive values; entry {i} is {arr[i]!r}"
+            + (f" ({bad.size} non-positive entries total)" if bad.size > 1 else "")
+        )
     return float(np.exp(np.mean(np.log(arr))))
 
 
@@ -38,6 +43,14 @@ class PhaseBreakdown:
         if self.total_us == 0:
             return 0.0
         return 100.0 * self.kernel_us / self.total_us
+
+    @property
+    def rest_pct(self) -> float:
+        """Share of the phase outside the dominant kernel — the
+        "rest of setup/solve" bar of Figs. 1–2."""
+        if self.total_us == 0:
+            return 0.0
+        return 100.0 - self.kernel_pct
 
 
 def speedup_table(

@@ -46,6 +46,27 @@ def bicgstab(
     max_iterations: int = 500,
 ) -> BiCGStabResult:
     """Solve ``A x = b`` with preconditioned BiCGStab (van der Vorst)."""
+    from repro.obs import convergence as obs_conv
+    from repro.obs import trace as obs_trace
+
+    with obs_trace.span("bicgstab", "solver"):
+        result = _bicgstab_impl(
+            a, b, preconditioner, x0, tolerance, max_iterations
+        )
+    obs_conv.observe_history(
+        "bicgstab", result.residual_history, result.converged
+    )
+    return result
+
+
+def _bicgstab_impl(
+    a: CSRMatrix | MatVec,
+    b: np.ndarray,
+    preconditioner: MatVec | None,
+    x0: np.ndarray | None,
+    tolerance: float,
+    max_iterations: int,
+) -> BiCGStabResult:
     matvec: MatVec = a.matvec if isinstance(a, CSRMatrix) else a
     precond = preconditioner or (lambda r: r)
     b = np.asarray(b, dtype=np.float64)

@@ -57,6 +57,23 @@ def pcg(
     tolerance:
         Relative residual stopping criterion (2-norm).
     """
+    from repro.obs import convergence as obs_conv
+    from repro.obs import trace as obs_trace
+
+    with obs_trace.span("pcg", "solver"):
+        result = _pcg_impl(a, b, preconditioner, x0, tolerance, max_iterations)
+    obs_conv.observe_history("pcg", result.residual_history, result.converged)
+    return result
+
+
+def _pcg_impl(
+    a: CSRMatrix | MatVec,
+    b: np.ndarray,
+    preconditioner: MatVec | None,
+    x0: np.ndarray | None,
+    tolerance: float,
+    max_iterations: int,
+) -> PCGResult:
     matvec: MatVec = a.matvec if isinstance(a, CSRMatrix) else a
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]

@@ -53,6 +53,28 @@ def gmres(
     """
     if restart < 1:
         raise ValueError("restart must be >= 1")
+    from repro.obs import convergence as obs_conv
+    from repro.obs import trace as obs_trace
+
+    with obs_trace.span("gmres", "solver"):
+        result = _gmres_impl(
+            a, b, preconditioner, x0, tolerance, max_iterations, restart
+        )
+    obs_conv.observe_history(
+        "gmres", result.residual_history, result.converged, restart=restart
+    )
+    return result
+
+
+def _gmres_impl(
+    a: CSRMatrix | MatVec,
+    b: np.ndarray,
+    preconditioner: MatVec | None,
+    x0: np.ndarray | None,
+    tolerance: float,
+    max_iterations: int,
+    restart: int,
+) -> GMRESResult:
     matvec: MatVec = a.matvec if isinstance(a, CSRMatrix) else a
     precond = preconditioner or (lambda r: r)
     b = np.asarray(b, dtype=np.float64)

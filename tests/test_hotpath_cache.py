@@ -138,6 +138,45 @@ class TestOperatorCacheState:
         assert cache is w.mbsr.cache
         assert w.spmv_plan(True) is cache.spmv_plan(True)
 
+    def test_hit_miss_counters(self, mbsr_case):
+        c = mbsr_case.cache
+        assert (c.hits, c.misses, c.evictions) == (0, 0, 0)
+        c.tiles(np.float64, np.float64)
+        assert (c.hits, c.misses) == (0, 1)
+        c.tiles(np.float64, np.float64)
+        assert (c.hits, c.misses) == (1, 1)
+        c.spmv_plan(True)
+        c.spmv_plan(True)
+        c.spmv_plan(False)
+        assert (c.hits, c.misses) == (2, 3)
+        # the operator cache is unbounded: nothing is ever evicted
+        assert c.evictions == 0
+
+    def test_hit_miss_counters_feed_metrics_registry(self, mbsr_case):
+        import repro.obs as obs
+
+        obs.reset()
+        c = mbsr_case.cache
+        with obs.trace_region():
+            c.tiles(np.float64, np.float64)
+            c.tiles(np.float64, np.float64)
+        reg = obs.REGISTRY
+        assert reg.value(
+            "repro_operator_cache_requests_total", entry="tiles", result="miss"
+        ) == 1
+        assert reg.value(
+            "repro_operator_cache_requests_total", entry="tiles", result="hit"
+        ) == 1
+        obs.reset()
+
+    def test_pop_hist_matches_popcounts(self, mbsr_case):
+        hist = mbsr_case.cache.pop_hist
+        assert hist.shape == (17,)
+        assert hist.sum() == mbsr_case.blc_num
+        np.testing.assert_array_equal(
+            hist, np.bincount(mbsr_case.cache.pop_per_tile, minlength=17)
+        )
+
 
 @pytest.mark.perf_smoke
 def test_segops_not_slower_than_ufunc_at():

@@ -429,6 +429,132 @@ class TestContractHook:
 
 
 # ---------------------------------------------------------------------------
+# R6 — root spans (advisory)
+# ---------------------------------------------------------------------------
+
+
+class TestRootSpan:
+    BAD = """
+    def solve(a, b):
+        return b - a @ b
+    """
+
+    GOOD = """
+    from repro.obs import trace as obs_trace
+
+    def solve(a, b):
+        with obs_trace.span("solve", "solver"):
+            return b - a @ b
+    """
+
+    def test_spanless_entry_point_is_advisory(self, tmp_path):
+        path = write(tmp_path, "repro/solvers/cg.py", self.BAD)
+        findings, _ = lint_file(path)
+        hits = [f for f in findings if f.rule == "R6"]
+        assert hits and all(f.severity is Severity.ADVISORY for f in hits)
+        assert "solve()" in hits[0].message
+
+    def test_span_opening_entry_point_clean(self, tmp_path):
+        path = write(tmp_path, "repro/solvers/cg.py", self.GOOD)
+        findings, _ = lint_file(path)
+        assert "R6" not in rules_of(findings)
+
+    def test_phase_span_and_trace_region_count(self, tmp_path):
+        for opener in ("obs_trace.phase_span('solve')",
+                       "obs_trace.trace_region()"):
+            path = write(
+                tmp_path,
+                "repro/solvers/cg.py",
+                f"""
+                from repro.obs import trace as obs_trace
+
+                def solve(a, b):
+                    with {opener}:
+                        return b - a @ b
+                """,
+            )
+            findings, _ = lint_file(path)
+            assert "R6" not in rules_of(findings), opener
+
+    def test_span_in_private_impl_covers_entry_point(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/solvers/cg.py",
+            """
+            from repro.obs import trace as obs_trace
+
+            def solve(a, b):
+                return _solve_impl(a, b)
+
+            def _solve_impl(a, b):
+                with obs_trace.span("solve", "solver"):
+                    return b - a @ b
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R6" not in rules_of(findings)
+
+    def test_method_delegation_followed(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/dist/par_solver.py",
+            """
+            from repro.obs import trace as obs_trace
+
+            class ParAMGSolver:
+                def solve(self, b):
+                    return self._solve_impl(b)
+
+                def _solve_impl(self, b):
+                    with obs_trace.span("ParAMGSolver.solve", "solver"):
+                        return b
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R6" not in rules_of(findings)
+
+    def test_spanless_method_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/dist/par_solver.py",
+            """
+            class ParAMGSolver:
+                def solve(self, b):
+                    return b
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert any(
+            f.rule == "R6" and "ParAMGSolver.solve()" in f.message
+            for f in findings
+        )
+
+    def test_non_entry_point_names_exempt(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/solvers/cg.py",
+            """
+            def helper(a, b):
+                return a + b
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R6" not in rules_of(findings)
+
+    def test_outside_solver_scope_exempt(self, tmp_path):
+        path = write(tmp_path, "repro/perf/report2.py", self.BAD)
+        findings, _ = lint_file(path)
+        assert "R6" not in rules_of(findings)
+
+    def test_instrumented_tree_has_no_r6_advisories(self):
+        """Every public solver entry point in the repo opens a span."""
+        result = lint_paths(
+            [REPO_ROOT / "src" / "repro"], select=["R6"]
+        )
+        assert [f.format_text() for f in result.findings] == []
+
+
+# ---------------------------------------------------------------------------
 # R5 — hot-loop allocation (advisory)
 # ---------------------------------------------------------------------------
 

@@ -132,6 +132,48 @@ class TestSpGEMMPlanCache:
 
 
 # ======================================================================
+# cache counter surface (hits/misses/evictions)
+# ======================================================================
+class TestSetupCacheCounters:
+    def test_aggregate_hit_miss_properties(self):
+        am, bm = _pair(31)
+        cache = SetupPlanCache()
+        assert (cache.hits, cache.misses, cache.evictions) == (0, 0, 0)
+        mbsr_spgemm(am, bm, plan_cache=cache)  # miss
+        mbsr_spgemm(am, bm, plan_cache=cache)  # hit
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.evictions == 0
+
+    def test_lru_eviction_counted(self):
+        cache = SetupPlanCache(max_entries=1)
+        for seed in (41, 42, 43):
+            am, bm = _pair(seed)
+            mbsr_spgemm(am, bm, plan_cache=cache)
+        # entries 1 and 2 pushed out entry 0 and 1 respectively
+        assert cache.evictions == 2
+        assert cache.misses == 3
+
+    def test_requests_feed_metrics_registry(self):
+        import repro.obs as obs
+
+        obs.reset()
+        am, bm = _pair(51)
+        cache = SetupPlanCache()
+        with obs.trace_region():
+            mbsr_spgemm(am, bm, plan_cache=cache)
+            mbsr_spgemm(am, bm, plan_cache=cache)
+        reg = obs.REGISTRY
+        assert reg.value(
+            "repro_setup_cache_requests_total", kind="spgemm", result="miss"
+        ) == 1
+        assert reg.value(
+            "repro_setup_cache_requests_total", kind="spgemm", result="hit"
+        ) == 1
+        obs.reset()
+
+
+# ======================================================================
 # Fused RAP plans
 # ======================================================================
 class TestFusedRAP:
@@ -373,7 +415,12 @@ def test_bench_setup_smoke(tmp_path):
         matrices=["thermal1"], repeats=1,
         out_path=str(tmp_path / "BENCH_setup.json"),
     )
-    assert set(payload) == {"generated_by", "config", "results", "summary"}
+    assert set(payload) == {
+        "generated_by", "config", "results", "summary", "metrics"
+    }
+    # The instrumented pass runs a re-setup, so the setup-cache request
+    # counters must be present in the metrics snapshot.
+    assert "repro_setup_cache_requests_total" in payload["metrics"]
     ops = {"resetup", "spgemm_plan_hit", "conversion_replay"}
     assert {r["op"] for r in payload["results"]} == ops
     for op in ops:
