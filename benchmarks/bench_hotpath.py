@@ -10,13 +10,18 @@ Times the three wall-clock-dominant host paths on suite matrices:
 * ``v_cycle``     — one full V-cycle driven by mBSR SpMVs, versus the same
   cycle with per-call casts/einsum/scatter (plans prebuilt for the naive
   path too, matching what the pre-cache hypre layer memoised).
+* ``v_cycle_taped`` — the same V-cycle replayed from a ``repro.tape``
+  recording (pre-resolved dispatch, preallocated workspace slots, no
+  per-call record construction), versus the interpreted cached-engine
+  cycle that ``v_cycle`` times as its fast path.
 
 Both paths compute bit-identical values (asserted per run), so the measured
 ratio isolates the engine change.  Results land in ``BENCH_hotpath.json``
 at the repo root: one record per (matrix, op) with median seconds for each
-path and the speedup, per-op median-of-speedups in ``summary``, and a
-``repro.obs`` metrics snapshot from an untimed instrumented pass in
-``metrics`` (the timed sections always run with observability off).
+path and the speedup, per-op median-of-speedups in ``summary``, and one
+``repro.obs`` metrics snapshot per matrix (from untimed instrumented
+passes, registry reset between matrices) in ``metrics`` (the timed
+sections always run with observability off).
 
 Run with ``PYTHONPATH=src python benchmarks/bench_hotpath.py``; environment
 knobs: ``REPRO_HOTPATH_MATRICES`` (comma-separated names, default
@@ -159,9 +164,8 @@ def bench_spgemm_rap(hierarchy, repeats):
     return _median_time(run_new, repeats), _median_time(run_naive, repeats)
 
 
-def bench_v_cycle(hierarchy, rng, repeats):
-    """One full V-cycle with every SpMV routed through the mBSR kernel."""
-    precision = Precision.FP64
+def _wrap_levels(hierarchy):
+    """mBSR-wrap every level operator, with prebuilt SpMV plans."""
     wrapped = []
     plans = []
     for lvl in hierarchy.levels:
@@ -176,6 +180,13 @@ def bench_v_cycle(hierarchy, rng, repeats):
             plan_entry[op] = build_spmv_plan(entry[op])
         wrapped.append(entry)
         plans.append(plan_entry)
+    return wrapped, plans
+
+
+def bench_v_cycle(hierarchy, rng, repeats):
+    """One full V-cycle with every SpMV routed through the mBSR kernel."""
+    precision = Precision.FP64
+    wrapped, plans = _wrap_levels(hierarchy)
 
     def spmv_new(level, op, x):
         y, _ = mbsr_spmv(wrapped[level][op], np.asarray(x, dtype=np.float64),
@@ -205,10 +216,55 @@ def bench_v_cycle(hierarchy, rng, repeats):
     )
 
 
+def bench_v_cycle_taped(hierarchy, rng, repeats):
+    """Tape-replayed V-cycle vs the interpreted cached-engine cycle.
+
+    The baseline here is ``bench_v_cycle``'s *fast* path (warm operator
+    caches, prebuilt plans) — the ratio isolates what the tape removes:
+    per-call dispatch, record construction, and cycle-recursion overhead.
+    """
+    from repro.kernels.spmv import bind_spmv
+    from repro.tape import record_cycle
+
+    precision = Precision.FP64
+    wrapped, _ = _wrap_levels(hierarchy)
+    tape = record_cycle(
+        hierarchy,
+        SolveParams(),
+        bindings=lambda level, op: bind_spmv(wrapped[level][op], precision),
+    )
+
+    def spmv_new(level, op, x):
+        y, _ = mbsr_spmv(wrapped[level][op], np.asarray(x, dtype=np.float64),
+                         precision)
+        return y
+
+    n = hierarchy.levels[0].n
+    b = rng.normal(size=n)
+    params = SolveParams()
+
+    def interpreted():
+        return v_cycle(hierarchy, b, np.zeros(n), spmv_new, params,
+                       SolveStats())
+
+    x_taped = tape.cycle(b)
+    x_interp = interpreted()
+    np.testing.assert_array_equal(x_taped, x_interp)
+
+    return (
+        _median_time(lambda: tape.cycle(b), repeats),
+        _median_time(interpreted, repeats),
+    )
+
+
 def _instrumented_pass(mbsr, hierarchy, rng):
     """A representative slice of the workload, re-run (untimed) with
     observability on so the payload's metrics snapshot documents the
-    dispatch paths and cache behaviour the benchmark exercised."""
+    dispatch paths, cache behaviour and tape record/replay counters the
+    benchmark exercised."""
+    from repro.kernels.spmv import bind_spmv
+    from repro.tape import record_cycle
+
     x = rng.normal(size=mbsr.ncols)
     for _ in range(3):
         mbsr_spmv(mbsr, x, Precision.FP64)
@@ -217,6 +273,14 @@ def _instrumented_pass(mbsr, hierarchy, rng):
     p = csr_to_mbsr(lvl.p)
     plan = mbsr_spgemm_symbolic_plan(a, p)
     numeric_spgemm(a, p, plan.symbolic, Precision.FP64)
+    wrapped, _ = _wrap_levels(hierarchy)
+    tape = record_cycle(
+        hierarchy,
+        SolveParams(),
+        bindings=lambda level, op: bind_spmv(wrapped[level][op],
+                                             Precision.FP64),
+    )
+    tape.cycle(rng.normal(size=hierarchy.levels[0].n))
 
 
 def run(matrices=None, repeats=None, out_path=OUT_PATH):
@@ -226,17 +290,19 @@ def run(matrices=None, repeats=None, out_path=OUT_PATH):
     repeats = repeats or common.repeats_from_env("REPRO_HOTPATH_REPEATS")
     rng = np.random.default_rng(0)
     results = []
-    first = {}
+    metrics = {}
     for name in matrices:
+        # Isolate this matrix's run: counters must not accumulate across
+        # configurations, or a later snapshot would claim earlier work.
+        common.reset_metrics()
         csr = load_suite_matrix(name)
         mbsr = csr_to_mbsr(csr)
         hierarchy = amg_setup(csr, SetupParams())
-        if not first:
-            first = {"mbsr": mbsr, "hierarchy": hierarchy}
         for op, (new_s, naive_s) in (
             ("spmv_warm", bench_spmv(mbsr, rng, repeats)),
             ("spgemm_rap", bench_spgemm_rap(hierarchy, repeats)),
             ("v_cycle", bench_v_cycle(hierarchy, rng, repeats)),
+            ("v_cycle_taped", bench_v_cycle_taped(hierarchy, rng, repeats)),
         ):
             rec = {
                 "matrix": name,
@@ -247,14 +313,14 @@ def run(matrices=None, repeats=None, out_path=OUT_PATH):
             }
             results.append(rec)
             print(
-                f"{name:>12} {op:<10} new {new_s:.5f}s  "
+                f"{name:>12} {op:<13} new {new_s:.5f}s  "
                 f"naive {naive_s:.5f}s  speedup {rec['speedup']:.2f}x"
             )
+        metrics[name] = common.collect_metrics(
+            lambda: _instrumented_pass(mbsr, hierarchy, rng)
+        )
     summary = common.summarize_speedups(
-        results, ("spmv_warm", "spgemm_rap", "v_cycle")
-    )
-    metrics = common.collect_metrics(
-        lambda: _instrumented_pass(first["mbsr"], first["hierarchy"], rng)
+        results, ("spmv_warm", "spgemm_rap", "v_cycle", "v_cycle_taped")
     )
     return common.write_payload(
         out_path,
@@ -268,7 +334,7 @@ def run(matrices=None, repeats=None, out_path=OUT_PATH):
         results,
         summary,
         metrics,
-        op_width=10,
+        op_width=13,
     )
 
 

@@ -20,9 +20,10 @@ kernel (the numeric phase) and produce the cold product's bits.
 
 Results land in ``BENCH_setup.json`` at the repo root with the same shape
 as ``BENCH_hotpath.json``: one record per (matrix, op) with median seconds
-per path and the speedup, per-op median-of-speedups in ``summary``, and a
-``repro.obs`` metrics snapshot from an untimed instrumented pass in
-``metrics`` (the timed sections always run with observability off).
+per path and the speedup, per-op median-of-speedups in ``summary``, and
+one ``repro.obs`` metrics snapshot per matrix (from untimed instrumented
+passes, registry reset between matrices) in ``metrics`` (the timed
+sections always run with observability off).
 
 Run with ``PYTHONPATH=src python benchmarks/bench_setup.py``; environment
 knobs: ``REPRO_SETUP_MATRICES`` (comma-separated names, default
@@ -160,11 +161,12 @@ def run(matrices=None, repeats=None, out_path=OUT_PATH):
     )
     repeats = repeats or common.repeats_from_env("REPRO_SETUP_REPEATS")
     results = []
-    first_csr = None
+    metrics = {}
     for name in matrices:
+        # Isolate this matrix's run: counters must not accumulate across
+        # configurations, or a later snapshot would claim earlier work.
+        common.reset_metrics()
         csr = load_suite_matrix(name)
-        if first_csr is None:
-            first_csr = csr
         for op, (new_s, cold_s) in (
             ("resetup", bench_resetup(csr, repeats)),
             ("spgemm_plan_hit", bench_spgemm_plan_hit(csr, repeats)),
@@ -182,10 +184,12 @@ def run(matrices=None, repeats=None, out_path=OUT_PATH):
                 f"{name:>12} {op:<18} replay {new_s:.5f}s  "
                 f"cold {cold_s:.5f}s  speedup {rec['speedup']:.2f}x"
             )
+        metrics[name] = common.collect_metrics(
+            lambda: _instrumented_pass(csr)
+        )
     summary = common.summarize_speedups(
         results, ("resetup", "spgemm_plan_hit", "conversion_replay")
     )
-    metrics = common.collect_metrics(lambda: _instrumented_pass(first_csr))
     return common.write_payload(
         out_path,
         "benchmarks/bench_setup.py",

@@ -6,13 +6,15 @@ paired fast/baseline closures, summarise per-op speedups, and write a
 ``BENCH_*.json`` payload at the repo root.  This module holds that recipe
 once.
 
-Payloads additionally carry a ``metrics`` key: a
-:class:`repro.obs.MetricsRegistry` snapshot taken from a separate,
-*untimed* instrumented pass over a representative slice of the workload.
-The timed sections always run with observability off — tracing costs
-would perturb the medians — so the snapshot documents what the benchmark
-exercised (cache hits, dispatch paths, kernel counters) without touching
-the numbers.
+Payloads additionally carry a ``metrics`` key: one
+:class:`repro.obs.MetricsRegistry` snapshot *per benchmarked matrix*,
+each taken from a separate, *untimed* instrumented pass over a
+representative slice of that matrix's workload.  The registry is reset
+between configurations (see :func:`reset_metrics`), so a snapshot never
+mixes counters from two matrices.  The timed sections always run with
+observability off — tracing costs would perturb the medians — so the
+snapshots document what the benchmark exercised (cache hits, dispatch
+paths, kernel counters) without touching the numbers.
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ __all__ = [
     "repeats_from_env",
     "median_time",
     "summarize_speedups",
+    "reset_metrics",
     "collect_metrics",
     "write_payload",
 ]
@@ -67,17 +70,30 @@ def summarize_speedups(results: list[dict], ops) -> dict:
     return summary
 
 
-def collect_metrics(workload: Callable[[], object]) -> dict:
-    """Run *workload* once with observability on; return the registry
-    snapshot it produced.  Obs state is clean before and after, so the
-    snapshot covers exactly this pass."""
+def reset_metrics() -> None:
+    """Clear all observability state (metrics registry, trace spans).
+
+    Call between bench configurations: counters otherwise accumulate
+    across matrices within one run, so the second matrix's snapshot
+    would silently include the first matrix's cache hits and dispatches.
+    """
     import repro.obs as obs
 
     obs.reset()
+
+
+def collect_metrics(workload: Callable[[], object]) -> dict:
+    """Run *workload* once with observability on; return the registry
+    snapshot it produced.  Obs state is reset before and after, so the
+    snapshot covers exactly this pass — nothing carried over from any
+    earlier configuration, nothing leaked into the next."""
+    import repro.obs as obs
+
+    reset_metrics()
     with obs.trace_region():
         workload()
     snapshot = obs.REGISTRY.snapshot()
-    obs.reset()
+    reset_metrics()
     return snapshot
 
 

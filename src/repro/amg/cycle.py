@@ -282,6 +282,7 @@ def amg_solve(
     x0: np.ndarray | None = None,
     spmv: LevelSpMV | None = None,
     params: SolveParams | None = None,
+    tape: bool = False,
 ) -> tuple[np.ndarray, SolveStats]:
     """Iterate V-cycles until convergence or the iteration cap (paper: 50).
 
@@ -296,8 +297,21 @@ def amg_solve(
     floor ``norm0 * eps`` — at that point the iteration is converged by
     any usable definition, even though no positive tolerance was given.
     With a positive tolerance the loop also stops early, as usual.
+
+    With ``tape=True`` the cycle is recorded once into a
+    :class:`repro.tape.CycleTape` (binding *spmv* — or the host matvec
+    fallback — per (level, operator)) and then replayed, bit-identically,
+    with zero per-iteration dispatch.  Callers that solve repeatedly
+    against one hierarchy should hold the tape themselves (see
+    :meth:`repro.hypre.boomeramg.BoomerAMG.get_tape`) to amortise the
+    recording pass as well.
     """
     params = params or SolveParams()
+    if tape:
+        from repro.tape import record_cycle, taped_solve
+
+        recorded = record_cycle(hierarchy, params, spmv=spmv)
+        return taped_solve(recorded, b, x0=x0, params=params)
     spmv = spmv or _default_spmv(hierarchy)
     b = np.asarray(b, dtype=np.float64)
     n = hierarchy.levels[0].n

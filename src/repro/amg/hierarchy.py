@@ -96,6 +96,18 @@ class AMGHierarchy:
     #: True when this hierarchy was produced by a structure-reusing
     #: re-setup (frozen coarsening + interpolation, numeric Galerkin only).
     reused: bool = False
+    #: Monotone invalidation counter for recorded solve tapes
+    #: (:mod:`repro.tape`).  Any in-place mutation of the hierarchy that
+    #: bypasses object replacement must call :meth:`invalidate_solve_tapes`
+    #: so recorded tapes re-record instead of replaying stale operators;
+    #: tapes additionally fingerprint the per-level operator identities,
+    #: so swapping a level matrix/interpolation/diagonal is caught even
+    #: without an explicit bump.
+    generation: int = 0
+
+    def invalidate_solve_tapes(self) -> None:
+        """Bump the tape-invalidation generation counter."""
+        self.generation += 1
 
     @property
     def num_levels(self) -> int:

@@ -27,6 +27,9 @@ __all__ = [
     "gauss_seidel_sweep",
     "estimate_spectral_radius",
     "chebyshev_smooth",
+    "bind_l1_jacobi",
+    "bind_chebyshev",
+    "bind_gauss_seidel",
 ]
 
 SpMVFn = Callable[[np.ndarray], np.ndarray]
@@ -189,3 +192,78 @@ def chebyshev_smooth(
         rho = rho_new
         x = x + d
     return x, calls
+
+
+# ----------------------------------------------------------------------
+# Tape bindings: sweeps recorded against fixed workspace slots.
+#
+# Each ``bind_*`` returns a zero-argument closure that applies the
+# configured sweeps *in place* on the tape's x-slot, reading the b-slot —
+# the sweep's algebra fully bound at record time.  Bit-identity with the
+# interpreted ``repro.amg.cycle._apply_smoother`` is the contract: the
+# closures use ``np.subtract/np.multiply/np.add`` with ``out=`` operands,
+# which round identically to the fresh-allocation expressions they
+# replace (same ufunc inner loops, element-wise, no aliasing hazards).
+# ----------------------------------------------------------------------
+
+def bind_l1_jacobi(
+    run_a: SpMVFn,
+    dinv: np.ndarray,
+    x: np.ndarray,
+    b: np.ndarray,
+    r: np.ndarray,
+    t: np.ndarray,
+    num_sweeps: int,
+) -> Callable[[], None]:
+    """Record ``num_sweeps`` L1-Jacobi sweeps onto slots *x*, *b*.
+
+    Per sweep: ``r = b - A x`` (``r`` slot), ``t = dinv * r`` (scratch
+    slot) and ``x += t`` — exactly ``x + dinv * (b - A x)`` of the
+    interpreted sweep, with the intermediates landing in tape-owned
+    buffers instead of fresh arrays.
+    """
+
+    def sweeps() -> None:
+        for _ in range(num_sweeps):
+            np.subtract(b, run_a(x), out=r)
+            np.multiply(dinv, r, out=t)
+            np.add(x, t, out=x)
+
+    return sweeps
+
+
+def bind_chebyshev(
+    run_a: SpMVFn,
+    dinv: np.ndarray,
+    x: np.ndarray,
+    b: np.ndarray,
+    degree: int,
+    lam_max: float,
+    num_sweeps: int,
+) -> Callable[[], None]:
+    """Record Chebyshev smoothing onto slots *x*, *b*.
+
+    The three-term recurrence carries scalar state across its inner
+    matvecs, so the sweep replays :func:`chebyshev_smooth` itself with
+    the bound matvec (``lam_max`` frozen at record time); only the final
+    iterate is copied back into the x-slot.
+    """
+
+    def sweeps() -> None:
+        xi = x
+        for _ in range(num_sweeps):
+            xi, _ = chebyshev_smooth(run_a, dinv, xi, b,
+                                     degree=degree, lam_max=lam_max)
+        x[...] = xi
+
+    return sweeps
+
+
+def bind_gauss_seidel(a: CSRMatrix, x: np.ndarray, b: np.ndarray,
+                      num_sweeps: int) -> Callable[[], None]:
+    """Record host-side (S)SOR sweeps onto slots *x*, *b*."""
+
+    def sweeps() -> None:
+        x[...] = gauss_seidel_sweep(a, x, b, num_sweeps=num_sweeps)
+
+    return sweeps

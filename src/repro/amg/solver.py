@@ -140,6 +140,7 @@ class AmgTSolver:
         tolerance: float = 0.0,
         cycle_type: str = "V",
         smoother: str = "l1-jacobi",
+        tape: bool = False,
     ) -> SolveResult:
         """Run multigrid cycles (Alg. 2) until *tolerance* or the cap.
 
@@ -155,6 +156,11 @@ class AmgTSolver:
         ``cycle_type`` selects V (the paper's configuration), W or F
         cycles; ``smoother`` selects ``'l1-jacobi'`` (paper default),
         ``'chebyshev'`` or ``'gauss-seidel'``.
+
+        ``tape=True`` records the cycle once into a kernel tape
+        (:mod:`repro.tape`) and replays it with zero per-iteration
+        dispatch — bit-identical results, one tape per cycle shape cached
+        on the driver until the hierarchy changes.
         """
         if self._driver is None:
             raise RuntimeError("call setup() before solve()")
@@ -169,7 +175,8 @@ class AmgTSolver:
         )
         with obs_trace.span("AmgTSolver.solve", "solver"):
             with checked_region(enabled=self.checked):
-                x, stats = self._driver.solve(b, x0=x0, params=params)
+                x, stats = self._driver.solve(b, x0=x0, params=params,
+                                              tape=tape)
         return SolveResult(x=x, stats=stats, performance=self._driver.perf)
 
     # ------------------------------------------------------------------
@@ -180,6 +187,7 @@ class AmgTSolver:
         tolerance: float = 1e-8,
         max_iterations: int = 500,
         x0: np.ndarray | None = None,
+        tape: bool = False,
     ):
         """Krylov solve preconditioned by one V-cycle per application.
 
@@ -188,7 +196,10 @@ class AmgTSolver:
         through the backend kernels as well, so the performance log
         accounts for every SpMV of the preconditioned iteration — the
         "preconditioners often include a number of SpMV calls" scenario of
-        Sec. II.B.  Returns the Krylov result object.
+        Sec. II.B.  With ``tape=True`` both the outer matvec and every
+        preconditioner application replay through recorded kernel
+        bindings instead of interpreted dispatch.  Returns the Krylov
+        result object.
         """
         if self._driver is None:
             raise RuntimeError("call setup() before solve_krylov()")
@@ -203,28 +214,41 @@ class AmgTSolver:
         driver = self._driver
         wrapped = driver._wrapped[0]["A"]
 
-        def matvec(v: np.ndarray) -> np.ndarray:
-            return driver.backend.matvec_device(wrapped, v, driver.perf,
-                                                "solve", 0)
+        if tape:
+            binding = driver.backend.bind_matvec(wrapped, driver.perf,
+                                                 "solve", 0)
+            run, rec, perf = binding.run, binding.record, driver.perf
 
+            def matvec(v: np.ndarray) -> np.ndarray:
+                perf.append(rec)
+                return run(v)
+        else:
+
+            def matvec(v: np.ndarray) -> np.ndarray:
+                return driver.backend.matvec_device(wrapped, v, driver.perf,
+                                                    "solve", 0)
+
+        preconditioner = self.as_preconditioner(tape=tape)
         with obs_trace.span("AmgTSolver.solve_krylov", "solver"):
             return solvers[method](
                 matvec,
                 np.asarray(b, dtype=np.float64),
-                preconditioner=driver.precondition,
+                preconditioner=preconditioner,
                 x0=x0,
                 tolerance=tolerance,
                 max_iterations=max_iterations,
             )
 
     # ------------------------------------------------------------------
-    def as_preconditioner(self):
-        """Return ``M(r) -> z``: one V-cycle applied to *r* (for PCG)."""
+    def as_preconditioner(self, tape: bool = False):
+        """Return ``M(r) -> z``: one V-cycle applied to *r* (for PCG).
+
+        The returned object is callable and also exposes ``.apply(r)``,
+        the protocol the Krylov solvers accept directly.  ``tape=True``
+        replays the recorded cycle tape per application.
+        """
         if self._driver is None:
             raise RuntimeError("call setup() before building a preconditioner")
-        driver = self._driver
+        from repro.solvers.preconditioners import VCyclePreconditioner
 
-        def apply(r: np.ndarray) -> np.ndarray:
-            return driver.precondition(r)
-
-        return apply
+        return VCyclePreconditioner(self._driver, tape=tape)

@@ -99,6 +99,25 @@ class KernelBackend:
     ) -> np.ndarray:
         raise NotImplementedError
 
+    def bind_matvec(
+        self,
+        a: HypreCSRMatrix,
+        perf: PerformanceLog,
+        phase: str,
+        level: int,
+    ):
+        """Resolve one operator's SpMV into a replayable binding.
+
+        The record-time half of the kernel tape (:mod:`repro.tape`):
+        returns a :class:`~repro.kernels.spmv.SpMVBinding` whose
+        ``run(x)`` is bit-identical to :meth:`matvec_device` (minus the
+        per-call perf/obs bookkeeping) and whose ``record`` is already
+        stamped and priced for this phase/level, so replays can replicate
+        the perf log in bulk.  Any format conversion is charged here, as
+        the first interpreted call would have.
+        """
+        raise NotImplementedError
+
     def galerkin_plan(self, r, a, p, perf, phase, level, on_result=None):
         """Fused RAP plan, or None when the backend has no setup engine
         (the baseline runs the plain two-call Galerkin path)."""
@@ -158,6 +177,16 @@ class HypreBackend(KernelBackend):
         perf.append(rec)
         _finish_record(sp, rec)
         return np.asarray(y, dtype=np.float64)
+
+    def bind_matvec(self, a, perf, phase, level):
+        from repro.kernels.baseline import bind_csr_spmv
+
+        a = HypreCSRMatrix.wrap(a)
+        binding = bind_csr_spmv(a.csr, Precision.FP64, backend=self.vendor)
+        rec = binding.record
+        rec.phase, rec.level = phase, level
+        rec.price(self.cost)
+        return binding
 
 
 class AmgTBackend(KernelBackend):
@@ -302,6 +331,25 @@ class AmgTBackend(KernelBackend):
         perf.append(rec)
         _finish_record(sp, rec)
         return np.asarray(y, dtype=np.float64)
+
+    def bind_matvec(self, a, perf, phase, level):
+        a = HypreCSRMatrix.wrap(a)
+        self._ensure_mbsr(a, perf, phase, level)
+        prec = self.schedule.for_level(level)
+        am = a.mbsr_at_precision(prec)
+        # The memoised binding freezes plan, casts and index arrays; its
+        # numeric result never depends on the plan, so sharing the
+        # cast-matrix cache's plan (structurally identical to the
+        # canonical one matvec_device consults) is exact.
+        binding = am.cache.spmv_binding(
+            prec,
+            allow_tensor_cores=self.allow_tensor_cores,
+            storage_itemsize=self.storage_itemsize,
+        )
+        rec = binding.record
+        rec.phase, rec.level = phase, level
+        rec.price(self.cost)
+        return binding
 
 
 class _BackendGalerkinPlan:

@@ -25,6 +25,7 @@ from repro.amg.hierarchy import AMGHierarchy, SetupParams, amg_setup
 from repro.formats.csr import CSRMatrix
 from repro.hypre.backends import KernelBackend
 from repro.hypre.csr_matrix import HypreCSRMatrix
+from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.perf.timeline import PerformanceLog
 
@@ -54,6 +55,10 @@ class BoomerAMG:
         #: HypreCSRMatrix wrappers per level for A / R / P, so mBSR
         #: conversions and SpMV plans are cached across the solve phase.
         self._wrapped: list[dict[str, HypreCSRMatrix]] = []
+        #: Recorded solve tapes keyed by cycle shape (cycle type, smoother,
+        #: sweep counts, Chebyshev degree).  Cleared on every setup; a
+        #: stale entry (hierarchy mutated after recording) re-records.
+        self._tapes: dict[tuple, object] = {}
 
     # ------------------------------------------------------------------
     # setup phase
@@ -157,6 +162,9 @@ class BoomerAMG:
             if lvl.p is not None:
                 entry["P"] = wrapped_cache.get(id(lvl.p)) or HypreCSRMatrix(csr=lvl.p)
             self._wrapped.append(entry)
+        # Every setup invalidates recorded solve tapes: even a numeric
+        # re-setup produces a new hierarchy object with new operators.
+        self._tapes = {}
         return hierarchy
 
     # ------------------------------------------------------------------
@@ -166,25 +174,77 @@ class BoomerAMG:
         mat = self._wrapped[level][op]
         return self.backend.matvec_device(mat, x, self.perf, "solve", level)
 
+    def get_tape(self, params: SolveParams | None = None):
+        """Recorded cycle tape for *params*' cycle shape (record or reuse).
+
+        One tape per cycle shape per hierarchy: the first request records
+        (one instrumented pass resolving every kernel binding through
+        ``backend.bind_matvec``); later requests replay the cached tape.
+        A stale tape — the hierarchy mutated or its generation counter
+        bumped since recording — is silently re-recorded, never replayed.
+        """
+        if self.hierarchy is None:
+            raise RuntimeError("setup() must run before get_tape()")
+        from repro.tape import record_cycle
+        from repro.tape.tape import _cycle_shape
+
+        params = params or SolveParams()
+        key = _cycle_shape(params)
+        tape = self._tapes.get(key)
+        if tape is None or tape.is_stale():
+            backend, perf = self.backend, self.perf
+
+            def bindings(level: int, op: str):
+                return backend.bind_matvec(
+                    self._wrapped[level][op], perf, "solve", level
+                )
+
+            with obs_trace.span("tape.record", "solver"):
+                tape = record_cycle(self.hierarchy, params, bindings=bindings)
+            self._tapes[key] = tape
+            obs_metrics.inc("repro_tape_records_total")
+        return tape
+
     def solve(
         self,
         b: np.ndarray,
         x0: np.ndarray | None = None,
         params: SolveParams | None = None,
+        tape: bool = False,
     ) -> tuple[np.ndarray, SolveStats]:
         if self.hierarchy is None:
             raise RuntimeError("setup() must run before solve()")
         params = params or SolveParams()
+        if tape:
+            from repro.tape import taped_solve
+
+            t = self.get_tape(params)
+            with obs_trace.phase_span("solve"):
+                x, stats = taped_solve(t, b, x0=x0, params=params)
+                self._replicate_tape_perf(t, stats)
+                self._charge_solve_other(stats)
+            return x, stats
         with obs_trace.phase_span("solve"):
             x, stats = amg_solve(self.hierarchy, b, x0=x0, spmv=self._level_spmv,
                                  params=params)
             self._charge_solve_other(stats)
         return x, stats
 
-    def precondition(self, r: np.ndarray) -> np.ndarray:
-        """One V-cycle with zero initial guess (the PCG preconditioner)."""
+    def precondition(self, r: np.ndarray, tape: bool = False) -> np.ndarray:
+        """One V-cycle with zero initial guess (the PCG preconditioner).
+
+        With ``tape=True`` the cycle replays through the recorded kernel
+        tape (recording it on first use) instead of the interpreted
+        recursion — same bits, no per-application dispatch.
+        """
         if self.hierarchy is None:
             raise RuntimeError("setup() must run before precondition()")
+        if tape:
+            t = self.get_tape(SolveParams())
+            with obs_trace.phase_span("solve"):
+                z = t.apply(np.asarray(r, dtype=np.float64))
+                self.perf.records.extend(t.records)
+            return z
         stats = SolveStats()
         with obs_trace.phase_span("solve"):
             z = v_cycle(
@@ -196,6 +256,22 @@ class BoomerAMG:
                 stats,
             )
         return z
+
+    def _replicate_tape_perf(self, tape, stats: SolveStats) -> None:
+        """Bulk-append the replayed kernels' records to the perf log.
+
+        The tape's record templates are priced at bind time and the SpMV
+        cost never depends on the operand vector, so an interpreted solve
+        and a replayed one produce the same record sequence: one initial
+        residual, then per iteration the cycle's records plus a residual.
+        """
+        records = self.perf.records
+        if tape.residual_record is None:
+            return
+        records.append(tape.residual_record)
+        for _ in range(stats.iterations):
+            records.extend(tape.records)
+            records.append(tape.residual_record)
 
     def _charge_solve_other(self, stats: SolveStats) -> None:
         """Vector updates + coarse solves, proportional to the SpMV count."""

@@ -31,7 +31,7 @@ from repro.util.hashing import distinct_count_per_segment, distinct_sorted_per_s
 from repro.util.prefix_sum import counts_to_ptr
 from repro.util.segops import segment_sum
 
-__all__ = ["csr_spgemm", "csr_spmv"]
+__all__ = ["csr_spgemm", "csr_spmv", "bind_csr_spmv"]
 
 
 def _expand_pairs(a: CSRMatrix, b: CSRMatrix):
@@ -125,6 +125,18 @@ def csr_spmv(
     y = np.bincount(a.row_ids(), weights=products.astype(np.float64), minlength=a.nrows)
     y = y.astype(acc_dtype)
 
+    _account_csr_spmv(record, a, precision)
+    if check_runtime.is_active():
+        from repro.check import oracle
+
+        oracle.verify_csr_spmv(a, x, y, precision)
+    return y, record
+
+
+def _account_csr_spmv(record: KernelRecord, a: CSRMatrix, precision: Precision) -> None:
+    """Fill *record* with the cost of one CSR SpMV on *a* (x-independent)."""
+    counters = record.counters
+    acc_dtype = precision.accum_dtype
     counters.add_flops(precision, 2.0 * a.nnz)
     counters.add_bytes(
         read=a.nnz * (precision.itemsize + 4) + (a.nrows + 1) * 8
@@ -138,8 +150,59 @@ def csr_spmv(
     # Vendor kernels bound the skew penalty with internal row splitting.
     counters.imbalance = min(counters.imbalance, 4.0)
     counters.launches = 1
-    if check_runtime.is_active():
-        from repro.check import oracle
 
-        oracle.verify_csr_spmv(a, x, y, precision)
-    return y, record
+
+def bind_csr_spmv(a: CSRMatrix, precision: Precision = Precision.FP64,
+                  backend: str = "cusparse"):
+    """Resolve one CSR SpMV into a replayable binding (the tape's baseline
+    path).  The per-call ``data.astype(in).astype(acc)`` double cast and
+    the COO row-id expansion are captured once; ``run(x)`` is then the
+    product + bincount core of :func:`csr_spmv`, bit-identical to it
+    followed by ``np.asarray(y, dtype=np.float64)``.
+    """
+    from repro.kernels.spmv import SpMVBinding
+
+    record = KernelRecord(kernel="spmv", backend=backend, precision=precision)
+    _account_csr_spmv(record, a, precision)
+    in_dtype = np.dtype(precision.np_dtype)
+    acc_dtype = np.dtype(precision.accum_dtype)
+    data = a.data.astype(in_dtype).astype(acc_dtype)
+    row_ids = a.row_ids()
+    indices = a.indices
+    nrows = a.nrows
+    f64_acc = acc_dtype == np.float64
+    # Check gate resolved at bind time, like the dispatch itself: under
+    # an active checked region (or REPRO_CHECK) every run verifies
+    # against the differential oracle, otherwise replay is check-free.
+    checked = check_runtime.is_active()
+
+    def run_acc(x: np.ndarray) -> np.ndarray:
+        """The replay core; returns y in the accumulator dtype."""
+        xv = x if x.dtype == in_dtype else x.astype(in_dtype)
+        if xv.dtype != acc_dtype:
+            xv = xv.astype(acc_dtype)
+        products = data * xv[indices]
+        if not f64_acc:
+            products = products.astype(np.float64)
+        y = np.bincount(row_ids, weights=products, minlength=nrows)
+        if not f64_acc:
+            # Match csr_spmv's round-to-accumulator before the float64
+            # widening the backend applies.
+            y = y.astype(acc_dtype)
+        return y
+
+    if checked:
+        def run(x: np.ndarray) -> np.ndarray:
+            from repro.check import oracle
+
+            y = run_acc(x)
+            oracle.verify_csr_spmv(a, x, y, precision)
+            return y if f64_acc else y.astype(np.float64)
+    elif f64_acc:
+        run = run_acc
+    else:
+        def run(x: np.ndarray) -> np.ndarray:
+            return run_acc(x).astype(np.float64)
+
+    return SpMVBinding(run, record, precision, plan=None,
+                       nrows=nrows, ncols=a.ncols)

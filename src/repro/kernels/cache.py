@@ -47,6 +47,9 @@ class OperatorCache:
         self._tiles: dict[tuple[np.dtype, np.dtype], np.ndarray] = {}
         #: SpMV plans keyed by (allow_tensor_cores, tc_threshold).
         self._spmv_plans: dict[tuple[bool, float], object] = {}
+        #: Replayable SpMV bindings keyed by (precision, allow_tc,
+        #: tc_threshold, storage_itemsize) — the tape's plan handles.
+        self._spmv_bindings: dict[tuple, object] = {}
         #: Reuse telemetry over the per-call entries (:meth:`tiles` and
         #: :meth:`spmv_plan` — the lookups every kernel call makes).
         #: Plain ints so tests and the obs registry can read them with no
@@ -214,3 +217,47 @@ class OperatorCache:
                 result="hit",
             )
         return plan
+
+    def spmv_binding(
+        self,
+        precision,
+        *,
+        allow_tensor_cores: bool = True,
+        tc_threshold=None,
+        storage_itemsize: int | None = None,
+    ):
+        """Memoised :func:`repro.kernels.spmv.bind_spmv`.
+
+        One binding per (precision, dispatch knobs) per operator: tapes
+        recorded against the same hierarchy share the resolved kernels
+        (and their work buffers — single-threaded replay is the contract).
+        """
+        from repro.formats.bitmap import TC_NNZ_THRESHOLD
+        from repro.kernels.spmv import bind_spmv
+
+        threshold = TC_NNZ_THRESHOLD if tc_threshold is None else tc_threshold
+        key = (precision, bool(allow_tensor_cores), float(threshold),
+               storage_itemsize)
+        binding = self._spmv_bindings.get(key)
+        if binding is None:
+            self.misses += 1
+            obs_metrics.inc(
+                "repro_operator_cache_requests_total", entry="spmv_binding",
+                result="miss",
+            )
+            binding = bind_spmv(
+                self._mat,
+                precision,
+                self.spmv_plan(allow_tensor_cores, tc_threshold=threshold),
+                allow_tensor_cores=allow_tensor_cores,
+                tc_threshold=threshold,
+                storage_itemsize=storage_itemsize,
+            )
+            self._spmv_bindings[key] = binding
+        else:
+            self.hits += 1
+            obs_metrics.inc(
+                "repro_operator_cache_requests_total", entry="spmv_binding",
+                result="hit",
+            )
+        return binding

@@ -19,6 +19,7 @@ throughput ceiling prices the work.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -34,7 +35,9 @@ __all__ = [
     "WARP_CAPACITY",
     "VARIATION_THRESHOLD",
     "SpMVPlan",
+    "SpMVBinding",
     "build_spmv_plan",
+    "bind_spmv",
     "mbsr_spmv",
 ]
 
@@ -129,65 +132,21 @@ def _padded_x(mat: MBSRMatrix, x: np.ndarray, dtype) -> np.ndarray:
     return xp
 
 
-def mbsr_spmv(
+def _account_spmv(
+    record: KernelRecord,
     mat: MBSRMatrix,
-    x: np.ndarray,
-    precision: Precision = Precision.FP64,
-    plan: SpMVPlan | None = None,
-    *,
-    allow_tensor_cores: bool = True,
-    tc_threshold: float | None = None,
-    storage_itemsize: int | None = None,
-) -> tuple[np.ndarray, KernelRecord]:
-    """Compute ``y = A @ x`` with the adaptive mBSR kernel.
+    plan: SpMVPlan,
+    precision: Precision,
+    storage_itemsize: int | None,
+) -> None:
+    """Fill *record* with the cost of one SpMV on *mat* under *plan*.
 
-    Returns ``y`` in the accumulator dtype of *precision* and the kernel
-    record.  Pass a prebuilt *plan* to skip preprocessing on repeated
-    calls; without one, the memoised per-operator plan is built with the
-    caller's *tc_threshold* (``None`` = the paper's ``TC_NNZ_THRESHOLD``)
-    — the threshold used to be hard-wired here, silently discarding any
-    non-default core-selection point.  ``storage_itemsize`` overrides the
-    per-value byte size charged for memory traffic: devices whose
-    low-precision path computes in reduced precision but keeps
-    FP64-resident data (the MI210 configuration of Sec. V.F) pass 8 here,
-    which is what makes mixed precision a wash there.
+    The counters depend only on the operator, the plan and the precision —
+    never on ``x`` — which is what lets a tape binding price its record
+    once at bind time and replay it per call.
     """
-    x = np.asarray(x)
-    if x.shape != (mat.ncols,):
-        raise ValueError(f"x has shape {x.shape}, expected ({mat.ncols},)")
-    cache = mat.cache
-    if plan is None:
-        plan = cache.spmv_plan(allow_tensor_cores, tc_threshold=tc_threshold)
-
-    record = KernelRecord(kernel="spmv", backend="amgt", precision=precision)
     counters = record.counters
-    in_dtype = precision.np_dtype
     acc_dtype = precision.accum_dtype
-
-    if mat.blc_num:
-        xq = np.asarray(x, dtype=in_dtype)
-        if mat.ncols == mat.nb * BLOCK_SIZE:
-            xp = xq  # already 4-aligned: gather straight from x
-        else:
-            xp = _padded_x(mat, xq, in_dtype)
-        # Gather the 4-vector of x per tile (cached flat indices), batched
-        # tile matvec, segmented reduction into y — the same dataflow as
-        # both device kernels, with the precision semantics of the selected
-        # core type.  The tile values arrive quantised-and-widened from the
-        # operator cache (one cast per matrix, not two per call).
-        xblk = xp[cache.x_gather]  # (blc_num, 4)
-        if xblk.dtype != acc_dtype:
-            xblk = xblk.astype(acc_dtype)
-        tiles = cache.tiles(in_dtype, acc_dtype)
-        contrib = np.matmul(tiles, xblk[:, :, None])[:, :, 0]
-        y = segment_sum(
-            contrib, cache.block_row_ids, mat.mb,
-            sorted_ids=True, flat_ids=cache.y_scatter,
-        ).reshape(-1)
-    else:
-        y = np.zeros(mat.mb * BLOCK_SIZE, dtype=acc_dtype)
-
-    # ---- cost accounting ---------------------------------------------
     nnz = mat.nnz
     itemsize = storage_itemsize or precision.itemsize
     if plan.use_tensor_cores:
@@ -221,6 +180,66 @@ def mbsr_spmv(
     counters.imbalance = plan.imbalance
     counters.launches = 1
     record.detail = {"path": plan.kernel_path, "variation": plan.variation}
+
+
+def mbsr_spmv(
+    mat: MBSRMatrix,
+    x: np.ndarray,
+    precision: Precision = Precision.FP64,
+    plan: SpMVPlan | None = None,
+    *,
+    allow_tensor_cores: bool = True,
+    tc_threshold: float | None = None,
+    storage_itemsize: int | None = None,
+) -> tuple[np.ndarray, KernelRecord]:
+    """Compute ``y = A @ x`` with the adaptive mBSR kernel.
+
+    Returns ``y`` in the accumulator dtype of *precision* and the kernel
+    record.  Pass a prebuilt *plan* to skip preprocessing on repeated
+    calls; without one, the memoised per-operator plan is built with the
+    caller's *tc_threshold* (``None`` = the paper's ``TC_NNZ_THRESHOLD``)
+    — the threshold used to be hard-wired here, silently discarding any
+    non-default core-selection point.  ``storage_itemsize`` overrides the
+    per-value byte size charged for memory traffic: devices whose
+    low-precision path computes in reduced precision but keeps
+    FP64-resident data (the MI210 configuration of Sec. V.F) pass 8 here,
+    which is what makes mixed precision a wash there.
+    """
+    x = np.asarray(x)
+    if x.shape != (mat.ncols,):
+        raise ValueError(f"x has shape {x.shape}, expected ({mat.ncols},)")
+    cache = mat.cache
+    if plan is None:
+        plan = cache.spmv_plan(allow_tensor_cores, tc_threshold=tc_threshold)
+
+    record = KernelRecord(kernel="spmv", backend="amgt", precision=precision)
+    in_dtype = precision.np_dtype
+    acc_dtype = precision.accum_dtype
+
+    if mat.blc_num:
+        xq = np.asarray(x, dtype=in_dtype)
+        if mat.ncols == mat.nb * BLOCK_SIZE:
+            xp = xq  # already 4-aligned: gather straight from x
+        else:
+            xp = _padded_x(mat, xq, in_dtype)
+        # Gather the 4-vector of x per tile (cached flat indices), batched
+        # tile matvec, segmented reduction into y — the same dataflow as
+        # both device kernels, with the precision semantics of the selected
+        # core type.  The tile values arrive quantised-and-widened from the
+        # operator cache (one cast per matrix, not two per call).
+        xblk = xp[cache.x_gather]  # (blc_num, 4)
+        if xblk.dtype != acc_dtype:
+            xblk = xblk.astype(acc_dtype)
+        tiles = cache.tiles(in_dtype, acc_dtype)
+        contrib = np.matmul(tiles, xblk[:, :, None])[:, :, 0]
+        y = segment_sum(
+            contrib, cache.block_row_ids, mat.mb,
+            sorted_ids=True, flat_ids=cache.y_scatter,
+        ).reshape(-1)
+    else:
+        y = np.zeros(mat.mb * BLOCK_SIZE, dtype=acc_dtype)
+
+    _account_spmv(record, mat, plan, precision, storage_itemsize)
     y = y[: mat.nrows]
     # Output-dtype pin: both the segment-sum path and the blc_num == 0
     # early exit must hand back the accumulator dtype, or mixed-precision
@@ -246,3 +265,136 @@ def mbsr_spmv(
             kernel="spmv",
         ).observe_counts(cache.pop_hist)
     return y, record
+
+
+@dataclass
+class SpMVBinding:
+    """A fully-resolved, replayable SpMV — the tape's plan handle.
+
+    ``run(x)`` returns a fresh float64 vector bit-identical to
+    ``np.asarray(mbsr_spmv(mat, x, precision, plan)[0], dtype=np.float64)``
+    with every per-call decision already taken: the TC/CUDA plan, the
+    quantised-and-widened tile array, the gather/scatter index arrays and
+    the precision casts are all captured at bind time, so a replay is just
+    gather -> batched tile matvec -> bincount.  The internal gather and
+    contribution buffers are reused across calls (the returned vector
+    never aliases them), which makes a binding single-threaded by
+    contract.
+
+    ``record`` is the unpriced cost template of one call — identical
+    counters to the record :func:`mbsr_spmv` would produce, built once
+    because the accounting never depends on ``x``.  Callers that charge
+    replays stamp/price it once and append it per call.
+    """
+
+    run: Callable[[np.ndarray], np.ndarray]
+    record: KernelRecord
+    precision: Precision
+    plan: SpMVPlan | None
+    nrows: int
+    ncols: int
+
+
+def bind_spmv(
+    mat: MBSRMatrix,
+    precision: Precision = Precision.FP64,
+    plan: SpMVPlan | None = None,
+    *,
+    allow_tensor_cores: bool = True,
+    tc_threshold: float | None = None,
+    storage_itemsize: int | None = None,
+) -> SpMVBinding:
+    """Resolve one operator's SpMV into a :class:`SpMVBinding`.
+
+    This is the record-time half of the kernel tape: everything
+    :func:`mbsr_spmv` re-derives or re-checks per call (argument
+    validation, plan lookup, cache attribute walks, record construction,
+    cost accounting, the segment-id range re-validation inside
+    ``segment_sum``) happens here exactly once.  The float64 accumulator
+    path reduces through ``np.bincount`` directly — the same call
+    ``segment_sum`` bottoms out in, with the same input ordering, hence
+    bit-identical — and other accumulators fall back to ``segment_sum``.
+    """
+    cache = mat.cache
+    if plan is None:
+        plan = cache.spmv_plan(allow_tensor_cores, tc_threshold=tc_threshold)
+    record = KernelRecord(kernel="spmv", backend="amgt", precision=precision)
+    _account_spmv(record, mat, plan, precision, storage_itemsize)
+
+    in_dtype = np.dtype(precision.np_dtype)
+    acc_dtype = np.dtype(precision.accum_dtype)
+    nrows, ncols = mat.nrows, mat.ncols
+
+    # The check gate is resolved once at bind time, exactly like the
+    # TC/CUDA dispatch: under an active checked region (or REPRO_CHECK)
+    # the binding's run verifies every call against the differential
+    # oracle; otherwise the replay path carries zero check overhead.
+    checked = check_runtime.is_active()
+
+    if mat.blc_num == 0:
+        empty_len = mat.mb * BLOCK_SIZE
+
+        def run_empty(x: np.ndarray) -> np.ndarray:
+            y = np.zeros(empty_len, dtype=acc_dtype)[:nrows]
+            if checked:
+                from repro.check import oracle
+
+                oracle.verify_spmv(mat, x, y, precision, plan)
+            return y if y.dtype == np.float64 else y.astype(np.float64)
+
+        return SpMVBinding(run_empty, record, precision, plan, nrows, ncols)
+
+    tiles = cache.tiles(in_dtype, acc_dtype)
+    x_gather = cache.x_gather
+    flat_ids = cache.y_scatter
+    row_ids = cache.block_row_ids
+    mb = mat.mb
+    aligned = ncols == mat.nb * BLOCK_SIZE
+    xp_buf = None if aligned else np.zeros(mat.nb * BLOCK_SIZE, dtype=in_dtype)
+    # Reused work buffers: the gathered x tiles (input dtype), their
+    # accumulator-dtype widening (aliased when no widening is needed) and
+    # the per-tile contributions of the batched matvec.
+    xblk_in = np.empty(x_gather.shape, dtype=in_dtype)
+    widen = in_dtype != acc_dtype
+    xblk_acc = np.empty(x_gather.shape, dtype=acc_dtype) if widen else xblk_in
+    contrib = np.empty((tiles.shape[0], BLOCK_SIZE, 1), dtype=acc_dtype)
+    contrib_flat = contrib.reshape(-1)
+    bincount_path = acc_dtype == np.float64
+    minlength = mb * BLOCK_SIZE
+
+    def run_acc(x: np.ndarray) -> np.ndarray:
+        """The replay core; returns y in the accumulator dtype."""
+        xq = x if x.dtype == in_dtype else x.astype(in_dtype)
+        if xp_buf is None:
+            xp = xq
+        else:
+            xp_buf[:ncols] = xq
+            xp = xp_buf
+        xp.take(x_gather, out=xblk_in)
+        if widen:
+            xblk_acc[...] = xblk_in
+        np.matmul(tiles, xblk_acc[:, :, None], out=contrib)
+        if bincount_path:
+            # The float64 fast path of segment_sum, minus its per-call
+            # id-range validation: bincount accumulates sequentially in
+            # input order, so this is bit-identical to np.add.at.
+            return np.bincount(flat_ids, weights=contrib_flat,
+                               minlength=minlength)[:nrows]
+        return segment_sum(
+            contrib[:, :, 0], row_ids, mb, sorted_ids=True
+        ).reshape(-1)[:nrows]
+
+    if checked:
+        def run(x: np.ndarray) -> np.ndarray:
+            from repro.check import oracle
+
+            y = run_acc(x)
+            oracle.verify_spmv(mat, x, y, precision, plan)
+            return y if bincount_path else y.astype(np.float64)
+    elif bincount_path:
+        run = run_acc
+    else:
+        def run(x: np.ndarray) -> np.ndarray:
+            return run_acc(x).astype(np.float64)
+
+    return SpMVBinding(run, record, precision, plan, nrows, ncols)

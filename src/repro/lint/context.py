@@ -37,8 +37,11 @@ SCATTER_ENGINE = "util/segops.py"
 #: Modules in which R4 (contract-hook coverage) applies.
 CONTRACT_SCOPE_DIR = "kernels"
 
-#: Subtrees where R5 (hot-loop allocation) applies.
-HOT_LOOP_SCOPE_DIRS = ("kernels", "formats")
+#: Subtrees where R5 (hot-loop allocation) applies.  ``solvers`` holds
+#: the Krylov iteration loops (one allocation there repeats every
+#: iteration of every solve) and ``tape`` the record/replay engine whose
+#: entire point is an allocation-free replay loop.
+HOT_LOOP_SCOPE_DIRS = ("kernels", "formats", "solvers", "tape")
 
 #: Modules whose public entry points drive whole setup/solve phases; R6
 #: (advisory) asks them to open a repro.obs root span so traced runs

@@ -4,9 +4,14 @@ PR 1's operator cache exists because per-call allocation and index
 rebuilding dominated the host kernels.  Allocations *inside loops* in
 ``kernels/`` and ``formats/`` are the same smell one level down: each
 iteration pays an allocator round-trip that a hoisted buffer or a cache
-entry would amortise.  The finding is advisory — small fixed-trip loops
-(the 4-iteration bitmap sweeps) are often fine — so it never fails the
-run; it exists to feed the cache-candidate backlog.
+entry would amortise.  The same applies to the Krylov iteration loops
+in ``solvers/`` (every in-loop allocation repeats once per solver
+iteration) and to the tape replay loop in ``tape/`` (whose contract is
+an allocation-free steady state), so both subtrees are in scope; the
+flagged constructors include the repo's own ``accumulator(...)`` helper
+alongside the raw numpy allocators.  The finding is advisory — small
+fixed-trip loops (the 4-iteration bitmap sweeps) are often fine — so it
+never fails the run; it exists to feed the cache-candidate backlog.
 """
 
 from __future__ import annotations
@@ -32,10 +37,15 @@ class _LoopAllocVisitor(ast.NodeVisitor):
     visit_For = _enter_loop
     visit_While = _enter_loop
 
+    def _is_alloc(self, func: ast.expr) -> bool:
+        if is_numpy_attr(func, "zeros", "empty", "concatenate"):
+            return True
+        # The repo's own allocator: ``accumulator(n)`` from
+        # repro.amg.precision, conventionally imported bare.
+        return isinstance(func, ast.Name) and func.id == "accumulator"
+
     def visit_Call(self, node: ast.Call) -> None:
-        if self.loop_depth > 0 and is_numpy_attr(
-            node.func, "zeros", "empty", "concatenate"
-        ):
+        if self.loop_depth > 0 and self._is_alloc(node.func):
             text = unparse(node)
             if len(text) > 60:
                 text = text[:57] + "..."

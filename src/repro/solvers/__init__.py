@@ -9,6 +9,10 @@ preconditioner (one AmgT V-cycle per application).
 from repro.solvers.cg import pcg, PCGResult
 from repro.solvers.gmres import gmres, GMRESResult
 from repro.solvers.bicgstab import bicgstab, BiCGStabResult
+from repro.solvers.preconditioners import (
+    VCyclePreconditioner,
+    resolve_preconditioner,
+)
 
 __all__ = [
     "pcg",
@@ -17,4 +21,6 @@ __all__ = [
     "GMRESResult",
     "bicgstab",
     "BiCGStabResult",
+    "VCyclePreconditioner",
+    "resolve_preconditioner",
 ]

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.amg.precision import accumulator
 from repro.formats.csr import CSRMatrix
+from repro.solvers.preconditioners import resolve_preconditioner
 
 __all__ = ["bicgstab", "BiCGStabResult"]
 
@@ -68,7 +69,7 @@ def _bicgstab_impl(
     max_iterations: int,
 ) -> BiCGStabResult:
     matvec: MatVec = a.matvec if isinstance(a, CSRMatrix) else a
-    precond = preconditioner or (lambda r: r)
+    precond = resolve_preconditioner(preconditioner)
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
     x = accumulator(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()

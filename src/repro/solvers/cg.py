@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.amg.precision import accumulator
 from repro.formats.csr import CSRMatrix
+from repro.solvers.preconditioners import resolve_preconditioner
 
 __all__ = ["pcg", "PCGResult"]
 
@@ -78,7 +79,7 @@ def _pcg_impl(
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
     x = accumulator(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
-    precond = preconditioner or (lambda r: r)
+    precond = resolve_preconditioner(preconditioner)
 
     r = b - np.asarray(matvec(x), dtype=np.float64)
     z = np.asarray(precond(r), dtype=np.float64)

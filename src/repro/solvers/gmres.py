@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.amg.precision import accumulator
 from repro.formats.csr import CSRMatrix
+from repro.solvers.preconditioners import resolve_preconditioner
 
 __all__ = ["gmres", "GMRESResult"]
 
@@ -76,7 +77,7 @@ def _gmres_impl(
     restart: int,
 ) -> GMRESResult:
     matvec: MatVec = a.matvec if isinstance(a, CSRMatrix) else a
-    precond = preconditioner or (lambda r: r)
+    precond = resolve_preconditioner(preconditioner)
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
     x = accumulator(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
@@ -90,15 +91,33 @@ def _gmres_impl(
         return GMRESResult(x, 0, True, history)
 
     total_iters = 0
+    # Hoisted restart workspace (R5: no allocation inside the iteration
+    # loop).  Buffers are sized for the largest restart and re-zeroed
+    # between restarts: ``h`` columns are only partially written, and
+    # ``lstsq`` reads the full ``h[:k, :k]`` slice, so the zeroing is
+    # required for bit-identity with freshly allocated buffers.
+    m_max = min(restart, max_iterations)
+    v_buf = accumulator((m_max + 1, n))
+    h_buf = accumulator((m_max + 1, m_max))
+    z_buf = accumulator((m_max, n))  # preconditioned basis (for the update)
+    cs_buf = accumulator(m_max)
+    sn_buf = accumulator(m_max)
+    g_buf = accumulator(m_max + 1)
+    first_restart = True
     while total_iters < max_iterations:
         m = min(restart, max_iterations - total_iters)
         # Arnoldi with modified Gram-Schmidt on the preconditioned operator.
-        v = accumulator((m + 1, n))
-        h = accumulator((m + 1, m))
-        z = accumulator((m, n))  # preconditioned basis vectors (for the update)
-        cs = accumulator(m)
-        sn = accumulator(m)
-        g = accumulator(m + 1)
+        if first_restart:
+            first_restart = False
+        else:
+            for buf in (v_buf, h_buf, z_buf, cs_buf, sn_buf, g_buf):
+                buf.fill(0.0)
+        v = v_buf[: m + 1]
+        h = h_buf[: m + 1, :m]
+        z = z_buf[:m]
+        cs = cs_buf[:m]
+        sn = sn_buf[:m]
+        g = g_buf[: m + 1]
         v[0] = r / beta
         g[0] = beta
         k_used = 0

@@ -1,0 +1,23 @@
+"""Kernel-tape compilation of the multigrid cycle: record once, replay
+with zero per-iteration dispatch.
+
+* :func:`record_cycle` — one instrumented pass over the cycle recursion,
+  emitting fully-bound closures over a preallocated workspace;
+* :class:`CycleTape` — the recorded tape: replay, staleness check,
+  differential verification, perf/metrics templates;
+* :func:`taped_solve` — the replay twin of ``amg_solve``.
+
+High-level entry points: ``AmgTSolver.solve(..., tape=True)`` and
+``amg_solve(..., tape=True)``.
+"""
+
+from repro.tape.recorder import record_cycle
+from repro.tape.tape import CycleTape, TapeOp, Workspace, taped_solve
+
+__all__ = [
+    "CycleTape",
+    "TapeOp",
+    "Workspace",
+    "record_cycle",
+    "taped_solve",
+]

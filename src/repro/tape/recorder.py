@@ -1,0 +1,250 @@
+"""Record one multigrid cycle into a :class:`~repro.tape.tape.CycleTape`.
+
+The recorder walks the exact recursion of
+:func:`repro.amg.cycle._cycle_at_level` — pre-smooth, residual, restrict,
+coarse visits (V/W/F), correct, post-smooth — but instead of executing
+kernels it *emits* fully-bound closures over the tape's workspace slots.
+Kernel dispatch is resolved here, once: each (level, operator) pair is
+bound through the supplied binding factory (the backend's
+``bind_matvec``), freezing the TC/CUDA plan, the precision cast and the
+gather/scatter indices into the closure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.amg import smoothers
+from repro.amg.cycle import SolveParams
+from repro.amg.hierarchy import AMGHierarchy
+from repro.tape.tape import CycleTape, TapeOp, Workspace
+
+__all__ = ["record_cycle"]
+
+
+class _WrappedBinding:
+    """Adapter giving closure-based SpMVs the binding interface.
+
+    Used when recording against an injected ``LevelSpMV`` closure or the
+    host CSR fallback: the replay still skips the cycle recursion and all
+    workspace allocations, it just cannot skip the wrapped call itself.
+    ``record`` stays ``None`` — there is no kernel cost template to
+    replicate.
+    """
+
+    __slots__ = ("run", "record")
+
+    def __init__(self, run):
+        self.run = run
+        self.record = None
+
+
+def _bind_residual(run_a, b, x, r):
+    def op() -> None:
+        np.subtract(b, run_a(x), out=r)
+
+    return op
+
+
+def _bind_restrict(run_r, r, b_next, x_next):
+    def op() -> None:
+        tmp = run_r(r)
+        b_next[...] = tmp
+        x_next[...] = 0.0
+
+    return op
+
+
+def _bind_correct(run_p, x_next, x):
+    def op() -> None:
+        np.add(x, run_p(x_next), out=x)
+
+    return op
+
+
+def _bind_coarse(solve, b, x):
+    def op() -> None:
+        x[...] = solve(b)
+
+    return op
+
+
+class _Recorder:
+    def __init__(self, hierarchy, params, bindings):
+        self.hierarchy = hierarchy
+        self.params = params
+        self.bindings = bindings
+        self.ws = Workspace(hierarchy)
+        self.ops: list[TapeOp] = []
+        self.records: list = []
+        self.smoother_sweeps: list[tuple[int, int]] = []
+        self._bound: dict[tuple[int, str], object] = {}
+
+    def bind(self, level: int, op: str):
+        key = (level, op)
+        binding = self._bound.get(key)
+        if binding is None:
+            binding = self.bindings(level, op)
+            self._bound[key] = binding
+        return binding
+
+    def emit(self, kind, level, fn, *, spmv_calls=0, record=None, repeat=0):
+        self.ops.append(TapeOp(kind, level, fn, spmv_calls))
+        if record is not None:
+            self.records.extend([record] * (repeat or spmv_calls))
+
+    # ------------------------------------------------------------------
+    def record(self) -> None:
+        self._level(0, self.params)
+
+    def _level(self, level: int, params: SolveParams) -> None:
+        hierarchy, ws = self.hierarchy, self.ws
+        if level == hierarchy.num_levels - 1:
+            self.emit(
+                "coarse", level,
+                _bind_coarse(hierarchy.coarse_solver.solve,
+                             ws.b[level], ws.x[level]),
+            )
+            return
+        self._smooth(level, params, params.pre_sweeps)
+        bind_a = self.bind(level, "A")
+        bind_r = self.bind(level, "R")
+        bind_p = self.bind(level, "P")
+        if params.cycle_type == "V":
+            visits = [params]
+        elif params.cycle_type == "W":
+            visits = [params, params]
+        else:  # F-cycle: a W-style visit then a V-style one
+            visits = [params, replace(params, cycle_type="V")]
+        for visit_params in visits:
+            # Residual + restriction precede every visit (the second visit
+            # re-restricts from the corrected iterate); the restrict op
+            # also zeroes the coarse x-slot, as the interpreted cycle's
+            # fresh accumulator does.
+            self.emit(
+                "residual", level,
+                _bind_residual(bind_a.run, ws.b[level], ws.x[level],
+                               ws.r[level]),
+                spmv_calls=1, record=bind_a.record,
+            )
+            self.emit(
+                "restrict", level,
+                _bind_restrict(bind_r.run, ws.r[level], ws.b[level + 1],
+                               ws.x[level + 1]),
+                spmv_calls=1, record=bind_r.record,
+            )
+            self._level(level + 1, visit_params)
+            self.emit(
+                "correct", level,
+                _bind_correct(bind_p.run, ws.x[level + 1], ws.x[level]),
+                spmv_calls=1, record=bind_p.record,
+            )
+        self._smooth(level, params, params.post_sweeps)
+
+    def _smooth(self, level: int, params: SolveParams, num_sweeps: int) -> None:
+        if num_sweeps == 0:
+            return
+        hierarchy, ws = self.hierarchy, self.ws
+        lvl = hierarchy.levels[level]
+        self.smoother_sweeps.append((level, num_sweeps))
+        if params.smoother == "l1-jacobi":
+            bind_a = self.bind(level, "A")
+            fn = smoothers.bind_l1_jacobi(
+                bind_a.run, lvl.dinv, ws.x[level], ws.b[level],
+                ws.r[level], ws.t[level], num_sweeps,
+            )
+            self.emit("smooth", level, fn,
+                      spmv_calls=num_sweeps, record=bind_a.record)
+        elif params.smoother == "chebyshev":
+            bind_a = self.bind(level, "A")
+            lam_max = lvl.extras.get("cheby_lambda_max")
+            if lam_max is None:
+                # Same estimator (and cache slot) as the interpreted
+                # smoother, run through the bound kernel at record time.
+                lam_max = smoothers.estimate_spectral_radius(
+                    lambda v: lvl.dinv * bind_a.run(v), lvl.n
+                )
+                lvl.extras["cheby_lambda_max"] = lam_max
+            fn = smoothers.bind_chebyshev(
+                bind_a.run, lvl.dinv, ws.x[level], ws.b[level],
+                params.chebyshev_degree, lam_max, num_sweeps,
+            )
+            calls = num_sweeps * params.chebyshev_degree
+            self.emit("smooth", level, fn,
+                      spmv_calls=calls, record=bind_a.record)
+        else:  # gauss-seidel: host-side, no SpMV calls
+            fn = smoothers.bind_gauss_seidel(
+                lvl.a, ws.x[level], ws.b[level], num_sweeps
+            )
+            self.emit("smooth", level, fn)
+
+
+def _default_bindings(hierarchy: AMGHierarchy):
+    """Host CSR matvec bindings — the twin of ``cycle._default_spmv``."""
+    table = [
+        {"A": lvl.a, "R": lvl.r, "P": lvl.p} for lvl in hierarchy.levels
+    ]
+
+    def factory(level: int, op: str) -> _WrappedBinding:
+        mat = table[level][op]
+        return _WrappedBinding(
+            lambda v: np.asarray(mat.matvec(v), dtype=np.float64)
+        )
+
+    return factory
+
+
+def _spmv_bindings(spmv):
+    """Wrap an injected ``LevelSpMV`` closure as a binding factory."""
+
+    def factory(level: int, op: str) -> _WrappedBinding:
+        return _WrappedBinding(
+            lambda v: np.asarray(spmv(level, op, v), dtype=np.float64)
+        )
+
+    return factory
+
+
+def record_cycle(
+    hierarchy: AMGHierarchy,
+    params: SolveParams | None = None,
+    *,
+    bindings=None,
+    spmv=None,
+) -> CycleTape:
+    """Record one cycle of *params* shape into a replayable tape.
+
+    Parameters
+    ----------
+    bindings:
+        ``factory(level, op) -> binding`` with a ``run(x) -> float64``
+        callable and an optional priced ``record`` template (the backend
+        ``bind_matvec`` interface).  When omitted, an injected *spmv*
+        closure is wrapped instead, and with neither the host CSR matvec
+        of the hierarchy's own operators is used — mirroring the operand
+        resolution of :func:`repro.amg.cycle.amg_solve`.
+    """
+    params = params or SolveParams()
+    if bindings is None:
+        bindings = _spmv_bindings(spmv) if spmv is not None \
+            else _default_bindings(hierarchy)
+    rec = _Recorder(hierarchy, params, bindings)
+    rec.record()
+    bind_a0 = rec.bind(0, "A")
+
+    def check_spmv(level: int, op: str, v: np.ndarray) -> np.ndarray:
+        return rec.bind(level, op).run(v)
+
+    return CycleTape(
+        hierarchy=hierarchy,
+        params=params,
+        workspace=rec.ws,
+        ops=tuple(rec.ops),
+        records=tuple(rec.records),
+        residual_run=bind_a0.run,
+        residual_record=bind_a0.record,
+        check_spmv=check_spmv,
+        smoother_sweeps=tuple(rec.smoother_sweeps),
+    )

@@ -1,0 +1,322 @@
+"""Kernel tape: replay structures for the recorded multigrid cycle.
+
+The solve phase's cycle shape, kernel dispatch (TC vs CUDA core, plan,
+precision cast) and buffer sizes are all frozen once setup finishes, yet
+the interpreted cycle re-decides all of them per kernel per level per
+iteration — dict lookups, ``asarray`` checks, record construction, fresh
+allocations.  A :class:`CycleTape` is the record-once/replay-many
+alternative, in the spirit of CUDA-graph capture: one instrumented pass
+(:func:`repro.tape.recorder.record_cycle`) flattens the cycle recursion
+into a tuple of fully-bound closures over a preallocated
+:class:`Workspace`, and :func:`taped_solve` replays it with zero
+per-iteration dispatch.
+
+Bit-identity with the interpreted cycle is the contract, not an
+aspiration: every replay op uses ufunc-``out=`` forms that round exactly
+like the fresh-allocation expressions they replace, and under
+``REPRO_CHECK=1`` each replayed cycle is re-run through the interpreted
+:func:`repro.amg.cycle.mg_cycle` and compared bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.amg.cycle import SolveParams, SolveStats, mg_cycle
+from repro.amg.hierarchy import AMGHierarchy
+from repro.amg.precision import accumulator
+from repro.check import runtime as check_runtime
+from repro.kernels.record import KernelRecord
+from repro.obs import convergence as obs_conv
+from repro.obs import trace as obs_trace
+
+__all__ = ["Workspace", "TapeOp", "CycleTape", "taped_solve"]
+
+
+class Workspace:
+    """Preallocated per-level float64 slots owned by one tape.
+
+    Slot ownership: the tape's ops are the only writers.  ``x[0]`` and
+    ``b[0]`` are the replay's iterate and right-hand side (set by
+    :func:`taped_solve` / :meth:`CycleTape.apply` before each replay);
+    ``r``/``t`` are residual and smoother scratch; coarse-level ``x``/``b``
+    are written by the restrict ops of the level above.  Values handed to
+    callers are always copies — no slot ever escapes the tape.
+    """
+
+    def __init__(self, hierarchy: AMGHierarchy) -> None:
+        sizes = [lvl.n for lvl in hierarchy.levels]
+        self.x = [accumulator(n) for n in sizes]
+        self.b = [accumulator(n) for n in sizes]
+        self.r = [accumulator(n) for n in sizes]
+        self.t = [accumulator(n) for n in sizes]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(arr.nbytes for slots in (self.x, self.b, self.r, self.t)
+                   for arr in slots)
+
+
+@dataclass
+class TapeOp:
+    """One replay step: a fully-bound closure plus its bookkeeping."""
+
+    kind: str  # 'smooth' | 'residual' | 'restrict' | 'correct' | 'coarse'
+    level: int
+    fn: Callable[[], None]
+    #: SpMV calls this op performs per replay (for SolveStats parity).
+    spmv_calls: int = 0
+
+
+def _structure_key(hierarchy: AMGHierarchy) -> tuple:
+    """Identity fingerprint of everything a recorded tape depends on.
+
+    Operator *identities* (not values): the repo-wide invariant is that
+    matrices are immutable after construction, so replacing a level's
+    operator always swaps the object.  The hierarchy's ``generation``
+    counter covers deliberate in-place invalidation on top.
+    """
+    per_level = tuple(
+        (id(lvl.a), id(lvl.p), id(lvl.r), id(lvl.dinv))
+        for lvl in hierarchy.levels
+    )
+    return (id(hierarchy), hierarchy.generation, id(hierarchy.coarse_solver),
+            per_level)
+
+
+@dataclass
+class CycleTape:
+    """A recorded multigrid cycle: flat ops over a fixed workspace."""
+
+    hierarchy: AMGHierarchy
+    params: SolveParams
+    workspace: Workspace
+    ops: tuple[TapeOp, ...]
+    #: Priced kernel-record templates, one per SpMV in replay order, for
+    #: bulk perf-log replication by the driver (empty for host bindings).
+    records: tuple[KernelRecord, ...] = ()
+    #: Level-0 A binding's run, for the per-iteration residual.
+    residual_run: Callable[[np.ndarray], np.ndarray] | None = None
+    residual_record: KernelRecord | None = None
+    #: Interpreted reference SpMV for the REPRO_CHECK differential oracle.
+    check_spmv: Callable | None = None
+    #: (level, sweeps) per smooth op, for metrics parity when tracing.
+    smoother_sweeps: tuple[tuple[int, int], ...] = ()
+    _struct_key: tuple = field(default_factory=tuple)
+    _fns: tuple[Callable[[], None], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self._struct_key:
+            self._struct_key = _structure_key(self.hierarchy)
+        self._fns = tuple(op.fn for op in self.ops)
+
+    # ------------------------------------------------------------------
+    @property
+    def spmv_calls_per_cycle(self) -> int:
+        return sum(op.spmv_calls for op in self.ops)
+
+    def is_stale(self) -> bool:
+        """True when the hierarchy changed since recording (operator swap,
+        generation bump, or a different hierarchy object entirely)."""
+        return self._struct_key != _structure_key(self.hierarchy)
+
+    def describe(self) -> str:
+        counts: dict[str, int] = {}
+        for op in self.ops:
+            counts[op.kind] = counts.get(op.kind, 0) + 1
+        body = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        return (
+            f"CycleTape({self.params.cycle_type}-cycle, "
+            f"{len(self.ops)} ops [{body}], "
+            f"{self.spmv_calls_per_cycle} spmv/cycle, "
+            f"workspace {self.workspace.nbytes} B)"
+        )
+
+    # ------------------------------------------------------------------
+    def run_cycle(self) -> None:
+        """Replay one recorded cycle in place on the workspace slots."""
+        for fn in self._fns:
+            fn()
+
+    def _fold_observability(self) -> None:
+        """Fold one replayed cycle into the metrics registry (trace-gated
+        caller): the same per-kernel and per-smoother counters the
+        interpreted cycle emits call by call."""
+        from repro.obs import metrics as obs_metrics
+
+        obs_metrics.REGISTRY.counter("repro_tape_replay_cycles_total").inc()
+        for rec in self.records:
+            obs_metrics.observe_kernel(rec)
+        for level, sweeps in self.smoother_sweeps:
+            obs_metrics.REGISTRY.counter(
+                "repro_smoother_sweeps_total",
+                smoother=self.params.smoother, level=level,
+            ).inc(sweeps)
+
+    def _verify_cycle(self, x_before: np.ndarray) -> None:
+        """Differential oracle: replay vs interpreted cycle, bit for bit."""
+        if self.check_spmv is None:
+            return
+        ws = self.workspace
+        x_ref = mg_cycle(self.hierarchy, ws.b[0], x_before, self.check_spmv,
+                         self.params, SolveStats())
+        if not np.array_equal(
+            ws.x[0], np.asarray(x_ref, dtype=np.float64), equal_nan=True
+        ):
+            from repro.check import ContractViolation
+
+            bad = int(np.flatnonzero(ws.x[0] != x_ref)[0])
+            raise ContractViolation(
+                "tape",
+                "tape/replay-differential",
+                "replayed cycle diverges from the interpreted cycle "
+                f"(first mismatch at row {bad}: taped={ws.x[0][bad]!r}, "
+                f"interpreted={x_ref[bad]!r})",
+            )
+
+    # ------------------------------------------------------------------
+    def cycle(self, b: np.ndarray, x0: np.ndarray | None = None) -> np.ndarray:
+        """One replayed cycle on *b* from *x0* (zero when omitted).
+
+        Returns a fresh iterate; under an active check region the result
+        is verified against the interpreted cycle first.
+        """
+        if self.is_stale():
+            raise RuntimeError(
+                "stale tape: the hierarchy changed since recording; "
+                "re-record before replaying"
+            )
+        ws = self.workspace
+        np.copyto(ws.b[0], b, casting="unsafe")
+        if x0 is None:
+            ws.x[0][...] = 0.0
+        else:
+            np.copyto(ws.x[0], x0, casting="unsafe")
+        check = check_runtime.is_active() and self.check_spmv is not None
+        x_before = ws.x[0].copy() if check else None
+        self.run_cycle()
+        if check:
+            self._verify_cycle(x_before)
+        if obs_trace.is_active():
+            self._fold_observability()
+        return ws.x[0].copy()
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        """One zero-guess replayed cycle — the preconditioner application."""
+        return self.cycle(r)
+
+
+def _cycle_shape(params: SolveParams) -> tuple:
+    """The SolveParams fields a recorded tape bakes in (iteration count
+    and tolerance stay free — they only steer the replay loop)."""
+    return (params.cycle_type, params.smoother, params.pre_sweeps,
+            params.post_sweeps, params.chebyshev_degree)
+
+
+def taped_solve(
+    tape: CycleTape,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    params: SolveParams | None = None,
+) -> tuple[np.ndarray, SolveStats]:
+    """Iterate the recorded cycle — the replay twin of
+    :func:`repro.amg.cycle.amg_solve`.
+
+    Semantics (paper-mode tolerance handling, residual history, the
+    machine-precision convergence floor, telemetry) match ``amg_solve``
+    statement for statement; the per-iteration work is the flat op replay
+    plus one residual SpMV through the recorded level-0 binding.  Under
+    an active check region every cycle is differentially verified against
+    the interpreted cycle (bit-identity), so ``REPRO_CHECK=1`` turns the
+    fast path into a self-checking one.
+
+    *params* may override the tape's iteration cap and tolerance; its
+    cycle-shape fields must match the recorded shape.
+    """
+    if tape.is_stale():
+        raise RuntimeError(
+            "stale tape: the hierarchy changed since recording; "
+            "re-record before replaying"
+        )
+    if params is None:
+        params = tape.params
+    elif _cycle_shape(params) != _cycle_shape(tape.params):
+        raise ValueError(
+            f"tape recorded for cycle shape {_cycle_shape(tape.params)}, "
+            f"got {_cycle_shape(params)}; re-record for this shape"
+        )
+    hierarchy = tape.hierarchy
+    ws = tape.workspace
+    b = np.asarray(b, dtype=np.float64)
+    n = hierarchy.levels[0].n
+    if b.shape != (n,):
+        raise ValueError(f"b has shape {b.shape}, expected ({n},)")
+    residual_run = tape.residual_run
+    if residual_run is None:
+        raise RuntimeError("tape has no residual binding; re-record")
+    stats = SolveStats()
+    check = check_runtime.is_active() and tape.check_spmv is not None
+
+    np.copyto(ws.b[0], b)
+    x = ws.x[0]
+    if x0 is None:
+        x[...] = 0.0
+    else:
+        np.copyto(x, x0, casting="unsafe")
+    r = ws.r[0]
+
+    psp = obs_trace.phase_span("solve")
+    tel = obs_conv.start_solve(
+        "amg",
+        cycle_type=params.cycle_type,
+        smoother=params.smoother,
+        levels=hierarchy.num_levels,
+        taped=True,
+    )
+    with psp:
+        np.subtract(b, residual_run(x), out=r)
+        stats.spmv_calls += 1
+        norm0 = float(np.linalg.norm(r))
+        stats.residual_history.append(norm0)
+        if tel is not None:
+            tel.record_initial(norm0)
+        if norm0 == 0.0:
+            stats.converged = True
+            if tel is not None:
+                tel.converged = True
+            return x.copy(), stats
+
+        traced = obs_trace.is_active()
+        for it in range(params.max_iterations):
+            csp = (
+                obs_trace.TRACER.open(
+                    f"cycle[{it}]", "cycle", {"iteration": it, "taped": True}
+                )
+                if traced
+                else obs_trace.NULL_SPAN
+            )
+            with csp:
+                x_before = x.copy() if check else None
+                tape.run_cycle()
+                if check:
+                    tape._verify_cycle(x_before)
+                if traced:
+                    tape._fold_observability()
+                np.subtract(b, residual_run(x), out=r)
+                stats.spmv_calls += tape.spmv_calls_per_cycle + 1
+                rnorm = float(np.linalg.norm(r))
+            stats.residual_history.append(rnorm)
+            stats.iterations = it + 1
+            if tel is not None:
+                tel.record_iteration(rnorm, csp if csp else None)
+            eps_floor = norm0 * float(np.finfo(np.float64).eps)
+            if rnorm <= max(params.tolerance * norm0, eps_floor):
+                stats.converged = True
+                if params.tolerance > 0:
+                    break
+        if tel is not None:
+            tel.converged = stats.converged
+    return x.copy(), stats

@@ -614,6 +614,78 @@ class TestHotLoopAlloc:
         assert result.advisories() and not result.errors()
         assert result.exit_code() == 0
 
+    @pytest.mark.parametrize("subdir", ["solvers", "tape"])
+    def test_krylov_and_tape_loops_in_scope(self, tmp_path, subdir):
+        """The Krylov iteration loops and the tape replay loop are hot
+        paths too: allocations inside them repeat per solver iteration
+        (or per replayed cycle)."""
+        path = write(
+            tmp_path,
+            f"repro/{subdir}/custom.py",
+            """
+            import numpy as np
+
+            def iterate(matvec, b, iters):
+                x = np.zeros_like(b)
+                while iters > 0:
+                    w = np.zeros(b.shape[0], dtype=np.float64)
+                    x = x + matvec(w)
+                    iters -= 1
+                return x
+            """,
+        )
+        findings, _ = lint_file(path)
+        r5 = [f for f in findings if f.rule == "R5"]
+        assert len(r5) == 1
+
+    def test_accumulator_alloc_flagged(self, tmp_path):
+        """The repo's own allocator counts as an allocation."""
+        path = write(
+            tmp_path,
+            "repro/solvers/custom.py",
+            """
+            from repro.amg.precision import accumulator
+
+            def iterate(matvec, b, iters):
+                for _ in range(iters):
+                    v = accumulator(b.shape[0])
+                    v += matvec(b)
+                return v
+            """,
+        )
+        findings, _ = lint_file(path)
+        r5 = [f for f in findings if f.rule == "R5"]
+        assert len(r5) == 1
+        assert "accumulator" in r5[0].message
+
+    def test_amg_dir_still_out_of_scope(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/amg/custom.py",
+            """
+            import numpy as np
+
+            def sweep(tiles):
+                for t in tiles:
+                    buf = np.zeros(4)
+                return buf
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R5" not in rules_of(findings)
+
+    def test_solver_tree_is_r5_clean(self):
+        """The shipped solvers/ and tape/ subtrees carry no hot-loop
+        allocations (the GMRES restart buffers are hoisted)."""
+        result = lint_paths(
+            [
+                REPO_ROOT / "src" / "repro" / "solvers",
+                REPO_ROOT / "src" / "repro" / "tape",
+            ],
+            select=["R5"],
+        )
+        assert [f.format_text() for f in result.findings] == []
+
 
 # ---------------------------------------------------------------------------
 # Suppressions

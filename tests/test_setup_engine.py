@@ -418,9 +418,11 @@ def test_bench_setup_smoke(tmp_path):
     assert set(payload) == {
         "generated_by", "config", "results", "summary", "metrics"
     }
-    # The instrumented pass runs a re-setup, so the setup-cache request
-    # counters must be present in the metrics snapshot.
-    assert "repro_setup_cache_requests_total" in payload["metrics"]
+    # One metrics snapshot per benchmarked matrix (registry reset between
+    # configurations).  The instrumented pass runs a re-setup, so the
+    # setup-cache request counters must be present in each snapshot.
+    assert set(payload["metrics"]) == {"thermal1"}
+    assert "repro_setup_cache_requests_total" in payload["metrics"]["thermal1"]
     ops = {"resetup", "spgemm_plan_hit", "conversion_replay"}
     assert {r["op"] for r in payload["results"]} == ops
     for op in ops:

@@ -1,0 +1,407 @@
+"""Kernel-tape record/replay: bit-identity, invalidation, perf parity.
+
+The tape's contract is strict: a replayed cycle produces *the same bits*
+as the interpreted cycle recursion, for every backend, precision, cycle
+shape and smoother — not merely the same convergence.  These tests pin
+that contract (hypothesis-driven and on the model problems), the
+invalidation protocol (hierarchy mutations force a re-record, never a
+stale replay), the checked-mode differential oracle, the perf-log
+replication, and the replay speedup the tape exists to deliver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amg.cycle import SolveParams, SolveStats, amg_solve, mg_cycle
+from repro.amg.hierarchy import SetupParams, amg_setup
+from repro.amg.solver import AmgTSolver
+from repro.check import ContractViolation, checked_region
+from repro.matrices import poisson2d
+from repro.tape import CycleTape, Workspace, record_cycle, taped_solve
+from repro.tape.tape import _cycle_shape
+
+from conftest import random_spd_csr
+
+
+def _solver(backend="amgt", precision="fp64", n=32):
+    s = AmgTSolver(backend=backend, precision=precision)
+    s.setup(poisson2d(n))
+    return s
+
+
+def _rhs(s, seed=7):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=s.hierarchy.levels[0].n)
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity: taped vs interpreted
+# ---------------------------------------------------------------------------
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("backend", ["amgt", "hypre"])
+    @pytest.mark.parametrize("precision", ["fp64", "mixed"])
+    def test_backend_precision_identity(self, backend, precision):
+        s = _solver(backend, precision)
+        b = _rhs(s)
+        interp = s.solve(b, max_iterations=5)
+        taped = s.solve(b, max_iterations=5, tape=True)
+        np.testing.assert_array_equal(interp.x, taped.x)
+        assert interp.stats.residual_history == taped.stats.residual_history
+        assert interp.stats.spmv_calls == taped.stats.spmv_calls
+
+    @pytest.mark.parametrize("cycle_type", ["V", "W", "F"])
+    @pytest.mark.parametrize(
+        "smoother", ["l1-jacobi", "chebyshev", "gauss-seidel"]
+    )
+    def test_cycle_shape_smoother_identity(self, cycle_type, smoother):
+        s = _solver()
+        b = _rhs(s)
+        kw = dict(max_iterations=3, cycle_type=cycle_type, smoother=smoother)
+        interp = s.solve(b, **kw)
+        taped = s.solve(b, tape=True, **kw)
+        np.testing.assert_array_equal(interp.x, taped.x)
+        assert interp.stats.spmv_calls == taped.stats.spmv_calls
+
+    def test_tape_recorded_before_any_interpreted_solve(self):
+        """Recording first (cold extras caches, e.g. the Chebyshev
+        spectral-radius estimate) must still match a later interpreted
+        solve bit for bit."""
+        s = _solver()
+        b = _rhs(s)
+        taped = s.solve(b, max_iterations=3, smoother="chebyshev", tape=True)
+        interp = s.solve(b, max_iterations=3, smoother="chebyshev")
+        np.testing.assert_array_equal(interp.x, taped.x)
+
+    def test_nonzero_initial_guess(self):
+        s = _solver()
+        b = _rhs(s)
+        x0 = np.linspace(-1.0, 1.0, b.shape[0])
+        interp = s.solve(b, x0=x0, max_iterations=4)
+        taped = s.solve(b, x0=x0, max_iterations=4, tape=True)
+        np.testing.assert_array_equal(interp.x, taped.x)
+
+    def test_amg_solve_tape_flag(self):
+        """The functional entry point records + replays in one call."""
+        a = poisson2d(24)
+        h = amg_setup(a, SetupParams())
+        rng = np.random.default_rng(3)
+        b = rng.normal(size=h.levels[0].n)
+        params = SolveParams(max_iterations=4)
+        x_i, st_i = amg_solve(h, b, params=params)
+        x_t, st_t = amg_solve(h, b, params=params, tape=True)
+        np.testing.assert_array_equal(x_i, x_t)
+        assert st_i.residual_history == st_t.residual_history
+
+    @given(
+        n=st.integers(10, 36),
+        seed=st.integers(0, 99),
+        cycle_type=st.sampled_from(["V", "W"]),
+        smoother=st.sampled_from(["l1-jacobi", "chebyshev", "gauss-seidel"]),
+        precision=st.sampled_from(["fp64", "mixed"]),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_property_identity(self, n, seed, cycle_type, smoother, precision):
+        a = random_spd_csr(n, 0.25, seed=seed)
+        s = AmgTSolver(precision=precision)
+        s.setup(a)
+        rng = np.random.default_rng(seed + 1)
+        b = rng.normal(size=n)
+        kw = dict(max_iterations=3, cycle_type=cycle_type, smoother=smoother)
+        interp = s.solve(b, **kw)
+        taped = s.solve(b, tape=True, **kw)
+        np.testing.assert_array_equal(interp.x, taped.x)
+        assert interp.stats.spmv_calls == taped.stats.spmv_calls
+
+
+# ---------------------------------------------------------------------------
+# Krylov solvers through the taped preconditioner
+# ---------------------------------------------------------------------------
+
+
+class TestTapedKrylov:
+    @pytest.mark.parametrize("method", ["pcg", "gmres", "bicgstab"])
+    def test_krylov_identity(self, method):
+        a = poisson2d(28)
+        rng = np.random.default_rng(11)
+        b = rng.normal(size=a.nrows)
+        si = AmgTSolver().setup(a)
+        ri = si.solve_krylov(b, method=method, tolerance=1e-10)
+        stp = AmgTSolver().setup(a)
+        rt = stp.solve_krylov(b, method=method, tolerance=1e-10, tape=True)
+        np.testing.assert_array_equal(ri.x, rt.x)
+        assert ri.iterations == rt.iterations
+
+    def test_as_preconditioner_tape_flag(self):
+        s = _solver()
+        m_interp = s.as_preconditioner()
+        m_taped = s.as_preconditioner(tape=True)
+        r = _rhs(s)
+        np.testing.assert_array_equal(m_interp.apply(r), m_taped.apply(r))
+        # Repeated applications reuse the same recorded tape.
+        t = s._driver._tapes
+        m_taped.apply(r)
+        assert len(t) == 1
+
+
+# ---------------------------------------------------------------------------
+# Invalidation: hierarchy mutations force a re-record
+# ---------------------------------------------------------------------------
+
+
+class TestInvalidation:
+    def test_generation_bump_marks_stale(self):
+        s = _solver()
+        s.solve(_rhs(s), max_iterations=2, tape=True)
+        tape = s._driver.get_tape()
+        assert not tape.is_stale()
+        s.hierarchy.invalidate_solve_tapes()
+        assert tape.is_stale()
+
+    def test_stale_tape_refuses_to_replay(self):
+        s = _solver()
+        b = _rhs(s)
+        s.solve(b, max_iterations=2, tape=True)
+        tape = s._driver.get_tape()
+        s.hierarchy.invalidate_solve_tapes()
+        with pytest.raises(RuntimeError, match="stale"):
+            tape.cycle(b)
+        with pytest.raises(RuntimeError, match="stale"):
+            taped_solve(tape, b)
+
+    def test_mutation_re_records_instead_of_replaying(self):
+        """After the hierarchy changes, the driver records a fresh tape
+        and the taped solve matches a fresh interpreted solve — it never
+        replays the stale plans."""
+        s = _solver()
+        b = _rhs(s)
+        s.solve(b, max_iterations=3, tape=True)
+        stale = s._driver.get_tape()
+
+        # Mutate the fine-level smoothing diagonal (a real numeric
+        # change: the cycle's output moves) and declare it.
+        s.hierarchy.levels[0].dinv = s.hierarchy.levels[0].dinv * 1.5
+        s.hierarchy.invalidate_solve_tapes()
+
+        taped = s.solve(b, max_iterations=3, tape=True)
+        fresh = s._driver.get_tape()
+        assert fresh is not stale
+        assert not fresh.is_stale()
+        interp = s.solve(b, max_iterations=3)
+        np.testing.assert_array_equal(interp.x, taped.x)
+
+    def test_setup_clears_cached_tapes(self):
+        s = _solver()
+        s.solve(_rhs(s), max_iterations=2, tape=True)
+        assert s._driver._tapes
+        s.setup(poisson2d(32))
+        assert not s._driver._tapes
+
+    def test_tapes_keyed_by_cycle_shape(self):
+        s = _solver()
+        b = _rhs(s)
+        s.solve(b, max_iterations=2, tape=True)
+        s.solve(b, max_iterations=2, cycle_type="W", tape=True)
+        keys = set(s._driver._tapes)
+        assert keys == {
+            _cycle_shape(SolveParams()),
+            _cycle_shape(SolveParams(cycle_type="W")),
+        }
+        # Same shape, different iteration cap: the cached tape is reused.
+        before = s._driver.get_tape()
+        s.solve(b, max_iterations=4, tape=True)
+        assert s._driver.get_tape() is before
+
+    def test_taped_solve_rejects_shape_mismatch(self):
+        s = _solver()
+        b = _rhs(s)
+        s.solve(b, max_iterations=2, tape=True)
+        tape = s._driver.get_tape()
+        with pytest.raises(ValueError, match="shape"):
+            taped_solve(tape, b, params=SolveParams(cycle_type="W"))
+
+
+# ---------------------------------------------------------------------------
+# Checked mode: the differential oracle audits every replay
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.contract
+class TestCheckedReplay:
+    def test_checked_region_replay_passes(self):
+        s = _solver()
+        b = _rhs(s)
+        with checked_region():
+            taped = s.solve(b, max_iterations=3, tape=True)
+        interp = s.solve(b, max_iterations=3)
+        np.testing.assert_array_equal(interp.x, taped.x)
+
+    def test_corrupted_tape_raises_contract_violation(self):
+        s = _solver()
+        b = _rhs(s)
+        s.solve(b, max_iterations=2, tape=True)
+        tape = s._driver.get_tape()
+        bad = next(op for op in tape.ops if op.kind == "smooth")
+        orig = bad.fn
+
+        def corrupted():
+            orig()
+            tape.workspace.x[bad.level][0] += 1e-6
+
+        bad.fn = corrupted
+        object.__setattr__(tape, "_fns", tuple(op.fn for op in tape.ops))
+        try:
+            with checked_region():
+                with pytest.raises(
+                    ContractViolation, match="replay-differential"
+                ):
+                    s.solve(b, max_iterations=2, tape=True)
+        finally:
+            bad.fn = orig
+            object.__setattr__(tape, "_fns", tuple(op.fn for op in tape.ops))
+
+
+# ---------------------------------------------------------------------------
+# Perf-log replication and tape structure
+# ---------------------------------------------------------------------------
+
+
+class TestPerfReplication:
+    def test_solve_phase_records_match_interpreted(self):
+        """A taped solve prices the same kernel sequence as the
+        interpreted solve: same kernels, levels and simulated times, in
+        the same order."""
+
+        def solve_records(tape):
+            s = _solver()
+            n0 = len(s.performance.records)
+            s.solve(_rhs(s), max_iterations=4, tape=tape)
+            return [
+                (r.kernel, r.level, r.sim_time_us)
+                for r in s.performance.records[n0:]
+                if r.phase == "solve"
+            ]
+
+        assert solve_records(tape=False) == solve_records(tape=True)
+
+    def test_tape_structure(self):
+        s = _solver()
+        s.solve(_rhs(s), max_iterations=1, tape=True)
+        tape = s._driver.get_tape()
+        kinds = {op.kind for op in tape.ops}
+        assert kinds == {"smooth", "residual", "restrict", "correct", "coarse"}
+        assert tape.spmv_calls_per_cycle == sum(
+            op.spmv_calls for op in tape.ops
+        )
+        assert tape.workspace.nbytes > 0
+        assert "ops" in tape.describe() or "op" in tape.describe()
+
+    def test_replay_emits_observability(self):
+        import repro.obs as obs
+
+        s = _solver()
+        b = _rhs(s)
+        obs.reset()
+        with obs.trace_region():
+            s.solve(b, max_iterations=3, tape=True)
+        snap = obs.REGISTRY.snapshot()
+        obs.reset()
+        flat = str(snap)
+        assert "repro_tape_records_total" in flat
+        assert "repro_tape_replay_cycles_total" in flat
+
+
+# ---------------------------------------------------------------------------
+# Replay speed: the point of the whole exercise
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.perf_smoke
+class TestReplaySpeed:
+    def test_taped_cycle_faster_than_interpreted(self, monkeypatch):
+        """Median replayed cycle ≥1.2× faster than the interpreted cycle
+        (the CI smoke bound; BENCH_hotpath.json tracks the ≥1.5× target
+        on the full suite matrices)."""
+        import statistics
+        import time
+
+        # The env gate cannot be turned off programmatically, so drop it
+        # for the timed section: checked replays re-run the interpreted
+        # cycle per iteration and would invert the comparison.
+        monkeypatch.delenv("REPRO_CHECK", raising=False)
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+
+        s = _solver(n=64)
+        b = _rhs(s)
+        driver = s._driver
+        tape = driver.get_tape()
+        hierarchy = driver.hierarchy
+        params = SolveParams()
+        n = hierarchy.levels[0].n
+
+        def interpreted():
+            return mg_cycle(
+                hierarchy, b, np.zeros(n), driver._level_spmv, params,
+                SolveStats(),
+            )
+
+        def timed(fn, reps=7):
+            times = []
+            for _ in range(reps):
+                t0 = time.perf_counter()
+                fn()
+                times.append(time.perf_counter() - t0)
+            return statistics.median(times)
+
+        np.testing.assert_array_equal(tape.cycle(b), interpreted())
+        t_tape = timed(lambda: tape.cycle(b))
+        t_interp = timed(interpreted)
+        assert t_interp / t_tape >= 1.2, (
+            f"taped replay only {t_interp / t_tape:.2f}x faster "
+            f"({t_tape * 1e3:.2f} ms vs {t_interp * 1e3:.2f} ms)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Workspace mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestWorkspace:
+    def test_slots_per_level(self):
+        h = amg_setup(poisson2d(24), SetupParams())
+        ws = Workspace(h)
+        sizes = [lvl.n for lvl in h.levels]
+        for slots in (ws.x, ws.b, ws.r, ws.t):
+            assert [v.shape[0] for v in slots] == sizes
+            assert all(v.dtype == np.float64 for v in slots)
+        assert ws.nbytes == sum(
+            v.nbytes for slots in (ws.x, ws.b, ws.r, ws.t) for v in slots
+        )
+
+    def test_replay_reuses_slots(self):
+        """Replaying does not reallocate the workspace: the slot arrays
+        are the same objects across cycles."""
+        s = _solver()
+        b = _rhs(s)
+        s.solve(b, max_iterations=1, tape=True)
+        tape = s._driver.get_tape()
+        ids_before = [id(v) for v in tape.workspace.x + tape.workspace.b]
+        s.solve(b, max_iterations=3, tape=True)
+        assert [id(v) for v in tape.workspace.x + tape.workspace.b] == ids_before
+
+    def test_cycle_result_does_not_alias_workspace(self):
+        s = _solver()
+        b = _rhs(s)
+        s.solve(b, max_iterations=1, tape=True)
+        tape = s._driver.get_tape()
+        out = tape.cycle(b)
+        assert out is not tape.workspace.x[0]
+        ref = out.copy()
+        tape.cycle(b + 1.0)  # replay on different data
+        np.testing.assert_array_equal(out, ref)  # earlier result untouched
