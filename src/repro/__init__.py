@@ -28,7 +28,7 @@ Quickstart::
     print(solver.performance.summary())
 """
 
-from repro.amg.solver import AmgTSolver, SolveResult
+from repro.amg.solver import AmgTSolver, MultiSolveResult, SolveResult
 from repro.amg.hierarchy import SetupParams, amg_setup
 from repro.amg.cycle import SolveParams
 from repro.formats import CSRMatrix, MBSRMatrix
@@ -39,6 +39,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AmgTSolver",
+    "MultiSolveResult",
     "SolveResult",
     "SetupParams",
     "SolveParams",

@@ -24,8 +24,10 @@ from repro.amg.precision import accumulator
 from repro.check import runtime as check_runtime
 from repro.obs import convergence as obs_conv
 from repro.obs import trace as obs_trace
+from repro.util.validation import normalize_rhs, normalize_rhs_panel
 
-__all__ = ["SolveParams", "SolveStats", "mg_cycle", "v_cycle", "amg_solve"]
+__all__ = ["SolveParams", "SolveStats", "mg_cycle", "v_cycle", "amg_solve",
+           "amg_solve_multi"]
 
 # spmv(level_index, operator, x) -> A_op @ x, where operator is one of
 # 'A' (level matrix), 'R' (restriction), 'P' (interpolation).
@@ -313,10 +315,8 @@ def amg_solve(
         recorded = record_cycle(hierarchy, params, spmv=spmv)
         return taped_solve(recorded, b, x0=x0, params=params)
     spmv = spmv or _default_spmv(hierarchy)
-    b = np.asarray(b, dtype=np.float64)
     n = hierarchy.levels[0].n
-    if b.shape != (n,):
-        raise ValueError(f"b has shape {b.shape}, expected ({n},)")
+    b = normalize_rhs(b, n)
     x = accumulator(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
     stats = SolveStats()
 
@@ -368,3 +368,35 @@ def amg_solve(
         if tel is not None:
             tel.converged = stats.converged
     return x, stats
+
+
+def amg_solve_multi(
+    hierarchy: AMGHierarchy,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    spmv: LevelSpMV | None = None,
+    params: SolveParams | None = None,
+) -> tuple[np.ndarray, list["SolveStats"]]:
+    """Solve an ``(n, k)`` block of right-hand sides against one hierarchy.
+
+    The batch path is tape-only: the cycle is recorded once at width k
+    (``record_cycle(..., batch=k)``) and every iteration advances all k
+    columns through one widened replay.  Column j of the result and its
+    :class:`SolveStats` are bit-identical to
+    ``amg_solve(hierarchy, b[:, j], x0[:, j], spmv, params)`` — batching
+    can change only speed, never answers (enforced per replay under
+    ``REPRO_CHECK=1``).
+
+    With an injected *spmv* closure (or the host matvec fallback) the
+    panel ops loop per column — correctness without the blocked kernels.
+    Drivers wanting the real SpMM amortisation go through
+    :meth:`repro.hypre.boomeramg.BoomerAMG.solve_multi`, which binds the
+    backend's blocked kernels and caches the width-k tape.
+    """
+    from repro.tape import record_cycle, taped_solve_multi
+
+    params = params or SolveParams()
+    n = hierarchy.levels[0].n
+    b = normalize_rhs_panel(b, n)
+    recorded = record_cycle(hierarchy, params, spmv=spmv, batch=b.shape[1])
+    return taped_solve_multi(recorded, b, x0=x0, params=params)

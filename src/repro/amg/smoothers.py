@@ -163,6 +163,11 @@ def chebyshev_smooth(
     hypre's polynomial smoother.  Returns the smoothed iterate and the
     number of matvec calls consumed (``degree``), so the caller can charge
     them to the solve-phase SpMV budget.
+
+    *x* and *b* may also be ``(k, n)`` row panels (with a panel
+    *matvec*): the recurrence scalars (``theta``, ``delta``, ``rho``) are
+    shared by every column and every array update is elementwise, so row
+    j of the panel result is bit-identical to the width-1 call on row j.
     """
     if degree < 1:
         raise ValueError("degree must be >= 1")
@@ -221,6 +226,12 @@ def bind_l1_jacobi(
     slot) and ``x += t`` — exactly ``x + dinv * (b - A x)`` of the
     interpreted sweep, with the intermediates landing in tape-owned
     buffers instead of fresh arrays.
+
+    The same closure serves batched tapes verbatim: with ``(k, n)``
+    row-panel slots and a panel ``run_a``, ``dinv`` (shape ``(n,)``)
+    broadcasts across the panel rows and every ufunc applies its scalar
+    inner loop per element — each row of the panel sweep is bit-identical
+    to the width-1 sweep on that row.
     """
 
     def sweeps() -> None:
@@ -247,6 +258,12 @@ def bind_chebyshev(
     matvecs, so the sweep replays :func:`chebyshev_smooth` itself with
     the bound matvec (``lam_max`` frozen at record time); only the final
     iterate is copied back into the x-slot.
+
+    Batched tapes reuse this closure unchanged with ``(k, n)`` row-panel
+    slots and a panel matvec: the recurrence coefficients are scalars
+    shared by every column, ``dinv`` broadcasts across the panel rows,
+    and all updates are elementwise — per-row bit-identity with the
+    width-1 sweep follows (see :func:`chebyshev_smooth`).
     """
 
     def sweeps() -> None:
@@ -261,7 +278,20 @@ def bind_chebyshev(
 
 def bind_gauss_seidel(a: CSRMatrix, x: np.ndarray, b: np.ndarray,
                       num_sweeps: int) -> Callable[[], None]:
-    """Record host-side (S)SOR sweeps onto slots *x*, *b*."""
+    """Record host-side (S)SOR sweeps onto slots *x*, *b*.
+
+    With ``(k, n)`` row-panel slots the triangular sweeps run one panel
+    row at a time — the sequential dependence chain of Gauss-Seidel runs
+    *within* a right-hand side, so the per-row loop is exactly k
+    independent width-1 sweeps (bit-identity per column by construction).
+    """
+    if x.ndim == 2:
+        def sweeps() -> None:
+            for j in range(x.shape[0]):
+                x[j] = gauss_seidel_sweep(a, x[j], b[j],
+                                          num_sweeps=num_sweeps)
+
+        return sweeps
 
     def sweeps() -> None:
         x[...] = gauss_seidel_sweep(a, x, b, num_sweeps=num_sweeps)

@@ -44,7 +44,7 @@ from repro.hypre.backends import make_backend
 from repro.hypre.boomeramg import BoomerAMG
 from repro.perf.timeline import PerformanceLog
 
-__all__ = ["AmgTSolver", "SolveResult"]
+__all__ = ["AmgTSolver", "MultiSolveResult", "SolveResult"]
 
 
 @dataclass
@@ -66,6 +66,34 @@ class SolveResult:
     @property
     def relative_residual(self) -> float:
         return self.stats.final_relative_residual
+
+
+@dataclass
+class MultiSolveResult:
+    """Outcome of :meth:`AmgTSolver.solve_multi`: an ``(n, k)`` solution
+    panel with one :class:`~repro.amg.cycle.SolveStats` per column."""
+
+    x: np.ndarray
+    stats: list[SolveStats]
+    performance: PerformanceLog
+
+    @property
+    def num_rhs(self) -> int:
+        return self.x.shape[1]
+
+    @property
+    def converged(self) -> bool:
+        """True when *every* column converged."""
+        return all(s.converged for s in self.stats)
+
+    @property
+    def iterations(self) -> int:
+        """Iterations of the slowest column."""
+        return max(s.iterations for s in self.stats)
+
+    @property
+    def relative_residuals(self) -> list[float]:
+        return [s.final_relative_residual for s in self.stats]
 
 
 class AmgTSolver:
@@ -178,6 +206,48 @@ class AmgTSolver:
                 x, stats = self._driver.solve(b, x0=x0, params=params,
                                               tape=tape)
         return SolveResult(x=x, stats=stats, performance=self._driver.perf)
+
+    # ------------------------------------------------------------------
+    def solve_multi(
+        self,
+        b: np.ndarray,
+        x0: np.ndarray | None = None,
+        max_iterations: int = 50,
+        tolerance: float = 0.0,
+        cycle_type: str = "V",
+        smoother: str = "l1-jacobi",
+    ) -> MultiSolveResult:
+        """Solve ``A X = B`` for an ``(n, k)`` block of right-hand sides.
+
+        One batched kernel tape is recorded per (cycle shape, width) and
+        replayed over the whole panel: every SpMV of the width-1 cycle
+        becomes one blocked SpMM, so the matrix's tiles, indices and
+        bitmaps stream from memory once per *panel* instead of once per
+        RHS.  Column ``j`` of the result is bit-identical to
+        ``solve(B[:, j], tape=True)`` with the same parameters — columns
+        whose convergence test fires freeze exactly where the width-1
+        solve would have stopped (see
+        :func:`repro.tape.tape.taped_solve_multi`).
+
+        Always tape-backed: recording is how the blocked kernels are
+        bound, there is no interpreted multi-RHS path.
+        """
+        if self._driver is None:
+            raise RuntimeError("call setup() before solve_multi()")
+        from repro.check import checked_region
+        from repro.obs import trace as obs_trace
+
+        params = SolveParams(
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+            cycle_type=cycle_type,
+            smoother=smoother,
+        )
+        with obs_trace.span("AmgTSolver.solve_multi", "solver"):
+            with checked_region(enabled=self.checked):
+                x, stats = self._driver.solve_multi(b, x0=x0, params=params)
+        return MultiSolveResult(x=x, stats=stats,
+                                performance=self._driver.perf)
 
     # ------------------------------------------------------------------
     def solve_krylov(

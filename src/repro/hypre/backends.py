@@ -118,6 +118,26 @@ class KernelBackend:
         """
         raise NotImplementedError
 
+    def bind_matmat(
+        self,
+        a: HypreCSRMatrix,
+        perf: PerformanceLog,
+        phase: str,
+        level: int,
+        width: int,
+    ):
+        """Resolve one operator's blocked SpMM into a replayable binding.
+
+        The batched twin of :meth:`bind_matvec`: returns a
+        :class:`~repro.kernels.spmv.SpMMBinding` whose ``run`` maps a
+        ``(width, ncols)`` row panel to a fresh float64
+        ``(width, nrows)`` panel, row j bit-identical to the width-1
+        binding on that row, and whose priced ``record`` charges matrix
+        bytes once per panel call but MMA issues/flops per column —
+        the arithmetic-intensity rise the batch path exists for.
+        """
+        raise NotImplementedError
+
     def galerkin_plan(self, r, a, p, perf, phase, level, on_result=None):
         """Fused RAP plan, or None when the backend has no setup engine
         (the baseline runs the plain two-call Galerkin path)."""
@@ -183,6 +203,17 @@ class HypreBackend(KernelBackend):
 
         a = HypreCSRMatrix.wrap(a)
         binding = bind_csr_spmv(a.csr, Precision.FP64, backend=self.vendor)
+        rec = binding.record
+        rec.phase, rec.level = phase, level
+        rec.price(self.cost)
+        return binding
+
+    def bind_matmat(self, a, perf, phase, level, width):
+        from repro.kernels.baseline import bind_csr_spmm
+
+        a = HypreCSRMatrix.wrap(a)
+        binding = bind_csr_spmm(a.csr, width, Precision.FP64,
+                                backend=self.vendor)
         rec = binding.record
         rec.phase, rec.level = phase, level
         rec.price(self.cost)
@@ -343,6 +374,22 @@ class AmgTBackend(KernelBackend):
         # canonical one matvec_device consults) is exact.
         binding = am.cache.spmv_binding(
             prec,
+            allow_tensor_cores=self.allow_tensor_cores,
+            storage_itemsize=self.storage_itemsize,
+        )
+        rec = binding.record
+        rec.phase, rec.level = phase, level
+        rec.price(self.cost)
+        return binding
+
+    def bind_matmat(self, a, perf, phase, level, width):
+        a = HypreCSRMatrix.wrap(a)
+        self._ensure_mbsr(a, perf, phase, level)
+        prec = self.schedule.for_level(level)
+        am = a.mbsr_at_precision(prec)
+        binding = am.cache.spmm_binding(
+            prec,
+            width,
             allow_tensor_cores=self.allow_tensor_cores,
             storage_itemsize=self.storage_itemsize,
         )

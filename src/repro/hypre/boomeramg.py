@@ -174,7 +174,8 @@ class BoomerAMG:
         mat = self._wrapped[level][op]
         return self.backend.matvec_device(mat, x, self.perf, "solve", level)
 
-    def get_tape(self, params: SolveParams | None = None):
+    def get_tape(self, params: SolveParams | None = None,
+                 batch: int | None = None):
         """Recorded cycle tape for *params*' cycle shape (record or reuse).
 
         One tape per cycle shape per hierarchy: the first request records
@@ -182,6 +183,11 @@ class BoomerAMG:
         ``backend.bind_matvec``); later requests replay the cached tape.
         A stale tape — the hierarchy mutated or its generation counter
         bumped since recording — is silently re-recorded, never replayed.
+
+        With ``batch=k`` a *batched* tape is recorded instead, keyed by
+        ``(cycle_shape, k)`` and bound through ``backend.bind_matmat`` —
+        width-1 tapes keep their bare cycle-shape keys, so batch tapes of
+        any width coexist with them in ``_tapes``.
         """
         if self.hierarchy is None:
             raise RuntimeError("setup() must run before get_tape()")
@@ -189,7 +195,8 @@ class BoomerAMG:
         from repro.tape.tape import _cycle_shape
 
         params = params or SolveParams()
-        key = _cycle_shape(params)
+        shape = _cycle_shape(params)
+        key = shape if batch is None else (shape, batch)
         tape = self._tapes.get(key)
         if tape is None or tape.is_stale():
             backend, perf = self.backend, self.perf
@@ -199,8 +206,23 @@ class BoomerAMG:
                     self._wrapped[level][op], perf, "solve", level
                 )
 
-            with obs_trace.span("tape.record", "solver"):
-                tape = record_cycle(self.hierarchy, params, bindings=bindings)
+            if batch is None:
+                with obs_trace.span("tape.record", "solver"):
+                    tape = record_cycle(self.hierarchy, params,
+                                        bindings=bindings)
+            else:
+                def panel_bindings(level: int, op: str):
+                    return backend.bind_matmat(
+                        self._wrapped[level][op], perf, "solve", level,
+                        batch,
+                    )
+
+                with obs_trace.span("tape.record", "solver",
+                                    attrs={"batch": batch}):
+                    tape = record_cycle(self.hierarchy, params,
+                                        bindings=panel_bindings,
+                                        batch=batch,
+                                        scalar_bindings=bindings)
             self._tapes[key] = tape
             obs_metrics.inc("repro_tape_records_total")
         return tape
@@ -230,19 +252,62 @@ class BoomerAMG:
             self._charge_solve_other(stats)
         return x, stats
 
+    def solve_multi(
+        self,
+        b: np.ndarray,
+        x0: np.ndarray | None = None,
+        params: SolveParams | None = None,
+    ) -> tuple[np.ndarray, list[SolveStats]]:
+        """Solve an ``(n, k)`` block of right-hand sides in one widened
+        tape replay per iteration.
+
+        The batch path is tape-only by design — the whole point is the
+        blocked SpMM amortising each loaded operator tile across the
+        panel.  Column j of the result and its stats are bit-identical to
+        ``solve(b[:, j], x0[:, j], params, tape=True)``; a width-k tape
+        is recorded on first use and cached under ``(cycle_shape, k)``.
+        """
+        if self.hierarchy is None:
+            raise RuntimeError("setup() must run before solve_multi()")
+        from repro.tape import taped_solve_multi
+        from repro.util.validation import normalize_rhs_panel
+
+        params = params or SolveParams()
+        b = normalize_rhs_panel(b, self.hierarchy.levels[0].n)
+        t = self.get_tape(params, batch=b.shape[1])
+        with obs_trace.phase_span("solve"):
+            x, stats = taped_solve_multi(t, b, x0=x0, params=params)
+            self._replicate_tape_perf(
+                t, max(stats, key=lambda s: s.iterations)
+            )
+            self._charge_solve_other(
+                max(stats, key=lambda s: s.iterations), width=b.shape[1]
+            )
+        return x, stats
+
     def precondition(self, r: np.ndarray, tape: bool = False) -> np.ndarray:
         """One V-cycle with zero initial guess (the PCG preconditioner).
 
         With ``tape=True`` the cycle replays through the recorded kernel
         tape (recording it on first use) instead of the interpreted
         recursion — same bits, no per-application dispatch.
+
+        A 2-D ``(n, k)`` residual block routes to the blocked
+        preconditioner: one width-k tape replay whose column j is
+        bit-identical to preconditioning ``r[:, j]`` alone (tape-only,
+        like :meth:`solve_multi`).
         """
         if self.hierarchy is None:
             raise RuntimeError("setup() must run before precondition()")
+        r = np.asarray(r, dtype=np.float64)
+        if r.ndim == 2 and r.shape[1] != 1:
+            return self.precondition_multi(r, tape=tape)
+        if r.ndim == 2:
+            r = np.ascontiguousarray(r[:, 0])
         if tape:
             t = self.get_tape(SolveParams())
             with obs_trace.phase_span("solve"):
-                z = t.apply(np.asarray(r, dtype=np.float64))
+                z = t.apply(r)
                 self.perf.records.extend(t.records)
             return z
         stats = SolveStats()
@@ -256,6 +321,25 @@ class BoomerAMG:
                 stats,
             )
         return z
+
+    def precondition_multi(self, r: np.ndarray, tape: bool = True) -> np.ndarray:
+        """Blocked preconditioner: one zero-guess widened V-cycle on an
+        ``(n, k)`` residual block, returning the ``(n, k)`` correction.
+
+        Column j is bit-identical to ``precondition(r[:, j], tape=True)``.
+        The *tape* flag is accepted for interface symmetry but the batch
+        path always replays a tape — there is no interpreted panel cycle.
+        """
+        if self.hierarchy is None:
+            raise RuntimeError("setup() must run before precondition_multi()")
+        from repro.util.validation import normalize_rhs_panel
+
+        r = normalize_rhs_panel(r, self.hierarchy.levels[0].n, name="r")
+        t = self.get_tape(SolveParams(), batch=r.shape[1])
+        with obs_trace.phase_span("solve"):
+            z = t.cycle(np.ascontiguousarray(r.T))
+            self.perf.records.extend(t.records)
+        return np.ascontiguousarray(z.T)
 
     def _replicate_tape_perf(self, tape, stats: SolveStats) -> None:
         """Bulk-append the replayed kernels' records to the perf log.
@@ -273,10 +357,17 @@ class BoomerAMG:
             records.extend(tape.records)
             records.append(tape.residual_record)
 
-    def _charge_solve_other(self, stats: SolveStats) -> None:
-        """Vector updates + coarse solves, proportional to the SpMV count."""
+    def _charge_solve_other(self, stats: SolveStats, width: int = 1) -> None:
+        """Vector updates + coarse solves, proportional to the SpMV count.
+
+        A batched solve streams *width* panels through the vector updates
+        and runs *width* coarse triangular solves per visit, so the
+        non-kernel traffic scales with the panel width (the matrix-side
+        traffic, charged in the kernel records, does not — that is the
+        arithmetic-intensity rise).
+        """
         hierarchy = self.hierarchy
-        iters = max(stats.iterations, 1)
+        iters = max(stats.iterations, 1) * width
         rows_per_cycle = sum(lvl.n for lvl in hierarchy.levels[:-1])
         self.backend.record_other(
             self.perf, "solve", 0, "vector_ops",

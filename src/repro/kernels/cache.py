@@ -50,6 +50,9 @@ class OperatorCache:
         #: Replayable SpMV bindings keyed by (precision, allow_tc,
         #: tc_threshold, storage_itemsize) — the tape's plan handles.
         self._spmv_bindings: dict[tuple, object] = {}
+        #: Replayable blocked-SpMM bindings; the SpMV key plus the panel
+        #: width (work-buffer shapes are width-specific).
+        self._spmm_bindings: dict[tuple, object] = {}
         #: Reuse telemetry over the per-call entries (:meth:`tiles` and
         #: :meth:`spmv_plan` — the lookups every kernel call makes).
         #: Plain ints so tests and the obs registry can read them with no
@@ -258,6 +261,54 @@ class OperatorCache:
             self.hits += 1
             obs_metrics.inc(
                 "repro_operator_cache_requests_total", entry="spmv_binding",
+                result="hit",
+            )
+        return binding
+
+    def spmm_binding(
+        self,
+        precision,
+        width: int,
+        *,
+        allow_tensor_cores: bool = True,
+        tc_threshold=None,
+        storage_itemsize: int | None = None,
+    ):
+        """Memoised :func:`repro.kernels.spmv.bind_spmm`.
+
+        The batched twin of :meth:`spmv_binding`, additionally keyed by
+        the RHS-panel *width*: the binding's reused gather/contribution
+        buffers are shaped ``(width, ...)``, so each width gets its own
+        resolved closure.  Batch tapes recorded against the same
+        hierarchy at the same width share it.
+        """
+        from repro.formats.bitmap import TC_NNZ_THRESHOLD
+        from repro.kernels.spmv import bind_spmm
+
+        threshold = TC_NNZ_THRESHOLD if tc_threshold is None else tc_threshold
+        key = (precision, int(width), bool(allow_tensor_cores),
+               float(threshold), storage_itemsize)
+        binding = self._spmm_bindings.get(key)
+        if binding is None:
+            self.misses += 1
+            obs_metrics.inc(
+                "repro_operator_cache_requests_total", entry="spmm_binding",
+                result="miss",
+            )
+            binding = bind_spmm(
+                self._mat,
+                int(width),
+                precision,
+                self.spmv_plan(allow_tensor_cores, tc_threshold=threshold),
+                allow_tensor_cores=allow_tensor_cores,
+                tc_threshold=threshold,
+                storage_itemsize=storage_itemsize,
+            )
+            self._spmm_bindings[key] = binding
+        else:
+            self.hits += 1
+            obs_metrics.inc(
+                "repro_operator_cache_requests_total", entry="spmm_binding",
                 result="hit",
             )
         return binding

@@ -36,9 +36,12 @@ __all__ = [
     "VARIATION_THRESHOLD",
     "SpMVPlan",
     "SpMVBinding",
+    "SpMMBinding",
     "build_spmv_plan",
     "bind_spmv",
+    "bind_spmm",
     "mbsr_spmv",
+    "mbsr_spmm",
 ]
 
 #: Tiles per warp under the load-balanced schedule (Sec. IV.D.1).
@@ -398,3 +401,314 @@ def bind_spmv(
             return run_acc(x).astype(np.float64)
 
     return SpMVBinding(run, record, precision, plan, nrows, ncols)
+
+
+# ----------------------------------------------------------------------
+# Blocked SpMM: the multi-RHS panel twin of the SpMV above.
+#
+# The tensor-core economics of the paper hinge on arithmetic intensity:
+# an mBSR tile loaded for one MMA is reused across every column of the
+# RHS panel, so value/index traffic is charged once per tile while the
+# MMA/flop count scales with the panel width.  The numeric contract is
+# *per-column bit-identity* with the 1-RHS kernel: the contraction runs
+# as a broadcast-stacked matmul ``(1, blc, 4, 4) @ (k, blc, 4, 1)``,
+# whose gufunc core applies the identical ``(4, 4) @ (4, 1)`` product
+# per column slice that the width-1 ``matmul(tiles, x[:, :, None])``
+# applies (a flat ``(blc, 4, k)`` panel matmul does NOT round
+# identically per column and is deliberately not used), and the
+# segmented reduction runs one ``bincount`` per column with the same
+# flat ids in the same input order as the width-1 epilogue.
+# ----------------------------------------------------------------------
+
+def _account_spmm(
+    record: KernelRecord,
+    mat: MBSRMatrix,
+    plan: SpMVPlan,
+    precision: Precision,
+    width: int,
+    storage_itemsize: int | None,
+) -> None:
+    """Fill *record* with the cost of one width-*width* SpMM on *mat*.
+
+    Tile values, bitmaps and index structures are read once per panel
+    (the amortisation the batched path exists for); MMA issues / scalar
+    flops, the x-panel gather and the y-panel write scale with *width*.
+    Like :func:`_account_spmv` the counters never depend on the operand,
+    so tape bindings price the record once at bind time.
+    """
+    counters = record.counters
+    acc_dtype = precision.accum_dtype
+    nnz = mat.nnz
+    itemsize = storage_itemsize or precision.itemsize
+    if plan.use_tensor_cores:
+        # Each loaded tile-pair issues one MMA per panel column: fragA is
+        # loaded once, fragB cycles through the columns.
+        counters.add_mma(precision, plan.mma_issues * width)
+        counters.add_bytes(
+            read=effective_value_bytes(mat.blc_num * TILE_SLOTS * itemsize, itemsize)
+        )
+    else:
+        from repro.gpu.counters import (
+            SCALAR_GATHER_OVERHEAD,
+            SCALAR_PIPELINE_OVERHEAD,
+        )
+
+        counters.add_flops(precision, 2.0 * nnz * SCALAR_PIPELINE_OVERHEAD * width)
+        value_bytes = min(
+            float(nnz) * itemsize * SCALAR_GATHER_OVERHEAD,
+            float(mat.blc_num) * TILE_SLOTS * itemsize,
+        )
+        counters.add_bytes(read=effective_value_bytes(value_bytes, itemsize))
+    # Index structures + bitmaps once; x gather and y write per column.
+    counters.add_bytes(
+        read=mat.blc_num * (8 + 2) + (mat.mb + 1) * 8
+        + effective_value_bytes(mat.blc_num * BLOCK_SIZE * itemsize, itemsize) * width,
+        written=mat.nrows * max(acc_dtype().itemsize, itemsize) * width,
+    )
+    counters.imbalance = plan.imbalance
+    counters.launches = 1
+    record.detail = {
+        "path": plan.kernel_path,
+        "variation": plan.variation,
+        "width": width,
+    }
+
+
+@dataclass
+class SpMMBinding:
+    """A fully-resolved, replayable blocked SpMM — the batched tape's
+    plan handle.
+
+    Layout: ``run(X)`` takes a **row panel** ``(width, ncols)`` — row j
+    is right-hand side j, contiguous — and returns a fresh float64
+    ``(width, nrows)`` panel whose row j is bit-identical to the width-1
+    :class:`SpMVBinding` ``run`` applied to ``X[j]``.  The row-panel
+    layout is the widened workspace's slot layout (each RHS stays
+    contiguous for the per-column norms and reductions); the public
+    ``(n, k)`` column-panel convention of :func:`mbsr_spmm` transposes
+    at the boundary.
+
+    ``run_acc`` is the accumulator-dtype inner core (what
+    :func:`mbsr_spmm` calls); ``record`` is the priced one-panel-call
+    cost template (bytes once per tile, flops per column).  Work buffers
+    are reused across calls — single-threaded by contract, like
+    :class:`SpMVBinding`.
+    """
+
+    run: Callable[[np.ndarray], np.ndarray]
+    run_acc: Callable[[np.ndarray], np.ndarray]
+    record: KernelRecord
+    precision: Precision
+    plan: SpMVPlan | None
+    nrows: int
+    ncols: int
+    width: int
+
+
+def bind_spmm(
+    mat: MBSRMatrix,
+    width: int,
+    precision: Precision = Precision.FP64,
+    plan: SpMVPlan | None = None,
+    *,
+    allow_tensor_cores: bool = True,
+    tc_threshold: float | None = None,
+    storage_itemsize: int | None = None,
+) -> SpMMBinding:
+    """Resolve one operator's blocked SpMM into a :class:`SpMMBinding`.
+
+    Same plan/cast/dispatch machinery as :func:`bind_spmv` — the memoised
+    TC/CUDA plan, the quantised-and-widened tile array and the cached
+    gather/scatter indices — with the contraction widened to the panel:
+
+    * gather: one ``take`` of the padded x panel along the column axis
+      (same flat indices as the width-1 gather, per-row exact);
+    * contract: ``np.matmul(tiles[None], X4)`` with ``X4`` of shape
+      ``(width, blc, 4, 1)`` — the broadcast applies the width-1
+      ``(4, 4) @ (4, 1)`` gufunc core per column, so each column rounds
+      exactly as its 1-RHS call would;
+    * reduce: one float64 ``bincount`` per column over the same flat ids
+      in the same input order as the width-1 epilogue (other accumulator
+      dtypes fall back to the per-column ``segment_sum``).
+    """
+    if width < 1:
+        raise ValueError(f"panel width must be >= 1, got {width}")
+    cache = mat.cache
+    if plan is None:
+        plan = cache.spmv_plan(allow_tensor_cores, tc_threshold=tc_threshold)
+    record = KernelRecord(kernel="spmm", backend="amgt", precision=precision)
+    _account_spmm(record, mat, plan, precision, width, storage_itemsize)
+
+    in_dtype = np.dtype(precision.np_dtype)
+    acc_dtype = np.dtype(precision.accum_dtype)
+    nrows, ncols = mat.nrows, mat.ncols
+    checked = check_runtime.is_active()
+
+    if mat.blc_num == 0:
+        def run_empty_acc(x: np.ndarray) -> np.ndarray:
+            return np.zeros((width, nrows), dtype=acc_dtype)
+
+        def run_empty(x: np.ndarray) -> np.ndarray:
+            y = run_empty_acc(x)
+            if checked:
+                from repro.check import oracle
+
+                for j in range(width):
+                    oracle.verify_spmv(mat, x[j], y[j], precision, plan)
+            return y if y.dtype == np.float64 else y.astype(np.float64)
+
+        return SpMMBinding(run_empty, run_empty_acc, record, precision, plan,
+                           nrows, ncols, width)
+
+    tiles = cache.tiles(in_dtype, acc_dtype)
+    tiles_b = tiles[None]  # broadcast leading panel axis
+    flat_gather = cache.x_gather.reshape(-1)
+    flat_ids = cache.y_scatter
+    row_ids = cache.block_row_ids
+    mb = mat.mb
+    blc = tiles.shape[0]
+    aligned = ncols == mat.nb * BLOCK_SIZE
+    xp_buf = (
+        None if aligned
+        else np.zeros((width, mat.nb * BLOCK_SIZE), dtype=in_dtype)
+    )
+    # Reused work buffers, the panel twins of bind_spmv's: the gathered
+    # x tiles as a (width, blc, 4, 1) view, their accumulator-dtype
+    # widening, and the per-tile per-column contributions.
+    xg_buf = np.empty((width, blc * BLOCK_SIZE), dtype=in_dtype)
+    x4 = xg_buf.reshape(width, blc, BLOCK_SIZE, 1)
+    widen = in_dtype != acc_dtype
+    xacc_buf = np.empty(x4.shape, dtype=acc_dtype) if widen else x4
+    contrib = np.empty((width, blc, BLOCK_SIZE, 1), dtype=acc_dtype)
+    contrib_flat = contrib.reshape(width, -1)
+    bincount_path = acc_dtype == np.float64
+    minlength = mb * BLOCK_SIZE
+
+    def run_acc(x: np.ndarray) -> np.ndarray:
+        """The panel replay core; returns (width, nrows) in the
+        accumulator dtype, row j bit-identical to the width-1 core."""
+        xq = x if x.dtype == in_dtype else x.astype(in_dtype)
+        if xp_buf is None:
+            xp = xq
+        else:
+            xp_buf[:, :ncols] = xq
+            xp = xp_buf
+        np.take(xp, flat_gather, axis=1, out=xg_buf)
+        if widen:
+            xacc_buf[...] = x4
+        np.matmul(tiles_b, xacc_buf, out=contrib)
+        if bincount_path:
+            y = np.empty((width, nrows), dtype=np.float64)
+            for j in range(width):
+                y[j] = np.bincount(flat_ids, weights=contrib_flat[j],
+                                   minlength=minlength)[:nrows]
+            return y
+        y = np.empty((width, nrows), dtype=acc_dtype)
+        for j in range(width):
+            y[j] = segment_sum(
+                contrib[j, :, :, 0], row_ids, mb, sorted_ids=True
+            ).reshape(-1)[:nrows]
+        return y
+
+    if checked:
+        def run(x: np.ndarray) -> np.ndarray:
+            from repro.check import oracle
+
+            y = run_acc(x)
+            for j in range(width):
+                oracle.verify_spmv(mat, x[j], y[j], precision, plan)
+            return y if bincount_path else y.astype(np.float64)
+    elif bincount_path:
+        run = run_acc
+    else:
+        def run(x: np.ndarray) -> np.ndarray:
+            return run_acc(x).astype(np.float64)
+
+    return SpMMBinding(run, run_acc, record, precision, plan,
+                       nrows, ncols, width)
+
+
+def mbsr_spmm(
+    mat: MBSRMatrix,
+    x: np.ndarray,
+    precision: Precision = Precision.FP64,
+    plan: SpMVPlan | None = None,
+    *,
+    allow_tensor_cores: bool = True,
+    tc_threshold: float | None = None,
+    storage_itemsize: int | None = None,
+) -> tuple[np.ndarray, KernelRecord]:
+    """Compute ``Y = A @ X`` for an ``(ncols, k)`` RHS panel.
+
+    The public column-panel convention: *x* has one right-hand side per
+    column, and the returned ``Y`` is ``(nrows, k)`` in the accumulator
+    dtype of *precision* — column j bit-identical to
+    ``mbsr_spmv(mat, x[:, j], ...)``.  Internally the panel transposes
+    to the contiguous row-panel layout of :class:`SpMMBinding` (memoised
+    per (precision, width, dispatch knobs) in the operator cache, so
+    repeated same-width calls replay resolved state).  Under an active
+    check region every column is differentially verified against the
+    width-1 kernel.
+    """
+    x = np.asarray(x)
+    if x.ndim != 2 or x.shape[0] != mat.ncols:
+        raise ValueError(
+            f"x has shape {x.shape}, expected ({mat.ncols}, k) — one "
+            f"right-hand side per column"
+        )
+    width = x.shape[1]
+    cache = mat.cache
+    if plan is None:
+        plan = cache.spmv_plan(allow_tensor_cores, tc_threshold=tc_threshold)
+    binding = cache.spmm_binding(
+        precision, width,
+        allow_tensor_cores=allow_tensor_cores,
+        tc_threshold=tc_threshold,
+        storage_itemsize=storage_itemsize,
+    )
+    record = KernelRecord(kernel="spmm", backend="amgt", precision=precision)
+    _account_spmm(record, mat, plan, precision, width, storage_itemsize)
+
+    y_rows = binding.run_acc(np.ascontiguousarray(x.T))
+    y = np.ascontiguousarray(y_rows.T)
+    assert y.dtype == np.dtype(precision.accum_dtype), (
+        f"mbsr_spmm produced {y.dtype}, expected accumulator "
+        f"{precision.accum_dtype}"
+    )
+    if check_runtime.is_active():
+        # The batch path's differential oracle is the column loop itself:
+        # each column must reproduce the 1-RHS kernel bit for bit (which
+        # in turn verifies against the quantisation-exact reference).
+        for j in range(width):
+            y1, _ = mbsr_spmv(
+                mat, x[:, j], precision, plan,
+                allow_tensor_cores=allow_tensor_cores,
+                tc_threshold=tc_threshold,
+                storage_itemsize=storage_itemsize,
+            )
+            if not np.array_equal(y[:, j], y1, equal_nan=True):
+                from repro.check import ContractViolation
+
+                bad = int(np.flatnonzero(y[:, j] != y1)[0])
+                raise ContractViolation(
+                    "mbsr_spmm",
+                    "spmm/column-differential",
+                    f"panel column {j} diverges from the 1-RHS kernel "
+                    f"(first mismatch at row {bad}: panel={y[bad, j]!r}, "
+                    f"spmv={y1[bad]!r})",
+                )
+    if obs_trace.is_active():
+        from repro.obs import metrics as obs_metrics
+
+        obs_metrics.REGISTRY.counter(
+            "repro_spmm_dispatch_total",
+            core="tc" if plan.use_tensor_cores else "cuda",
+            schedule="balanced" if plan.load_balanced else "row-warp",
+            width=width,
+        ).inc()
+        obs_metrics.REGISTRY.histogram(
+            "repro_spmv_tile_popcount",
+            buckets=obs_metrics.POP_BUCKETS,
+            kernel="spmm",
+        ).observe_counts(cache.pop_hist)
+    return y, record

@@ -43,6 +43,11 @@ CONTRACT_SCOPE_DIR = "kernels"
 #: entire point is an allocation-free replay loop.
 HOT_LOOP_SCOPE_DIRS = ("kernels", "formats", "solvers", "tape")
 
+#: Individual modules outside those subtrees where R5 also applies.  The
+#: smoother bindings close over tape workspace slots and run inside the
+#: replay loop of every batched (and width-1) solve.
+HOT_LOOP_SCOPE_FILES = ("amg/smoothers.py",)
+
 #: Modules whose public entry points drive whole setup/solve phases; R6
 #: (advisory) asks them to open a repro.obs root span so traced runs
 #: (REPRO_TRACE=1) cover every phase.
@@ -114,7 +119,8 @@ class ModuleContext:
         rel = self._rel()
         if rel is None:
             return True
-        return rel.split("/", 1)[0] in HOT_LOOP_SCOPE_DIRS
+        return (rel.split("/", 1)[0] in HOT_LOOP_SCOPE_DIRS
+                or rel in HOT_LOOP_SCOPE_FILES)
 
     def in_solver_scope(self) -> bool:
         rel = self._rel()

@@ -15,6 +15,7 @@ import numpy as np
 from repro.amg.precision import accumulator
 from repro.formats.csr import CSRMatrix
 from repro.solvers.preconditioners import resolve_preconditioner
+from repro.util.validation import normalize_rhs
 
 __all__ = ["bicgstab", "BiCGStabResult"]
 
@@ -29,13 +30,25 @@ class BiCGStabResult:
     iterations: int
     converged: bool
     residual_history: list[float] = field(default_factory=list)
-    breakdown: bool = False
+    #: ``None`` on a clean run; otherwise which scalar of the recurrence
+    #: degenerated: ``"rho-zero"`` (``r_hat . r = 0``),
+    #: ``"rhat-orthogonal"`` (``r_hat . v = 0``), ``"tt-zero"``
+    #: (``t . t = 0``) or ``"omega-zero"`` (stabilisation step vanished).
+    #: Truthy exactly when the old boolean field was ``True``.
+    breakdown: str | None = None
+    #: The norm the stopping test divides by: ``||b||``, falling back to
+    #: ``||r0||`` when ``b = 0`` — stored so the reported relative
+    #: residual matches the convergence decision.
+    norm_ref: float = 0.0
 
     @property
     def final_relative_residual(self) -> float:
-        if not self.residual_history or self.residual_history[0] == 0:
+        """``||r_final|| / norm_ref``, the ratio the stopping test used."""
+        ref = self.norm_ref or (self.residual_history[0]
+                                if self.residual_history else 0.0)
+        if not self.residual_history or ref == 0:
             return 0.0
-        return self.residual_history[-1] / self.residual_history[0]
+        return self.residual_history[-1] / ref
 
 
 def bicgstab(
@@ -55,7 +68,8 @@ def bicgstab(
             a, b, preconditioner, x0, tolerance, max_iterations
         )
     obs_conv.observe_history(
-        "bicgstab", result.residual_history, result.converged
+        "bicgstab", result.residual_history, result.converged,
+        breakdown=result.breakdown,
     )
     return result
 
@@ -70,16 +84,17 @@ def _bicgstab_impl(
 ) -> BiCGStabResult:
     matvec: MatVec = a.matvec if isinstance(a, CSRMatrix) else a
     precond = resolve_preconditioner(preconditioner)
-    b = np.asarray(b, dtype=np.float64)
+    b = normalize_rhs(b)
     n = b.shape[0]
-    x = accumulator(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    x = accumulator(n) if x0 is None \
+        else normalize_rhs(x0, n, name="x0").copy()
 
     r = b - np.asarray(matvec(x), dtype=np.float64)
     r_hat = r.copy()
     norm_ref = float(np.linalg.norm(b)) or float(np.linalg.norm(r))
     history = [float(np.linalg.norm(r))]
     if history[0] == 0.0 or history[0] <= tolerance * norm_ref:
-        return BiCGStabResult(x, 0, True, history)
+        return BiCGStabResult(x, 0, True, history, norm_ref=norm_ref)
 
     rho_old = alpha = omega = 1.0
     v = accumulator(n)
@@ -87,7 +102,8 @@ def _bicgstab_impl(
     for it in range(1, max_iterations + 1):
         rho = float(r_hat @ r)
         if rho == 0.0:
-            return BiCGStabResult(x, it - 1, False, history, breakdown=True)
+            return BiCGStabResult(x, it - 1, False, history,
+                                  breakdown="rho-zero", norm_ref=norm_ref)
         if it == 1:
             p = r.copy()
         else:
@@ -97,27 +113,32 @@ def _bicgstab_impl(
         v = np.asarray(matvec(p_hat), dtype=np.float64)
         denom = float(r_hat @ v)
         if denom == 0.0:
-            return BiCGStabResult(x, it - 1, False, history, breakdown=True)
+            return BiCGStabResult(x, it - 1, False, history,
+                                  breakdown="rhat-orthogonal",
+                                  norm_ref=norm_ref)
         alpha = rho / denom
         s = r - alpha * v
         s_norm = float(np.linalg.norm(s))
         if s_norm <= tolerance * norm_ref:
             x += alpha * p_hat
             history.append(s_norm)
-            return BiCGStabResult(x, it, True, history)
+            return BiCGStabResult(x, it, True, history, norm_ref=norm_ref)
         s_hat = np.asarray(precond(s), dtype=np.float64)
         t = np.asarray(matvec(s_hat), dtype=np.float64)
         tt = float(t @ t)
         if tt == 0.0:
-            return BiCGStabResult(x, it - 1, False, history, breakdown=True)
+            return BiCGStabResult(x, it - 1, False, history,
+                                  breakdown="tt-zero", norm_ref=norm_ref)
         omega = float(t @ s) / tt
         x += alpha * p_hat + omega * s_hat
         r = s - omega * t
         rnorm = float(np.linalg.norm(r))
         history.append(rnorm)
         if rnorm <= tolerance * norm_ref:
-            return BiCGStabResult(x, it, True, history)
+            return BiCGStabResult(x, it, True, history, norm_ref=norm_ref)
         if omega == 0.0:
-            return BiCGStabResult(x, it, False, history, breakdown=True)
+            return BiCGStabResult(x, it, False, history,
+                                  breakdown="omega-zero", norm_ref=norm_ref)
         rho_old = rho
-    return BiCGStabResult(x, max_iterations, False, history)
+    return BiCGStabResult(x, max_iterations, False, history,
+                          norm_ref=norm_ref)

@@ -17,6 +17,7 @@ import numpy as np
 from repro.amg.precision import accumulator
 from repro.formats.csr import CSRMatrix
 from repro.solvers.preconditioners import resolve_preconditioner
+from repro.util.validation import normalize_rhs
 
 __all__ = ["pcg", "PCGResult"]
 
@@ -31,12 +32,26 @@ class PCGResult:
     iterations: int
     converged: bool
     residual_history: list[float] = field(default_factory=list)
+    #: ``None`` on a clean run; a short label when the iteration stopped
+    #: on a numerical breakdown rather than convergence or the cap
+    #: (``"indefinite-operator"`` — ``p^T A p <= 0``, the operator or
+    #: preconditioner is not SPD as PCG requires).
+    breakdown: str | None = None
+    #: The norm the stopping test divides by: ``||b||``, falling back to
+    #: ``||r0||`` when ``b = 0``.  Stored so the reported relative
+    #: residual uses the *same* reference as the convergence decision.
+    norm_ref: float = 0.0
 
     @property
     def final_relative_residual(self) -> float:
-        if not self.residual_history or self.residual_history[0] == 0:
+        """``||r_final|| / norm_ref`` — the quantity the stopping test
+        compared against *tolerance*, not ``||r_final|| / ||r0||`` (the
+        two differ whenever ``x0`` is nonzero)."""
+        ref = self.norm_ref or (self.residual_history[0]
+                                if self.residual_history else 0.0)
+        if not self.residual_history or ref == 0:
             return 0.0
-        return self.residual_history[-1] / self.residual_history[0]
+        return self.residual_history[-1] / ref
 
 
 def pcg(
@@ -63,7 +78,8 @@ def pcg(
 
     with obs_trace.span("pcg", "solver"):
         result = _pcg_impl(a, b, preconditioner, x0, tolerance, max_iterations)
-    obs_conv.observe_history("pcg", result.residual_history, result.converged)
+    obs_conv.observe_history("pcg", result.residual_history, result.converged,
+                             breakdown=result.breakdown)
     return result
 
 
@@ -76,9 +92,10 @@ def _pcg_impl(
     max_iterations: int,
 ) -> PCGResult:
     matvec: MatVec = a.matvec if isinstance(a, CSRMatrix) else a
-    b = np.asarray(b, dtype=np.float64)
+    b = normalize_rhs(b)
     n = b.shape[0]
-    x = accumulator(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    x = accumulator(n) if x0 is None \
+        else normalize_rhs(x0, n, name="x0").copy()
     precond = resolve_preconditioner(preconditioner)
 
     r = b - np.asarray(matvec(x), dtype=np.float64)
@@ -91,24 +108,28 @@ def _pcg_impl(
     norm_ref = float(np.linalg.norm(b)) or norm0
     history = [norm0]
     if norm0 == 0.0 or norm0 <= tolerance * norm_ref:
-        return PCGResult(x, 0, True, history)
+        return PCGResult(x, 0, True, history, norm_ref=norm_ref)
 
     for it in range(1, max_iterations + 1):
         ap = np.asarray(matvec(p), dtype=np.float64)
         pap = float(p @ ap)
         if pap <= 0:
-            # Loss of positive definiteness (numerically); stop cleanly.
-            return PCGResult(x, it - 1, False, history)
+            # Loss of positive definiteness (numerically); stop cleanly
+            # and say why — a silent non-converged result is
+            # indistinguishable from simply running out of iterations.
+            return PCGResult(x, it - 1, False, history,
+                             breakdown="indefinite-operator",
+                             norm_ref=norm_ref)
         alpha = rz / pap
         x += alpha * p
         r -= alpha * ap
         rnorm = float(np.linalg.norm(r))
         history.append(rnorm)
         if rnorm <= tolerance * norm_ref:
-            return PCGResult(x, it, True, history)
+            return PCGResult(x, it, True, history, norm_ref=norm_ref)
         z = np.asarray(precond(r), dtype=np.float64)
         rz_new = float(r @ z)
         beta = rz_new / rz
         rz = rz_new
         p = z + beta * p
-    return PCGResult(x, max_iterations, False, history)
+    return PCGResult(x, max_iterations, False, history, norm_ref=norm_ref)

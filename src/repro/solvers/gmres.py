@@ -15,6 +15,7 @@ import numpy as np
 from repro.amg.precision import accumulator
 from repro.formats.csr import CSRMatrix
 from repro.solvers.preconditioners import resolve_preconditioner
+from repro.util.validation import normalize_rhs
 
 __all__ = ["gmres", "GMRESResult"]
 
@@ -29,12 +30,19 @@ class GMRESResult:
     iterations: int
     converged: bool
     residual_history: list[float] = field(default_factory=list)
+    #: The norm the stopping test divides by: ``||b||``, falling back to
+    #: ``||r0||`` when ``b = 0`` — stored so the reported relative
+    #: residual matches the convergence decision.
+    norm_ref: float = 0.0
 
     @property
     def final_relative_residual(self) -> float:
-        if not self.residual_history or self.residual_history[0] == 0:
+        """``||r_final|| / norm_ref``, the ratio the stopping test used."""
+        ref = self.norm_ref or (self.residual_history[0]
+                                if self.residual_history else 0.0)
+        if not self.residual_history or ref == 0:
             return 0.0
-        return self.residual_history[-1] / self.residual_history[0]
+        return self.residual_history[-1] / ref
 
 
 def gmres(
@@ -78,9 +86,10 @@ def _gmres_impl(
 ) -> GMRESResult:
     matvec: MatVec = a.matvec if isinstance(a, CSRMatrix) else a
     precond = resolve_preconditioner(preconditioner)
-    b = np.asarray(b, dtype=np.float64)
+    b = normalize_rhs(b)
     n = b.shape[0]
-    x = accumulator(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    x = accumulator(n) if x0 is None \
+        else normalize_rhs(x0, n, name="x0").copy()
 
     norm_b = float(np.linalg.norm(b))
     r = b - np.asarray(matvec(x), dtype=np.float64)
@@ -88,7 +97,7 @@ def _gmres_impl(
     norm_ref = norm_b or beta
     history = [beta]
     if beta == 0.0 or beta <= tolerance * norm_ref:
-        return GMRESResult(x, 0, True, history)
+        return GMRESResult(x, 0, True, history, norm_ref=norm_ref)
 
     total_iters = 0
     # Hoisted restart workspace (R5: no allocation inside the iteration
@@ -161,7 +170,8 @@ def _gmres_impl(
         beta = float(np.linalg.norm(r))
         history[-1] = beta  # replace the estimate with the true residual
         if beta <= tolerance * norm_ref:
-            return GMRESResult(x, total_iters, True, history)
+            return GMRESResult(x, total_iters, True, history,
+                               norm_ref=norm_ref)
         if total_iters >= max_iterations:
             break
-    return GMRESResult(x, total_iters, False, history)
+    return GMRESResult(x, total_iters, False, history, norm_ref=norm_ref)

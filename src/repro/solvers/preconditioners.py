@@ -33,6 +33,14 @@ class VCyclePreconditioner:
         self.tape = bool(tape)
 
     def apply(self, r: np.ndarray) -> np.ndarray:
+        """Apply one V-cycle to *r*.
+
+        *r* may be a single residual (``(n,)`` or ``(n, 1)``) or an
+        ``(n, k)`` panel — panels route through the driver's batched
+        tape (:meth:`~repro.hypre.boomeramg.BoomerAMG.precondition_multi`)
+        and come back column-for-column bit-identical to ``k`` width-1
+        applications.
+        """
         return self._driver.precondition(r, tape=self.tape)
 
     __call__ = apply

@@ -5,14 +5,24 @@ with zero per-iteration dispatch.
   emitting fully-bound closures over a preallocated workspace;
 * :class:`CycleTape` — the recorded tape: replay, staleness check,
   differential verification, perf/metrics templates;
-* :func:`taped_solve` — the replay twin of ``amg_solve``.
+* :func:`taped_solve` — the replay twin of ``amg_solve``;
+* :func:`taped_solve_multi` — the batched replay over an ``(n, k)``
+  block of right-hand sides (record with ``batch=k``), per-column
+  bit-identical to the width-1 solve.
 
-High-level entry points: ``AmgTSolver.solve(..., tape=True)`` and
-``amg_solve(..., tape=True)``.
+High-level entry points: ``AmgTSolver.solve(..., tape=True)``,
+``AmgTSolver.solve_multi``, ``amg_solve(..., tape=True)`` and
+``amg_solve_multi``.
 """
 
 from repro.tape.recorder import record_cycle
-from repro.tape.tape import CycleTape, TapeOp, Workspace, taped_solve
+from repro.tape.tape import (
+    CycleTape,
+    TapeOp,
+    Workspace,
+    taped_solve,
+    taped_solve_multi,
+)
 
 __all__ = [
     "CycleTape",
@@ -20,4 +30,5 @@ __all__ = [
     "Workspace",
     "record_cycle",
     "taped_solve",
+    "taped_solve_multi",
 ]

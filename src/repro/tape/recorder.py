@@ -71,16 +71,39 @@ def _bind_coarse(solve, b, x):
     return op
 
 
+def _bind_coarse_panel(solve, b, x):
+    """Coarse-level direct solve over a ``(k, n)`` row panel.
+
+    One width-1 solve per panel row: LAPACK's multi-RHS triangular solves
+    are not guaranteed to round per column like the single-RHS path, so
+    the loop *is* the bit-identity contract here (the coarse system is
+    tiny — the loop is not on the hot path).
+    """
+
+    def op() -> None:
+        for j in range(x.shape[0]):
+            x[j] = solve(b[j])
+
+    return op
+
+
 class _Recorder:
-    def __init__(self, hierarchy, params, bindings):
+    def __init__(self, hierarchy, params, bindings, batch=None,
+                 scalar_bindings=None):
         self.hierarchy = hierarchy
         self.params = params
         self.bindings = bindings
-        self.ws = Workspace(hierarchy)
+        self.batch = batch
+        #: Width-1 binding factory of a batch recording — the source of
+        #: the differential oracle's ``check_spmv`` and of record-time
+        #: spectral estimates (which run on single vectors).
+        self.scalar_bindings = scalar_bindings
+        self.ws = Workspace(hierarchy, batch)
         self.ops: list[TapeOp] = []
         self.records: list = []
         self.smoother_sweeps: list[tuple[int, int]] = []
         self._bound: dict[tuple[int, str], object] = {}
+        self._scalar_bound: dict[tuple[int, str], object] = {}
 
     def bind(self, level: int, op: str):
         key = (level, op)
@@ -88,6 +111,18 @@ class _Recorder:
         if binding is None:
             binding = self.bindings(level, op)
             self._bound[key] = binding
+        return binding
+
+    def scalar_bind(self, level: int, op: str):
+        """Width-1 binding for the (level, op) pair: the binding itself
+        when recording width-1, the scalar factory's otherwise."""
+        if self.batch is None:
+            return self.bind(level, op)
+        key = (level, op)
+        binding = self._scalar_bound.get(key)
+        if binding is None:
+            binding = self.scalar_bindings(level, op)
+            self._scalar_bound[key] = binding
         return binding
 
     def emit(self, kind, level, fn, *, spmv_calls=0, record=None, repeat=0):
@@ -102,10 +137,12 @@ class _Recorder:
     def _level(self, level: int, params: SolveParams) -> None:
         hierarchy, ws = self.hierarchy, self.ws
         if level == hierarchy.num_levels - 1:
+            bind_coarse = _bind_coarse if self.batch is None \
+                else _bind_coarse_panel
             self.emit(
                 "coarse", level,
-                _bind_coarse(hierarchy.coarse_solver.solve,
-                             ws.b[level], ws.x[level]),
+                bind_coarse(hierarchy.coarse_solver.solve,
+                            ws.b[level], ws.x[level]),
             )
             return
         self._smooth(level, params, params.pre_sweeps)
@@ -163,8 +200,13 @@ class _Recorder:
             if lam_max is None:
                 # Same estimator (and cache slot) as the interpreted
                 # smoother, run through the bound kernel at record time.
+                # Always the width-1 binding: the power iteration works on
+                # single vectors, and sharing the estimate with width-1
+                # tapes keeps the polynomial — hence the bit-identity
+                # contract — the same at every batch width.
+                scalar_a = self.scalar_bind(level, "A")
                 lam_max = smoothers.estimate_spectral_radius(
-                    lambda v: lvl.dinv * bind_a.run(v), lvl.n
+                    lambda v: lvl.dinv * scalar_a.run(v), lvl.n
                 )
                 lvl.extras["cheby_lambda_max"] = lam_max
             fn = smoothers.bind_chebyshev(
@@ -207,12 +249,43 @@ def _spmv_bindings(spmv):
     return factory
 
 
+def _widen_bindings(scalar_factory, batch: int):
+    """Lift a width-1 binding factory to the ``(batch, n)`` row-panel
+    interface by looping the scalar run per panel row.
+
+    This is the fallback panel path for host matvecs and injected SpMV
+    closures — no kernel to block, so the column loop is both the
+    implementation and the bit-identity argument.  Backends with real
+    blocked kernels pass their own panel factory instead.
+    """
+
+    def factory(level: int, op: str) -> _WrappedBinding:
+        base = scalar_factory(level, op)
+        run1 = base.run
+
+        def run(panel: np.ndarray) -> np.ndarray:
+            y0 = run1(panel[0])
+            out = np.empty((batch, y0.shape[0]), dtype=np.float64)
+            out[0] = y0
+            for j in range(1, batch):
+                out[j] = run1(panel[j])
+            return out
+
+        wrapped = _WrappedBinding(run)
+        wrapped.record = base.record
+        return wrapped
+
+    return factory
+
+
 def record_cycle(
     hierarchy: AMGHierarchy,
     params: SolveParams | None = None,
     *,
     bindings=None,
     spmv=None,
+    batch: int | None = None,
+    scalar_bindings=None,
 ) -> CycleTape:
     """Record one cycle of *params* shape into a replayable tape.
 
@@ -225,17 +298,41 @@ def record_cycle(
         closure is wrapped instead, and with neither the host CSR matvec
         of the hierarchy's own operators is used — mirroring the operand
         resolution of :func:`repro.amg.cycle.amg_solve`.
+    batch:
+        Record a *batched* tape over ``(batch, n)`` row-panel workspace
+        slots, replayed with :func:`repro.tape.tape.taped_solve_multi`.
+        With an explicit *bindings* factory it must return panel bindings
+        (``run`` maps ``(batch, ncols) -> (batch, nrows)``, e.g. the
+        backend's ``bind_matmat``) and *scalar_bindings* must supply the
+        width-1 factory — the differential oracle and record-time
+        spectral estimates run width-1 by contract.  Default/injected
+        SpMV closures are widened automatically by looping per row.
     """
     params = params or SolveParams()
+    if batch is not None and batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
     if bindings is None:
-        bindings = _spmv_bindings(spmv) if spmv is not None \
+        scalar = _spmv_bindings(spmv) if spmv is not None \
             else _default_bindings(hierarchy)
-    rec = _Recorder(hierarchy, params, bindings)
+        if batch is None:
+            bindings = scalar
+        else:
+            if scalar_bindings is None:
+                scalar_bindings = scalar
+            bindings = _widen_bindings(scalar_bindings, batch)
+    elif batch is not None and scalar_bindings is None:
+        raise ValueError(
+            "batch recording with an explicit bindings factory requires "
+            "scalar_bindings (the width-1 factory) for the differential "
+            "oracle and spectral estimates"
+        )
+    rec = _Recorder(hierarchy, params, bindings, batch=batch,
+                    scalar_bindings=scalar_bindings)
     rec.record()
     bind_a0 = rec.bind(0, "A")
 
     def check_spmv(level: int, op: str, v: np.ndarray) -> np.ndarray:
-        return rec.bind(level, op).run(v)
+        return rec.scalar_bind(level, op).run(v)
 
     return CycleTape(
         hierarchy=hierarchy,
@@ -247,4 +344,5 @@ def record_cycle(
         residual_record=bind_a0.record,
         check_spmv=check_spmv,
         smoother_sweeps=tuple(rec.smoother_sweeps),
+        batch=batch,
     )

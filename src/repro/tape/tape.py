@@ -32,8 +32,10 @@ from repro.check import runtime as check_runtime
 from repro.kernels.record import KernelRecord
 from repro.obs import convergence as obs_conv
 from repro.obs import trace as obs_trace
+from repro.util.validation import normalize_rhs, normalize_rhs_panel
 
-__all__ = ["Workspace", "TapeOp", "CycleTape", "taped_solve"]
+__all__ = ["Workspace", "TapeOp", "CycleTape", "taped_solve",
+           "taped_solve_multi"]
 
 
 class Workspace:
@@ -45,14 +47,26 @@ class Workspace:
     ``r``/``t`` are residual and smoother scratch; coarse-level ``x``/``b``
     are written by the restrict ops of the level above.  Values handed to
     callers are always copies — no slot ever escapes the tape.
+
+    Batched tapes pass ``batch=k`` and every slot widens to a ``(k, n)``
+    **row panel**: row j is right-hand side j, kept contiguous so
+    per-column norms and the width-1-equivalent reductions read
+    unit-stride memory, and so the level's ``(n,)`` smoothing diagonal
+    broadcasts across the panel unchanged.  The public ``(n, k)``
+    column-panel convention of the entry points transposes at the
+    boundary, never inside the tape.
     """
 
-    def __init__(self, hierarchy: AMGHierarchy) -> None:
+    def __init__(self, hierarchy: AMGHierarchy, batch: int | None = None) -> None:
+        if batch is not None and batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
         sizes = [lvl.n for lvl in hierarchy.levels]
-        self.x = [accumulator(n) for n in sizes]
-        self.b = [accumulator(n) for n in sizes]
-        self.r = [accumulator(n) for n in sizes]
-        self.t = [accumulator(n) for n in sizes]
+        shape = (lambda n: n) if batch is None else (lambda n: (batch, n))
+        self.batch = batch
+        self.x = [accumulator(shape(n)) for n in sizes]
+        self.b = [accumulator(shape(n)) for n in sizes]
+        self.r = [accumulator(shape(n)) for n in sizes]
+        self.t = [accumulator(shape(n)) for n in sizes]
 
     @property
     def nbytes(self) -> int:
@@ -105,6 +119,11 @@ class CycleTape:
     check_spmv: Callable | None = None
     #: (level, sweeps) per smooth op, for metrics parity when tracing.
     smoother_sweeps: tuple[tuple[int, int], ...] = ()
+    #: RHS-panel width of a batched tape (``None`` = classic width-1).
+    #: A batched tape's workspace slots are ``(batch, n)`` row panels and
+    #: its ``cycle``/``apply`` take row panels; the contract is per-column
+    #: bit-identity with the width-1 replay.
+    batch: int | None = None
     _struct_key: tuple = field(default_factory=tuple)
     _fns: tuple[Callable[[], None], ...] = field(default_factory=tuple)
 
@@ -128,8 +147,9 @@ class CycleTape:
         for op in self.ops:
             counts[op.kind] = counts.get(op.kind, 0) + 1
         body = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        width = "" if self.batch is None else f" batch={self.batch},"
         return (
-            f"CycleTape({self.params.cycle_type}-cycle, "
+            f"CycleTape({self.params.cycle_type}-cycle,{width} "
             f"{len(self.ops)} ops [{body}], "
             f"{self.spmv_calls_per_cycle} spmv/cycle, "
             f"workspace {self.workspace.nbytes} B)"
@@ -157,10 +177,36 @@ class CycleTape:
             ).inc(sweeps)
 
     def _verify_cycle(self, x_before: np.ndarray) -> None:
-        """Differential oracle: replay vs interpreted cycle, bit for bit."""
+        """Differential oracle: replay vs interpreted cycle, bit for bit.
+
+        A batched tape verifies per column against the *width-1*
+        interpreted cycle (``check_spmv`` is the scalar binding closure)
+        — the batch path's oracle is the column loop itself, so batching
+        can never change answers, only speed.
+        """
         if self.check_spmv is None:
             return
         ws = self.workspace
+        if self.batch is not None:
+            for j in range(self.batch):
+                x_ref = mg_cycle(self.hierarchy, ws.b[0][j], x_before[j],
+                                 self.check_spmv, self.params, SolveStats())
+                if not np.array_equal(
+                    ws.x[0][j], np.asarray(x_ref, dtype=np.float64),
+                    equal_nan=True,
+                ):
+                    from repro.check import ContractViolation
+
+                    bad = int(np.flatnonzero(ws.x[0][j] != x_ref)[0])
+                    raise ContractViolation(
+                        "tape",
+                        "tape/replay-differential",
+                        f"batched replay column {j} diverges from the "
+                        "width-1 interpreted cycle (first mismatch at row "
+                        f"{bad}: taped={ws.x[0][j][bad]!r}, "
+                        f"interpreted={x_ref[bad]!r})",
+                    )
+            return
         x_ref = mg_cycle(self.hierarchy, ws.b[0], x_before, self.check_spmv,
                          self.params, SolveStats())
         if not np.array_equal(
@@ -182,7 +228,10 @@ class CycleTape:
         """One replayed cycle on *b* from *x0* (zero when omitted).
 
         Returns a fresh iterate; under an active check region the result
-        is verified against the interpreted cycle first.
+        is verified against the interpreted cycle first.  A batched tape
+        takes and returns ``(batch, n)`` row panels — the internal
+        workspace layout; callers holding ``(n, k)`` column panels
+        transpose at the boundary.
         """
         if self.is_stale():
             raise RuntimeError(
@@ -248,12 +297,15 @@ def taped_solve(
             f"tape recorded for cycle shape {_cycle_shape(tape.params)}, "
             f"got {_cycle_shape(params)}; re-record for this shape"
         )
+    if tape.batch is not None:
+        raise ValueError(
+            f"tape was recorded for a batch of {tape.batch} right-hand "
+            "sides; use taped_solve_multi"
+        )
     hierarchy = tape.hierarchy
     ws = tape.workspace
-    b = np.asarray(b, dtype=np.float64)
     n = hierarchy.levels[0].n
-    if b.shape != (n,):
-        raise ValueError(f"b has shape {b.shape}, expected ({n},)")
+    b = normalize_rhs(b, n)
     residual_run = tape.residual_run
     if residual_run is None:
         raise RuntimeError("tape has no residual binding; re-record")
@@ -320,3 +372,143 @@ def taped_solve(
         if tel is not None:
             tel.converged = stats.converged
     return x.copy(), stats
+
+
+def taped_solve_multi(
+    tape: CycleTape,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    params: SolveParams | None = None,
+) -> tuple[np.ndarray, list[SolveStats]]:
+    """Iterate a batched tape over an ``(n, k)`` block of right-hand sides.
+
+    One widened replay per iteration advances all k columns at once; the
+    contract is that column j of the result, and its :class:`SolveStats`
+    (iteration count, residual history, SpMV calls, convergence flag),
+    are bit-identical to ``taped_solve(tape1, b[:, j], x0[:, j], params)``
+    on the width-1 tape of the same cycle shape.  Per-column convergence
+    follows ``amg_solve`` statement for statement: with a positive
+    tolerance a column that converges is *frozen* — its iterate
+    snapshotted at that iteration, its stats stop advancing — exactly
+    where the width-1 loop would have broken, while the remaining columns
+    keep iterating (the replay keeps updating every row of the panel;
+    frozen rows simply stop being read).  In paper mode
+    (``tolerance=0.0``) every column runs all iterations and the
+    machine-precision floor sets its converged flag, as in the width-1
+    path.
+
+    Returns the ``(n, k)`` float64 solution block and one
+    :class:`SolveStats` per column.
+    """
+    if tape.is_stale():
+        raise RuntimeError(
+            "stale tape: the hierarchy changed since recording; "
+            "re-record before replaying"
+        )
+    if tape.batch is None:
+        raise ValueError(
+            "tape was recorded for a single right-hand side; record with "
+            "batch=k (or use taped_solve)"
+        )
+    if params is None:
+        params = tape.params
+    elif _cycle_shape(params) != _cycle_shape(tape.params):
+        raise ValueError(
+            f"tape recorded for cycle shape {_cycle_shape(tape.params)}, "
+            f"got {_cycle_shape(params)}; re-record for this shape"
+        )
+    hierarchy = tape.hierarchy
+    ws = tape.workspace
+    n = hierarchy.levels[0].n
+    b = normalize_rhs_panel(b, n)
+    k = b.shape[1]
+    if k != tape.batch:
+        raise ValueError(
+            f"tape was recorded for batch width {tape.batch}, got a "
+            f"{k}-column block; record a width-{k} tape"
+        )
+    residual_run = tape.residual_run
+    if residual_run is None:
+        raise RuntimeError("tape has no residual binding; re-record")
+    stats = [SolveStats() for _ in range(k)]
+    check = check_runtime.is_active() and tape.check_spmv is not None
+
+    bp = ws.b[0]
+    np.copyto(bp, b.T)
+    x = ws.x[0]
+    if x0 is None:
+        x[...] = 0.0
+    else:
+        x0 = normalize_rhs_panel(x0, n, name="x0")
+        if x0.shape[1] != k:
+            raise ValueError(
+                f"x0 has {x0.shape[1]} columns, expected {k} (one per "
+                "right-hand side)"
+            )
+        np.copyto(x, x0.T, casting="unsafe")
+    r = ws.r[0]
+
+    psp = obs_trace.phase_span("solve")
+    with psp:
+        np.subtract(bp, residual_run(x), out=r)
+        norms0 = [0.0] * k
+        done = np.zeros(k, dtype=bool)
+        # Frozen per-column results: row j is overwritten the moment
+        # column j's width-1 loop would have returned.
+        x_final = x.copy()
+        for j in range(k):
+            stats[j].spmv_calls += 1
+            norms0[j] = float(np.linalg.norm(r[j]))
+            stats[j].residual_history.append(norms0[j])
+            if norms0[j] == 0.0:
+                stats[j].converged = True
+                done[j] = True
+        eps = float(np.finfo(np.float64).eps)
+        traced = obs_trace.is_active()
+        if not done.all():
+            per_cycle = tape.spmv_calls_per_cycle + 1
+            for it in range(params.max_iterations):
+                csp = (
+                    obs_trace.TRACER.open(
+                        f"cycle[{it}]", "cycle",
+                        {"iteration": it, "taped": True, "batch": k},
+                    )
+                    if traced
+                    else obs_trace.NULL_SPAN
+                )
+                with csp:
+                    x_before = x.copy() if check else None
+                    tape.run_cycle()
+                    if check:
+                        tape._verify_cycle(x_before)
+                    if traced:
+                        tape._fold_observability()
+                    np.subtract(bp, residual_run(x), out=r)
+                for j in range(k):
+                    if done[j]:
+                        continue
+                    st = stats[j]
+                    st.spmv_calls += per_cycle
+                    rnorm = float(np.linalg.norm(r[j]))
+                    st.residual_history.append(rnorm)
+                    st.iterations = it + 1
+                    eps_floor = norms0[j] * eps
+                    if rnorm <= max(params.tolerance * norms0[j], eps_floor):
+                        st.converged = True
+                        if params.tolerance > 0:
+                            done[j] = True
+                            x_final[j] = x[j]
+                if params.tolerance > 0 and bool(done.all()):
+                    break
+        for j in range(k):
+            if not done[j]:
+                x_final[j] = x[j]
+        if traced:
+            for j in range(k):
+                obs_conv.observe_history(
+                    "amg", stats[j].residual_history, stats[j].converged,
+                    cycle_type=params.cycle_type, smoother=params.smoother,
+                    levels=hierarchy.num_levels, taped=True, batch=k,
+                    column=j,
+                )
+    return np.ascontiguousarray(x_final.T), stats

@@ -8,7 +8,14 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["require", "check_1d", "check_dtype", "check_square"]
+__all__ = [
+    "require",
+    "check_1d",
+    "check_dtype",
+    "check_square",
+    "normalize_rhs",
+    "normalize_rhs_panel",
+]
 
 
 def require(cond: bool, message: str) -> None:
@@ -59,3 +66,63 @@ def check_square(shape: tuple[int, int], name: str = "matrix") -> None:
     """Raise unless *shape* describes a square matrix."""
     if shape[0] != shape[1]:
         raise ValueError(f"{name} must be square, got shape {shape}")
+
+
+def normalize_rhs(
+    b: np.ndarray, n: int | None = None, *, name: str = "b"
+) -> np.ndarray:
+    """Normalise a right-hand side to a contiguous float64 ``(n,)`` vector.
+
+    The shared contract of every single-RHS solver entry point (``pcg``,
+    ``gmres``, ``bicgstab``, ``amg_solve``, ``taped_solve``):
+
+    * a 1-D vector passes through (cast to float64);
+    * an ``(n, 1)`` column — the shape ``mmread`` and dense column slices
+      produce — is squeezed to ``(n,)``;
+    * any other rank or a 2-D shape wider than one column raises
+      :class:`ValueError` (multi-RHS panels belong to the ``*_multi``
+      entry points, which take ``(n, k)``).
+
+    Before this helper existed the Krylov solvers accepted a 2-D ``b``
+    unvalidated — ``b.shape[0]`` was taken and the iteration broadcast
+    into ``(n, n)`` garbage — while the AMG entry points hard-rejected
+    the same ``(n, 1)`` input.
+    """
+    b = np.asarray(b, dtype=np.float64)
+    if b.ndim == 2 and b.shape[1] == 1:
+        b = np.ascontiguousarray(b[:, 0])
+    if b.ndim != 1:
+        raise ValueError(
+            f"{name} must be a 1-D vector or an (n, 1) column, "
+            f"got shape {b.shape}; pass multi-RHS panels to the "
+            f"*_multi entry points"
+        )
+    if n is not None and b.shape[0] != n:
+        raise ValueError(f"{name} has shape {b.shape}, expected ({n},)")
+    return b
+
+
+def normalize_rhs_panel(
+    b: np.ndarray, n: int | None = None, *, name: str = "B"
+) -> np.ndarray:
+    """Normalise a multi-RHS block to a float64 ``(n, k)`` column panel.
+
+    A 1-D vector is promoted to a one-column panel ``(n, 1)``; a 2-D
+    array must already have ``n`` rows (columns are the right-hand
+    sides).  A transposed ``(k, n)`` panel is rejected, not silently
+    reinterpreted.
+    """
+    b = np.asarray(b, dtype=np.float64)
+    if b.ndim == 1:
+        b = b[:, None]
+    if b.ndim != 2:
+        raise ValueError(
+            f"{name} must be an (n, k) panel of right-hand-side columns, "
+            f"got shape {b.shape}"
+        )
+    if n is not None and b.shape[0] != n:
+        raise ValueError(
+            f"{name} has shape {b.shape}, expected ({n}, k) — columns are "
+            f"the right-hand sides; transpose a (k, n) panel before passing"
+        )
+    return b
