@@ -104,8 +104,10 @@ def bench_matrix(name: str, widths: list[int], repeats: int, rng) -> list[dict]:
 
         sim_us = sim_cycle_us(tape_w)
         per_rhs_us = sim_us / width
-        host_s = common.median_time(lambda: tape_w.cycle(cycle_arg),
-                                    repeats)
+        host_s = common.median_time(
+            lambda tape_w=tape_w, cycle_arg=cycle_arg: tape_w.cycle(cycle_arg),
+            repeats,
+        )
         rec = {
             "matrix": name,
             "op": f"width{width}",
@@ -152,7 +154,7 @@ def run(matrices=None, widths=None, repeats=None, out_path=OUT_PATH):
         common.reset_metrics()
         results.extend(bench_matrix(name, widths, repeats, rng))
         metrics[name] = common.collect_metrics(
-            lambda: _instrumented_pass(name, widths, rng)
+            lambda name=name: _instrumented_pass(name, widths, rng)
         )
     summary = common.summarize_speedups(
         results, [f"width{w}" for w in widths]

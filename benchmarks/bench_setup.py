@@ -185,7 +185,7 @@ def run(matrices=None, repeats=None, out_path=OUT_PATH):
                 f"cold {cold_s:.5f}s  speedup {rec['speedup']:.2f}x"
             )
         metrics[name] = common.collect_metrics(
-            lambda: _instrumented_pass(csr)
+            lambda csr=csr: _instrumented_pass(csr)
         )
     summary = common.summarize_speedups(
         results, ("resetup", "spgemm_plan_hit", "conversion_replay")

@@ -1,37 +1,63 @@
-"""``repro.lint`` — repo-specific AST static analysis.
+"""``repro.lint`` — repo-specific static analysis, now interprocedural.
 
 The runtime contract checker (``repro.check``, PR 2) verifies kernel
 behaviour *dynamically*; this package catches the recurring bug classes
-*statically*, before a kernel runs:
+*statically*, before a kernel runs.  Since PR 8 the engine parses the
+whole tree first, builds a project-wide call graph
+(:mod:`repro.lint.callgraph`) and a buffer-provenance lattice
+(:mod:`repro.lint.provenance`), and hands both to every rule — so a rule
+can follow a workspace slot from ``tape/recorder.py`` into a binding
+closure in ``kernels/spmv.py``.
 
-====  ====================  ========  =============================================
-id    name                  severity  invariant guarded
-====  ====================  ========  =============================================
-R1    dtype-flow            error     no silent precision changes across the
-                                      FP64/FP32/FP16 level policy
-R2    scatter-ban           error     all scatters go through util/segops.py
-R3    constant-provenance   error     paper constants (popcount 10, 4x4 tiles,
-                                      variation 0.5, 8x8x4 fragments) are imported,
-                                      never re-typed
-R4    contract-hook         error     every public kernel entry point consults the
-                                      repro.check runtime hook
-R5    hot-loop-alloc        advisory  allocations inside kernel/format loops are
-                                      cache candidates
-====  ====================  ========  =============================================
+====  =====================  ========  ============================================
+id    name                   severity  invariant guarded
+====  =====================  ========  ============================================
+R1    dtype-flow             error     no silent precision changes across the
+                                       FP64/FP32/FP16 level policy
+R2    scatter-ban            error     all scatters go through util/segops.py
+R3    constant-provenance    error     paper constants (popcount 10, 4x4 tiles,
+                                       variation 0.5, 8x8x4 fragments) are
+                                       imported, never re-typed
+R4    contract-hook          error     every public kernel entry point consults
+                                       the repro.check runtime hook (delegation
+                                       followed through the call graph)
+R5    hot-loop-alloc         advisory  allocations inside kernel/format/solver/
+                                       tape loops — including those hidden in
+                                       private callees — are cache candidates
+R6    root-span              advisory  public solver entry points open a
+                                       repro.obs span
+R7    workspace-aliasing     error     no dead double-writes to a tape workspace
+                                       slot; out= never aliases a read operand of
+                                       a non-alias-safe kernel
+R8    escaping-view          error     no workspace slot, view of one, or
+                                       binding-owned buffer escapes a public
+                                       function or closure without .copy()
+R9    stale-closure-capture  warning   no late-binding loop-variable capture in
+                                       binding loops
+====  =====================  ========  ============================================
 
 Run with ``python -m repro.lint [paths]``; suppress a finding with
 ``# lint: disable=R2 -- <justification>`` (the justification is
-mandatory); grandfather findings with ``--write-baseline``.
+mandatory); grandfather findings with ``--write-baseline``; drop stale
+baseline entries with ``--prune-baseline``; scope a fast pre-commit run
+with ``--changed``; emit SARIF with ``--format=sarif`` / ``--sarif-out``.
 """
 
 from repro.lint.baseline import Baseline
+from repro.lint.callgraph import FunctionInfo, ModuleInfo, ProjectIndex
 from repro.lint.engine import LintResult, lint_file, lint_paths
 from repro.lint.finding import RULES, Finding, Rule, Severity
+from repro.lint.provenance import Prov, ProvenanceAnalyzer
 
 __all__ = [
     "Baseline",
     "Finding",
+    "FunctionInfo",
     "LintResult",
+    "ModuleInfo",
+    "ProjectIndex",
+    "Prov",
+    "ProvenanceAnalyzer",
     "RULES",
     "Rule",
     "Severity",

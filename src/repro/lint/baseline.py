@@ -111,3 +111,38 @@ class Baseline:
             for f, fp in fingerprints(findings, sources)
             if fp not in self.entries
         ]
+
+    def stale_entries(
+        self, findings: list[Finding], sources: dict[str, list[str]]
+    ) -> dict[str, dict]:
+        """Entries whose finding no longer exists: fp -> stored entry.
+
+        An entry is stale when this (full-tree) run did not reproduce its
+        fingerprint *and* the run actually looked where the finding
+        lived: either the entry's file was among the linted sources (the
+        finding was fixed) or no linted source matches it at all (the
+        file was deleted or moved).  Fingerprints of suppressed findings
+        are not reproduced either — that is by design: a finding that
+        gained an inline suppression no longer needs its baseline entry.
+        """
+        if not self.entries:
+            return {}
+        current = {fp for _, fp in fingerprints(findings, sources)}
+        portable_sources = {_portable_path(p) for p in sources}
+        stale: dict[str, dict] = {}
+        for fp, entry in self.entries.items():
+            if fp in current:
+                continue
+            entry_path = _portable_path(str(entry.get("path", "")))
+            covered = entry_path in portable_sources
+            if covered or not Path(str(entry.get("path", ""))).exists():
+                stale[fp] = entry
+        return stale
+
+    def pruned(self, stale: dict[str, dict]) -> "Baseline":
+        """A copy of this baseline without the *stale* entries."""
+        return Baseline(
+            entries={
+                fp: e for fp, e in self.entries.items() if fp not in stale
+            }
+        )

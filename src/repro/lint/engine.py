@@ -1,4 +1,18 @@
-"""Orchestration: walk files, run rules, apply suppressions + baseline."""
+"""Orchestration: parse the tree, build the project index, run rules.
+
+Since PR 8 linting is a two-phase pass.  Phase one parses *every*
+requested file and builds the :class:`~repro.lint.callgraph.ProjectIndex`
+— the shared call graph the interprocedural rules (R4 delegation, R5
+hidden in-loop allocation, R7/R8 buffer provenance) resolve edges
+through.  Phase two runs the per-file checkers; each receives its own
+:class:`ModuleContext` *and* the whole-project index, so a rule scoped to
+one file can still see a binding in ``kernels/spmv.py`` hand a workspace
+view to a closure minted in ``tape/recorder.py``.
+
+The ``report_on`` parameter decouples *indexing* scope from *reporting*
+scope: ``--changed`` indexes the full tree (the call graph needs
+cross-file context) but reports findings only for the changed files.
+"""
 
 from __future__ import annotations
 
@@ -7,8 +21,14 @@ from pathlib import Path
 from typing import Callable, Iterable
 
 from repro.lint.baseline import Baseline
+from repro.lint.callgraph import ProjectIndex
 from repro.lint.context import ModuleContext, load_module
 from repro.lint.finding import RULES, Finding, Severity, make_finding
+from repro.lint.rules_aliasing import (
+    check_escaping_views,
+    check_stale_closure_capture,
+    check_workspace_aliasing,
+)
 from repro.lint.rules_alloc import check_hot_loop_alloc
 from repro.lint.rules_constants import check_constant_provenance
 from repro.lint.rules_dtype import check_dtype_flow
@@ -20,14 +40,24 @@ from repro.lint.rules_invariants import (
 from repro.lint.suppress import apply_suppressions, parse_suppressions
 
 #: rule id -> checker.  R0 has no checker; it is emitted by the machinery.
-CHECKERS: dict[str, Callable[[ModuleContext], list[Finding]]] = {
+#: Every checker takes ``(ctx, index)``; file-local rules ignore the index.
+CHECKERS: dict[
+    str, Callable[[ModuleContext, ProjectIndex], list[Finding]]
+] = {
     "R1": check_dtype_flow,
     "R2": check_scatter_ban,
     "R3": check_constant_provenance,
     "R4": check_contract_hooks,
     "R5": check_hot_loop_alloc,
     "R6": check_root_spans,
+    "R7": check_workspace_aliasing,
+    "R8": check_escaping_views,
+    "R9": check_stale_closure_capture,
 }
+
+#: Rules that resolve call edges across files: when any of these is
+#: active, ``--changed`` must still parse and index the full tree.
+INTERPROCEDURAL_RULES = frozenset({"R4", "R5", "R7", "R8"})
 
 
 @dataclass
@@ -37,6 +67,10 @@ class LintResult:
     findings: list[Finding] = field(default_factory=list)
     sources: dict[str, list[str]] = field(default_factory=dict)
     files_checked: int = 0
+    #: Baseline entries whose finding no longer exists (fingerprint not
+    #: reproduced by this run): fp -> stored entry.  Populated only on
+    #: full-tree runs (a scoped run cannot tell "gone" from "not seen").
+    stale_baseline: dict[str, dict] = field(default_factory=dict)
 
     def errors(self) -> list[Finding]:
         return [f for f in self.findings if f.severity is Severity.ERROR]
@@ -80,34 +114,61 @@ def _selected_rules(
     return rules - set(ignore or ())
 
 
-def lint_file(
-    path: Path,
-    rules: set[str] | None = None,
-) -> tuple[list[Finding], list[str]]:
-    """Lint one file; returns (findings, source lines)."""
-    active = rules if rules is not None else set(CHECKERS)
-    display = path.as_posix()
-    try:
-        ctx = load_module(path, display_path=display)
-    except SyntaxError as exc:
-        return (
-            [
+def _parse_files(
+    files: Iterable[Path],
+) -> tuple[list[ModuleContext], list[Finding], dict[str, list[str]]]:
+    """Parse every file: (contexts, R0 parse findings, sources)."""
+    ctxs: list[ModuleContext] = []
+    problems: list[Finding] = []
+    sources: dict[str, list[str]] = {}
+    for path in files:
+        display = path.as_posix()
+        try:
+            ctx = load_module(path, display_path=display)
+        except SyntaxError as exc:
+            problems.append(
                 make_finding(
                     "R0", display, exc.lineno or 1,
                     f"file does not parse: {exc.msg}",
                 )
-            ],
-            [],
-        )
+            )
+            sources[display] = []
+            continue
+        ctxs.append(ctx)
+        sources[display] = ctx.lines
+    return ctxs, problems, sources
+
+
+def _check_module(
+    ctx: ModuleContext, index: ProjectIndex, rules: set[str]
+) -> list[Finding]:
     findings: list[Finding] = []
-    for rule_id in sorted(active):
-        findings += CHECKERS[rule_id](ctx)
+    for rule_id in sorted(rules):
+        findings += CHECKERS[rule_id](ctx, index)
     # Nested defs are walked as part of their enclosing scope too; keep
     # one finding per (rule, line, message).
     findings = list(dict.fromkeys(findings))
     suppressions, problems = parse_suppressions(ctx.path, ctx.lines)
-    findings = apply_suppressions(findings, suppressions) + problems
-    return findings, ctx.lines
+    return apply_suppressions(findings, suppressions) + problems
+
+
+def lint_file(
+    path: Path,
+    rules: set[str] | None = None,
+) -> tuple[list[Finding], list[str]]:
+    """Lint one file in isolation; returns (findings, source lines).
+
+    The project index contains just this file, so interprocedural rules
+    resolve what they can locally (closures, same-class delegation,
+    module-level helpers) and treat everything else as opaque.
+    """
+    active = rules if rules is not None else set(CHECKERS)
+    ctxs, problems, sources = _parse_files([path])
+    if not ctxs:
+        return problems, sources.get(path.as_posix(), [])
+    ctx = ctxs[0]
+    index = ProjectIndex(ctxs)
+    return _check_module(ctx, index, active) + problems, ctx.lines
 
 
 def lint_paths(
@@ -116,16 +177,35 @@ def lint_paths(
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
     baseline: Baseline | None = None,
+    report_on: set[str] | None = None,
 ) -> LintResult:
-    """Lint *paths*; the module-level entry point used by the CLI and tests."""
+    """Lint *paths*; the module-level entry point used by the CLI and tests.
+
+    ``report_on`` (display paths, posix) restricts which files *report*
+    findings; the whole tree is still parsed and indexed so cross-file
+    call edges resolve.  ``None`` reports on everything.
+    """
     rules = _selected_rules(select, ignore)
     result = LintResult()
-    for path in iter_python_files(paths):
-        findings, lines = lint_file(path, rules)
-        result.findings += findings
-        result.sources[path.as_posix()] = lines
+    ctxs, problems, sources = _parse_files(iter_python_files(paths))
+    index = ProjectIndex(ctxs)
+    scoped = (
+        problems
+        if report_on is None
+        else [f for f in problems if f.path in report_on]
+    )
+    result.findings += scoped
+    for ctx in ctxs:
+        if report_on is not None and ctx.path not in report_on:
+            continue
+        result.findings += _check_module(ctx, index, rules)
         result.files_checked += 1
+    result.sources = sources
     if baseline is not None:
+        if report_on is None:
+            result.stale_baseline = baseline.stale_entries(
+                result.findings, result.sources
+            )
         result.findings = baseline.filter(result.findings, result.sources)
     result.findings.sort(key=Finding.sort_key)
     return result

@@ -3,7 +3,7 @@
 The analyzer is deliberately repo-specific: its rules encode invariants of
 *this* reproduction (the FP64/FP32/FP16 level policy, the segmented-
 reduction engine, the paper's tile constants, the runtime contract hooks)
-rather than generic style.  Each rule has a stable id (``R1``..``R5``,
+rather than generic style.  Each rule has a stable id (``R1``..``R9``,
 plus ``R0`` for problems with the lint machinery itself) used in
 suppression comments and baseline entries.
 """
@@ -97,6 +97,34 @@ RULES: dict[str, Rule] = {
             "Public solver entry points (setup/solve/precondition and the "
             "Krylov drivers) that never open a repro.obs span: traced runs "
             "(REPRO_TRACE=1) would record nothing for this phase.",
+        ),
+        Rule(
+            "R7",
+            "workspace-aliasing",
+            Severity.ERROR,
+            "Tape workspace slots written twice with no intervening read "
+            "ordering (dead store: one op's output is silently discarded), "
+            "or out= aliasing a read operand of a kernel not documented "
+            "alias-safe (non-elementwise kernels may read elements the "
+            "aliased write already overwrote).",
+        ),
+        Rule(
+            "R8",
+            "escaping-view",
+            Severity.ERROR,
+            "A public function or closure returning or storing a Workspace "
+            "slot, a view of one, or a binding-owned reused buffer, without "
+            ".copy().  The PR 6 tape contract — results are always copies — "
+            "checked at parse time via interprocedural provenance.",
+        ),
+        Rule(
+            "R9",
+            "stale-closure-capture",
+            Severity.WARNING,
+            "A def/lambda minted inside a loop that reads a loop-carried "
+            "name by reference: every closure sees the last iteration's "
+            "value at call time.  Bind through a factory function (the "
+            "tape/recorder.py convention) or a default argument.",
         ),
     )
 }

@@ -1,0 +1,473 @@
+"""Buffer-provenance lattice for ndarray values.
+
+The tape/binding layer's memory-safety contract (PR 6) is a borrow
+checker's problem statement: ``Workspace`` slots are owned by the tape,
+results handed to callers are always copies, binding closures reuse
+scratch buffers that must never escape a single call.  This module
+tracks where each ndarray value *came from* through def-use chains:
+
+======================  ==============================================
+provenance              meaning
+======================  ==============================================
+``FRESH``               allocated in the current scope (``np.zeros``,
+                        ``accumulator()``, ``.copy()``, ufunc results)
+``OWNED``               a workspace slot (``ws.x[level]``), a buffer
+                        allocated in an *enclosing* scope and reused
+                        across calls of a closure, or a value a callee
+                        summary reports as owned
+``VIEW(base)``          a view (slice / ``.T`` / ``reshape`` /
+                        ``asarray``) of *base* — escaping a view of an
+                        owned buffer is as bad as escaping the buffer
+``PARAM(i)``            passthrough of parameter *i* (resolved at call
+                        sites when applying a summary)
+``WSOBJ`` / ``WSFIELD``  a ``Workspace`` instance / one of its slot
+                        lists (``ws.x``) — subscripting yields OWNED
+``FROZEN``              a buffer made read-only via
+                        ``setflags(write=False)``: sharing it is safe
+``UNKNOWN``             anything the analysis cannot classify
+======================  ==============================================
+
+Function *summaries* abstract the provenance of return values over the
+parameters, so the classification crosses calls: if
+``_get_slot(ws, i)`` returns ``ws.x[i]``, every caller's
+``_get_slot(...)`` result is OWNED.  Summaries are computed on demand
+with a cycle guard (recursive call chains degrade to UNKNOWN), which
+gives the fixpoint for the acyclic call graphs the repo actually has.
+
+The analysis is flow-insensitive per branch arm (statements are
+interpreted in order; both arms of an ``if`` feed the same environment)
+and deliberately conservative: unresolved calls, attribute reads on
+arbitrary objects and container round-trips all degrade to UNKNOWN, so
+the rules built on top (R7/R8) err toward silence, not noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.lint.astutil import dotted_name
+from repro.lint.callgraph import FunctionInfo, ProjectIndex
+
+__all__ = ["Prov", "FunctionAnalysis", "ProvenanceAnalyzer"]
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: numpy-level constructors that always return a new buffer.
+_FRESH_CALLS = frozenset(
+    {
+        "zeros", "empty", "ones", "full", "arange", "linspace",
+        "zeros_like", "empty_like", "ones_like", "full_like",
+        "bincount", "concatenate", "stack", "hstack", "vstack",
+        "array", "copy", "repeat", "tile", "einsum", "matmul", "dot",
+        "where", "diff", "cumsum", "sort", "unique", "interp",
+    }
+)
+
+#: repo-local allocator helpers (conventionally imported bare).
+_FRESH_LOCAL = frozenset({"accumulator"})
+
+#: methods/functions returning a view (or possibly the input itself).
+_VIEW_CALLS = frozenset(
+    {
+        "reshape", "ravel", "view", "transpose", "swapaxes", "squeeze",
+        "asarray", "ascontiguousarray", "asfortranarray", "atleast_1d",
+        "atleast_2d",
+    }
+)
+
+#: attribute reads that are views of the base array.
+_VIEW_ATTRS = frozenset({"T", "real", "imag", "flat", "mT"})
+
+#: names that denote a Workspace object wherever they appear.
+_WS_NAMES = frozenset({"ws", "workspace"})
+_WS_ATTRS = frozenset({"ws", "workspace"})
+
+
+@dataclass(frozen=True)
+class Prov:
+    """One lattice point.  ``kind`` is the tag; ``base`` chains views,
+    ``index`` identifies parameters, ``origin`` carries the human story
+    ("workspace slot ws.x[level]") for findings."""
+
+    kind: str  # unknown|fresh|owned|view|param|wsobj|wsfield|frozen|func
+    base: "Prov | None" = None
+    index: int = -1
+    origin: str = ""
+
+    # -- constructors ---------------------------------------------------
+    @staticmethod
+    def unknown() -> "Prov":
+        return _UNKNOWN
+
+    @staticmethod
+    def fresh() -> "Prov":
+        return _FRESH
+
+    @staticmethod
+    def owned(origin: str) -> "Prov":
+        return Prov("owned", origin=origin)
+
+    @staticmethod
+    def view(base: "Prov") -> "Prov":
+        # Collapse view-of-view; a view of UNKNOWN/FRESH keeps its base
+        # so `is_owned` stays decidable in one hop.
+        if base.kind == "view":
+            return base
+        return Prov("view", base=base)
+
+    @staticmethod
+    def param(i: int, name: str) -> "Prov":
+        return Prov("param", index=i, origin=name)
+
+    # -- predicates -----------------------------------------------------
+    def root(self) -> "Prov":
+        return self.base.root() if self.base is not None else self
+
+    def is_owned(self) -> bool:
+        return self.root().kind == "owned"
+
+    def is_ws_object(self) -> bool:
+        return self.kind in ("wsobj", "wsfield")
+
+    def describe(self) -> str:
+        r = self.root()
+        prefix = "a view of " if self.kind == "view" else ""
+        return prefix + (r.origin or r.kind)
+
+
+_UNKNOWN = Prov("unknown")
+_FRESH = Prov("fresh")
+_WSOBJ = Prov("wsobj", origin="a Workspace object")
+_WSFIELD = Prov("wsfield", origin="a Workspace slot list")
+_FROZEN = Prov("frozen")
+_FUNCVAL = Prov("func")
+
+#: severity ranking used when joining branches: keep the most dangerous.
+_RANK = {
+    "owned": 6, "view": 5, "wsfield": 4, "wsobj": 3,
+    "param": 2, "unknown": 1, "frozen": 1, "func": 0, "fresh": 0,
+}
+
+
+def join(a: Prov, b: Prov) -> Prov:
+    if a == b:
+        return a
+    ra = _RANK.get(a.kind if a.kind != "view" else a.root().kind, 1)
+    rb = _RANK.get(b.kind if b.kind != "view" else b.root().kind, 1)
+    if a.kind == "view":
+        ra = max(ra, _RANK.get(a.root().kind, 1))
+    return a if ra >= rb else b
+
+
+#: summary atoms: 'fresh' | 'owned' | 'unknown' | 'wsobj'
+#: | ('param', i) | ('view-param', i)
+Summary = object
+
+
+@dataclass
+class FunctionAnalysis:
+    """Result of one function's intraprocedural pass."""
+
+    fn: FunctionInfo
+    env: dict[str, Prov]
+    #: provenance of each `return <expr>` (expr node, prov)
+    returns: list[tuple[ast.expr, Prov]]
+    #: names frozen via setflags(write=False)
+    frozen: set[str]
+
+    def return_summary(self) -> tuple:
+        """Abstract the joined return provenance over the parameters."""
+        out = []
+        for _, prov in self.returns:
+            root = prov.root()
+            if root.kind == "owned":
+                out.append("owned")
+            elif root.kind == "param":
+                tag = "view-param" if prov.kind == "view" else "param"
+                out.append((tag, root.index))
+            elif prov.kind == "fresh" or root.kind == "fresh":
+                out.append("fresh")
+            elif root.kind in ("wsobj", "wsfield"):
+                out.append("wsobj")
+            else:
+                out.append("unknown")
+        return tuple(out)
+
+
+class ProvenanceAnalyzer:
+    """Computes per-function environments and cross-call summaries."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self._analyses: dict[int, FunctionAnalysis] = {}
+        self._summaries: dict[int, tuple] = {}
+        self._in_progress: set[int] = set()
+
+    # -- public API -----------------------------------------------------
+    def analysis(self, fn: FunctionInfo) -> FunctionAnalysis:
+        cached = self._analyses.get(id(fn))
+        if cached is None:
+            cached = self._analyze(fn)
+            self._analyses[id(fn)] = cached
+        return cached
+
+    def summary(self, fn: FunctionInfo) -> tuple:
+        cached = self._summaries.get(id(fn))
+        if cached is not None:
+            return cached
+        if id(fn) in self._in_progress:  # recursion: degrade to unknown
+            return ("unknown",)
+        self._in_progress.add(id(fn))
+        try:
+            summ = self.analysis(fn).return_summary()
+        finally:
+            self._in_progress.discard(id(fn))
+        self._summaries[id(fn)] = summ
+        return summ
+
+    # -- intraprocedural pass -------------------------------------------
+    def _seed_env(self, fn: FunctionInfo) -> dict[str, Prov]:
+        env: dict[str, Prov] = {}
+        for i, name in enumerate(fn.param_names()):
+            if name in ("self", "cls") and i == 0 and fn.cls is not None:
+                env[name] = _UNKNOWN
+            elif name in _WS_NAMES:
+                env[name] = _WSOBJ
+            else:
+                env[name] = Prov.param(i, f"parameter {name!r}")
+        if fn.parent is not None:
+            # Closure environment: values allocated in the enclosing
+            # scope persist across calls of this closure — returning one
+            # escapes a buffer that the next call will overwrite.
+            parent_env = self.analysis(fn.parent).env
+            for name, prov in parent_env.items():
+                if name in env:
+                    continue
+                root = prov.root()
+                if root.kind == "fresh":
+                    env[name] = Prov.owned(
+                        f"buffer {name!r} allocated in the enclosing scope "
+                        f"of {fn.parent.qualname}() and reused across calls"
+                    )
+                elif root.kind in ("owned", "wsobj", "wsfield"):
+                    env[name] = prov
+                elif prov.kind == "frozen":
+                    env[name] = prov
+                # params of the parent stay unknown: arrays the *caller*
+                # owns, not this closure.
+        return env
+
+    def _analyze(self, fn: FunctionInfo) -> FunctionAnalysis:
+        env = self._seed_env(fn)
+        ana = FunctionAnalysis(fn=fn, env=env, returns=[], frozen=set())
+        # Mark sibling defs so closures are 'func', not arrays.
+        for child in fn.children:
+            env[child.name] = _FUNCVAL
+        self._exec_block(fn.node.body, env, ana, fn)
+        return ana
+
+    def _exec_block(
+        self,
+        body: list[ast.stmt],
+        env: dict[str, Prov],
+        ana: FunctionAnalysis,
+        fn: FunctionInfo,
+    ) -> None:
+        for stmt in body:
+            self._exec_stmt(stmt, env, ana, fn)
+
+    def _exec_stmt(self, stmt, env, ana, fn) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value, env, fn)
+            for target in stmt.targets:
+                self._assign(target, stmt.value, value, env, fn)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            value = self.eval(stmt.value, env, fn)
+            self._assign(stmt.target, stmt.value, value, env, fn)
+        elif isinstance(stmt, ast.AugAssign):
+            pass  # x += ... keeps x's identity
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            ana.returns.append(
+                (stmt.value, self.eval(stmt.value, env, fn))
+            )
+        elif isinstance(stmt, ast.Expr):
+            self._note_setflags(stmt.value, env, ana)
+        elif isinstance(stmt, (ast.If, ast.For, ast.While, ast.Try)):
+            for block in self._sub_blocks(stmt):
+                self._exec_block(block, env, ana, fn)
+        elif isinstance(stmt, ast.With):
+            self._exec_block(stmt.body, env, ana, fn)
+        # nested defs handled via fn.children; other stmts: no effect
+
+    @staticmethod
+    def _sub_blocks(stmt) -> list[list[ast.stmt]]:
+        blocks = [stmt.body, getattr(stmt, "orelse", [])]
+        for handler in getattr(stmt, "handlers", []):
+            blocks.append(handler.body)
+        blocks.append(getattr(stmt, "finalbody", []))
+        return [b for b in blocks if b]
+
+    def _assign(self, target, value_node, value: Prov, env, fn) -> None:
+        if isinstance(target, ast.Name):
+            prev = env.get(target.id)
+            env[target.id] = join(prev, value) if prev is not None else value
+        elif isinstance(target, ast.Tuple) and isinstance(
+            value_node, ast.Tuple
+        ) and len(target.elts) == len(value_node.elts):
+            for t, v in zip(target.elts, value_node.elts):
+                self._assign(t, v, self.eval(v, env, fn), env, fn)
+        elif isinstance(target, ast.Tuple):
+            for t in target.elts:
+                if isinstance(t, ast.Name):
+                    env[t.id] = _UNKNOWN
+        # subscript/attribute stores do not change name provenance
+
+    def _note_setflags(self, expr, env, ana) -> None:
+        if not isinstance(expr, ast.Call):
+            return
+        name = dotted_name(expr.func) or ""
+        parts = name.split(".")
+        if len(parts) == 2 and parts[1] == "setflags":
+            for kw in expr.keywords:
+                if (
+                    kw.arg == "write"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is False
+                ):
+                    env[parts[0]] = _FROZEN
+                    ana.frozen.add(parts[0])
+
+    # -- expression evaluation ------------------------------------------
+    def eval(self, node: ast.expr, env: dict[str, Prov],
+             fn: FunctionInfo) -> Prov:
+        if isinstance(node, ast.Name):
+            return env.get(node.id, _UNKNOWN)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node, env, fn)
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(node, env, fn)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env, fn)
+        if isinstance(node, (ast.BinOp, ast.UnaryOp, ast.Compare)):
+            return _FRESH  # array arithmetic allocates its result
+        if isinstance(node, ast.IfExp):
+            return join(
+                self.eval(node.body, env, fn), self.eval(node.orelse, env, fn)
+            )
+        if isinstance(node, (ast.Tuple, ast.List)):
+            # A container escaping an owned element escapes the element.
+            prov = _FRESH
+            for elt in node.elts:
+                prov = join(prov, self.eval(elt, env, fn))
+            return prov
+        if isinstance(node, (ast.Lambda,)):
+            return _FUNCVAL
+        if isinstance(node, ast.NamedExpr):
+            value = self.eval(node.value, env, fn)
+            env[node.target.id] = value
+            return value
+        return _UNKNOWN
+
+    def _eval_attribute(self, node: ast.Attribute, env, fn) -> Prov:
+        base = self.eval(node.value, env, fn)
+        # ws.x / self.workspace / tape.workspace -> slot list / ws object
+        if node.attr in _WS_ATTRS:
+            return _WSOBJ
+        if base.kind == "wsobj":
+            return _WSFIELD
+        if node.attr in _VIEW_ATTRS and base.kind in (
+            "owned", "view", "fresh", "param"
+        ):
+            return Prov.view(base)
+        return _UNKNOWN
+
+    def _eval_subscript(self, node: ast.Subscript, env, fn) -> Prov:
+        base = self.eval(node.value, env, fn)
+        if base.kind == "wsfield":
+            return Prov.owned(
+                f"workspace slot {ast.unparse(node) if hasattr(ast, 'unparse') else '<slot>'}"
+            )
+        if base.kind in ("owned", "view", "fresh", "param"):
+            return Prov.view(base)
+        return _UNKNOWN
+
+    def _eval_call(self, node: ast.Call, env, fn) -> Prov:
+        name = dotted_name(node.func) or ""
+        parts = name.split(".")
+        tail = parts[-1]
+        if not tail and isinstance(node.func, ast.Attribute):
+            # dotted_name cannot render chains through subscripts/calls
+            # (ws.x[0].reshape); the method name is still decisive.
+            tail = node.func.attr
+        # Workspace(...) construction
+        if tail == "Workspace":
+            return _WSOBJ
+        # .copy() always yields a fresh buffer, whatever the receiver.
+        if tail == "copy" and isinstance(node.func, ast.Attribute):
+            return _FRESH
+        if tail == "astype":
+            copy_kw = next(
+                (kw.value for kw in node.keywords if kw.arg == "copy"), None
+            )
+            if (
+                isinstance(copy_kw, ast.Constant) and copy_kw.value is False
+                and isinstance(node.func, ast.Attribute)
+            ):
+                return Prov.view(self.eval(node.func.value, env, fn))
+            return _FRESH
+        if tail in _VIEW_CALLS:
+            if isinstance(node.func, ast.Attribute):
+                # x.reshape(...) — view of the receiver
+                return Prov.view(self.eval(node.func.value, env, fn))
+            if node.args:
+                # np.asarray(x) may alias x: view of the argument
+                return Prov.view(self.eval(node.args[0], env, fn))
+            return _UNKNOWN
+        if tail in _FRESH_CALLS or (len(parts) == 1 and tail in _FRESH_LOCAL):
+            return _FRESH
+        # Resolved project call: apply the callee's return summary.
+        callee = self.index.resolve_call(fn, node)
+        if callee is not None:
+            return self._apply_summary(callee, node, env, fn)
+        return _UNKNOWN
+
+    def _apply_summary(self, callee: FunctionInfo, node: ast.Call,
+                       env, fn) -> Prov:
+        prov = _FRESH if self.summary(callee) else _UNKNOWN
+        result = None
+        for atom in self.summary(callee):
+            if atom == "owned":
+                cand = Prov.owned(
+                    f"the return value of {callee.qualname}(), "
+                    "which returns a workspace-owned buffer"
+                )
+            elif atom == "fresh":
+                cand = _FRESH
+            elif atom == "wsobj":
+                cand = _WSOBJ
+            elif isinstance(atom, tuple):
+                tag, i = atom
+                arg = self._arg_at(callee, node, i)
+                base = self.eval(arg, env, fn) if arg is not None else _UNKNOWN
+                cand = Prov.view(base) if tag == "view-param" else base
+            else:
+                cand = _UNKNOWN
+            result = cand if result is None else join(result, cand)
+        return result if result is not None else prov
+
+    @staticmethod
+    def _arg_at(callee: FunctionInfo, node: ast.Call, i: int):
+        params = callee.param_names()
+        offset = 1 if params and params[0] in ("self", "cls") and isinstance(
+            node.func, ast.Attribute
+        ) else 0
+        pos = i - offset
+        if 0 <= pos < len(node.args):
+            return node.args[pos]
+        if 0 <= i < len(params):
+            wanted = params[i]
+            for kw in node.keywords:
+                if kw.arg == wanted:
+                    return kw.value
+        return None

@@ -1,15 +1,50 @@
-"""Finding reporters: human text and machine JSON."""
+"""Finding reporters: human text, machine JSON, and SARIF 2.1.0.
+
+SARIF (Static Analysis Results Interchange Format) is what code hosts
+and CI annotation UIs ingest; emitting it makes the analyzer's findings
+show up inline on changed lines instead of living in a job log.  The
+renderer maps the registry onto ``tool.driver.rules``, severities onto
+SARIF levels (ERROR -> ``error``, WARNING -> ``warning``, ADVISORY ->
+``note``), and reuses the baseline's content-addressed fingerprint as
+``partialFingerprints`` so host-side result matching survives line
+drift, exactly like the baseline does.
+"""
 
 from __future__ import annotations
 
 import json
 
+from repro.lint.baseline import fingerprints
 from repro.lint.engine import LintResult
-from repro.lint.finding import RULES
+from repro.lint.finding import RULES, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_SARIF_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.ADVISORY: "note",
+}
+
+
+def _stale_lines(result: LintResult) -> list[str]:
+    lines = []
+    for fp, entry in sorted(result.stale_baseline.items()):
+        lines.append(
+            f"stale baseline entry {fp}: {entry.get('rule')} at "
+            f"{entry.get('path')}:{entry.get('line')} no longer found "
+            "— run with --prune-baseline to drop it"
+        )
+    return lines
 
 
 def render_text(result: LintResult) -> str:
     lines = [f.format_text() for f in result.findings]
+    lines += _stale_lines(result)
     n_err = len(result.errors())
     n_warn = len(result.warnings())
     n_adv = len(result.advisories())
@@ -34,5 +69,65 @@ def render_json(result: LintResult) -> str:
             for rid, rule in RULES.items()
         },
         "findings": [f.to_json() for f in result.findings],
+        "stale_baseline": [
+            {"fingerprint": fp, **entry}
+            for fp, entry in sorted(result.stale_baseline.items())
+        ],
     }
     return json.dumps(payload, indent=2)
+
+
+def render_sarif(result: LintResult) -> str:
+    """The findings as a single-run SARIF 2.1.0 log."""
+    fps = {
+        id(f): fp for f, fp in fingerprints(result.findings, result.sources)
+    }
+    rule_ids = sorted(RULES)
+    rule_index = {rid: i for i, rid in enumerate(rule_ids)}
+    driver = {
+        "name": "repro.lint",
+        "informationUri": "https://example.invalid/repro-lint",
+        "rules": [
+            {
+                "id": rid,
+                "name": RULES[rid].name,
+                "shortDescription": {"text": RULES[rid].name},
+                "fullDescription": {"text": RULES[rid].description},
+                "defaultConfiguration": {
+                    "level": _SARIF_LEVEL[RULES[rid].severity]
+                },
+            }
+            for rid in rule_ids
+        ],
+    }
+    results = [
+        {
+            "ruleId": f.rule,
+            "ruleIndex": rule_index[f.rule],
+            "level": _SARIF_LEVEL[f.severity],
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {"startLine": max(f.line, 1)},
+                    }
+                }
+            ],
+            "partialFingerprints": {
+                "reproLintFingerprint/v1": fps.get(id(f), "")
+            },
+        }
+        for f in result.findings
+    ]
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {"driver": driver},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)

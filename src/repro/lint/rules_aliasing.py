@@ -1,0 +1,466 @@
+"""R7 — workspace-aliasing, R8 — escaping-view, R9 — stale-closure-capture.
+
+These are the parse-time enforcement of the tape/binding memory contract
+(PR 6): workspace slots are tape-owned, results handed out are always
+copies, replay closures are bound once per (level, op) with their
+buffers resolved at bind time.  The ``REPRO_CHECK`` oracles verify those
+invariants dynamically — after the corruption, and only on inputs that
+trigger it; these rules verify them on every parse.
+
+**R7 (workspace-aliasing, error)** has two halves:
+
+* ``out=`` aliasing a *read* operand of the same call.  Elementwise
+  ufuncs (``np.add(x, y, out=x)``) are alias-safe by numpy contract and
+  whitelisted; gather/contraction kernels (``matmul``, ``dot``,
+  ``take``, ``einsum`` …) read their inputs non-elementwise and corrupt
+  silently.  A resolved project kernel may document itself alias-safe by
+  carrying the phrase ``alias-safe`` in its docstring.
+* dead workspace-slot writes: two *full* writes to one slot
+  (``np.copyto(slot, …)`` / ``ufunc(…, out=slot)`` / ``slot[...] = …``)
+  with no intervening read.  Slots are keyed by provenance origin, so
+  ``r = ws.r[0]`` and later writes through ``r`` land on the same key.
+  Tracking is straight-line per block: compound statements other than
+  ``with`` are conservative barriers.
+
+**R8 (escaping-view, error)** — a public function (or any closure)
+returning or storing a workspace slot, a view of one, or a buffer
+allocated in the closure's *enclosing* scope, without ``.copy()``.
+Provenance crosses calls through function summaries, so a public wrapper
+returning a private helper's ``ws.x[i]`` is flagged at the wrapper.
+Buffers frozen with ``setflags(write=False)`` are safe to share and
+exempt.
+
+**R9 (stale-closure-capture, warning)** — a ``def``/``lambda`` created
+inside a loop that reads a loop-carried name (the loop target, or a name
+reassigned in the loop body) without binding it as a parameter or
+default.  Python closes over *variables*, not values: every closure
+minted by the loop sees the final iteration's value — the classic
+late-binding bug in ``tape/recorder.py``-style binding loops.  Closures
+that are invoked immediately are exempt; the fix is the repo's
+convention of minting through a factory function (``_bind_residual(…)``)
+or a ``lam=lam`` default.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.astutil import dotted_name, unparse
+from repro.lint.callgraph import FunctionInfo, ProjectIndex
+from repro.lint.context import ModuleContext
+from repro.lint.finding import Finding, make_finding
+from repro.lint.provenance import Prov, ProvenanceAnalyzer
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: elementwise ufuncs: ``out=`` aliasing an input is well-defined.
+_ALIAS_SAFE_UFUNCS = frozenset(
+    {
+        "add", "subtract", "multiply", "divide", "true_divide",
+        "floor_divide", "maximum", "minimum", "negative", "positive",
+        "abs", "absolute", "fabs", "sqrt", "square", "exp", "log",
+        "power", "mod", "remainder", "clip", "copyto", "where",
+        "reciprocal", "sign", "conjugate", "fmod",
+    }
+)
+
+#: calls that read inputs non-elementwise: aliasing out= corrupts.
+_ALIAS_UNSAFE = frozenset(
+    {"matmul", "dot", "tensordot", "einsum", "take", "cumsum", "outer"}
+)
+
+_ALIAS_SAFE_MARKER = "alias-safe"
+
+
+def _same_expr(a: ast.expr, b: ast.expr) -> bool:
+    return ast.dump(a) == ast.dump(b)
+
+
+# ---------------------------------------------------------------------------
+# R7a — out= aliasing a read operand
+# ---------------------------------------------------------------------------
+
+
+def _check_out_aliasing(
+    ctx: ModuleContext, index: ProjectIndex, analyzer: ProvenanceAnalyzer
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for fn in index.functions_in(ctx):
+        for call in fn.calls:
+            out_expr = next(
+                (kw.value for kw in call.keywords if kw.arg == "out"), None
+            )
+            if out_expr is None:
+                continue
+            read_operands = list(call.args) + [
+                kw.value for kw in call.keywords if kw.arg != "out"
+            ]
+            aliased = next(
+                (a for a in read_operands if _same_expr(a, out_expr)), None
+            )
+            if aliased is None:
+                continue
+            name = dotted_name(call.func) or ""
+            tail = name.rsplit(".", 1)[-1]
+            if tail in _ALIAS_SAFE_UFUNCS:
+                continue
+            callee = index.resolve_call(fn, call)
+            if callee is not None and _ALIAS_SAFE_MARKER in callee.docstring():
+                continue
+            kind = (
+                "reads its input non-elementwise"
+                if tail in _ALIAS_UNSAFE
+                else "is not documented alias-safe"
+            )
+            findings.append(
+                make_finding(
+                    "R7", ctx.path, call.lineno,
+                    f"out={unparse(out_expr)} aliases a read operand of "
+                    f"{name or 'the call'}(), which {kind}: the kernel may "
+                    "read elements the aliased write already overwrote",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# R7b — dead workspace-slot writes
+# ---------------------------------------------------------------------------
+
+
+def _slot_key(prov: Prov) -> str | None:
+    root = prov.root()
+    if root.kind == "owned" and root.origin.startswith("workspace slot"):
+        return root.origin
+    return None
+
+
+def _full_slice(sub: ast.Subscript) -> bool:
+    sl = sub.slice
+    if isinstance(sl, ast.Constant) and sl.value is Ellipsis:
+        return True
+    return isinstance(sl, ast.Slice) and sl.lower is None and sl.upper is None
+
+
+class _SlotWriteScanner:
+    """Straight-line dead-store detection over workspace slots."""
+
+    def __init__(self, ctx, analyzer: ProvenanceAnalyzer,
+                 fn: FunctionInfo) -> None:
+        self.ctx = ctx
+        self.fn = fn
+        self.analyzer = analyzer
+        self.env = analyzer.analysis(fn).env
+        self.findings: list[Finding] = []
+
+    def _prov(self, expr: ast.expr) -> Prov:
+        return self.analyzer.eval(expr, self.env, self.fn)
+
+    def _stmt_effects(self, stmt: ast.stmt):
+        """(full_writes, reads) slot-key sets for one simple statement."""
+        writes: list[tuple[str, str, int]] = []
+        reads: set[str] = set()
+        write_nodes: list[ast.expr] = []
+
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AugAssign):
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Subscript) and _full_slice(target):
+                key = _slot_key(self._prov(target.value))
+                if key is not None and isinstance(stmt, ast.Assign):
+                    writes.append((key, unparse(target), stmt.lineno))
+                    write_nodes.append(target)
+                elif key is not None:
+                    reads.add(key)  # augmented: read-modify-write
+
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func) or ""
+            tail = name.rsplit(".", 1)[-1]
+            out_expr = next(
+                (kw.value for kw in node.keywords if kw.arg == "out"), None
+            )
+            if out_expr is None and tail == "copyto" and node.args:
+                out_expr = node.args[0]
+            if out_expr is not None:
+                key = _slot_key(self._prov(out_expr))
+                if key is not None:
+                    writes.append((key, unparse(out_expr), node.lineno))
+                    write_nodes.append(out_expr)
+
+        # Everything else that evaluates to a slot is a read.
+        written_ids = {id(n) for w in write_nodes for n in ast.walk(w)}
+        for node in ast.walk(stmt):
+            if id(node) in written_ids:
+                continue
+            if isinstance(node, (ast.Name, ast.Attribute, ast.Subscript)):
+                key = _slot_key(self._prov(node))
+                if key is not None:
+                    reads.add(key)
+        return writes, reads
+
+    def scan_block(self, body: list[ast.stmt],
+                   pending: dict[str, tuple[str, int]]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.With):
+                self.scan_block(stmt.body, pending)
+                continue
+            if isinstance(stmt, (ast.If, ast.For, ast.While, ast.Try,
+                                 *_FUNC_NODES, ast.ClassDef)):
+                # Conservative barrier: control flow may read anything.
+                pending.clear()
+                for block in self._sub_blocks(stmt):
+                    self.scan_block(block, {})
+                continue
+            writes, reads = self._stmt_effects(stmt)
+            for key in reads:
+                pending.pop(key, None)
+            for key, text, lineno in writes:
+                prev = pending.get(key)
+                if prev is not None:
+                    self.findings.append(
+                        make_finding(
+                            "R7", self.ctx.path, lineno,
+                            f"{key} is fully overwritten here, but the "
+                            f"previous write at line {prev[1]} "
+                            f"({prev[0]}) was never read: two tape ops "
+                            "write one slot with no read ordering between "
+                            "them",
+                        )
+                    )
+                pending[key] = (text, lineno)
+
+    @staticmethod
+    def _sub_blocks(stmt):
+        blocks = [getattr(stmt, "body", []), getattr(stmt, "orelse", [])]
+        for handler in getattr(stmt, "handlers", []):
+            blocks.append(handler.body)
+        blocks.append(getattr(stmt, "finalbody", []))
+        return [b for b in blocks if isinstance(b, list) and b]
+
+
+def _check_dead_slot_writes(
+    ctx: ModuleContext, index: ProjectIndex, analyzer: ProvenanceAnalyzer
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for fn in index.functions_in(ctx):
+        scanner = _SlotWriteScanner(ctx, analyzer, fn)
+        scanner.scan_block(fn.node.body, {})
+        findings += scanner.findings
+    return findings
+
+
+def check_workspace_aliasing(
+    ctx: ModuleContext, index: ProjectIndex
+) -> list[Finding]:
+    """R7: ``out=`` aliasing + dead workspace-slot writes."""
+    if not ctx.in_provenance_scope():
+        return []
+    analyzer = ProvenanceAnalyzer(index)
+    return _check_out_aliasing(ctx, index, analyzer) + _check_dead_slot_writes(
+        ctx, index, analyzer
+    )
+
+
+# ---------------------------------------------------------------------------
+# R8 — escaping views
+# ---------------------------------------------------------------------------
+
+
+def check_escaping_views(
+    ctx: ModuleContext, index: ProjectIndex
+) -> list[Finding]:
+    """R8: workspace-owned buffers must not escape without ``.copy()``."""
+    if not ctx.in_provenance_scope():
+        return []
+    analyzer = ProvenanceAnalyzer(index)
+    findings: list[Finding] = []
+    for fn in index.functions_in(ctx):
+        # Private module-level plumbing hands slots around by design; the
+        # contract bites at public boundaries and inside closures (whose
+        # enclosing-scope buffers are reused across calls).
+        boundary = fn.is_public or fn.parent is not None
+        if boundary:
+            for expr, prov in analyzer.analysis(fn).returns:
+                if prov.is_owned():
+                    findings.append(
+                        make_finding(
+                            "R8", ctx.path, expr.lineno,
+                            f"{fn.label} returns {prov.describe()} without "
+                            ".copy(): the buffer is tape/binding-owned and "
+                            "will be overwritten by the next replay "
+                            "(results are always copies, PR 6 contract)",
+                        )
+                    )
+        # Stores: self.<attr> = <owned> pins a slot outside the tape.
+        for stmt in ast.walk(fn.node):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            for target in stmt.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in ("self", "cls")
+                ):
+                    prov = analyzer.eval(
+                        stmt.value, analyzer.analysis(fn).env, fn
+                    )
+                    if prov.is_owned():
+                        findings.append(
+                            make_finding(
+                                "R8", ctx.path, stmt.lineno,
+                                f"{fn.label} stores {prov.describe()} on "
+                                f"{unparse(target)}: a workspace-owned "
+                                "buffer escapes the tape without .copy()",
+                            )
+                        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# R9 — stale closure capture
+# ---------------------------------------------------------------------------
+
+
+def _assigned_names(body: list[ast.stmt]) -> set[str]:
+    """Names bound by statements in *body*, excluding nested defs."""
+    names: set[str] = set()
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (*_FUNC_NODES, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            names.add(node.id)
+        stack.extend(ast.iter_child_nodes(node))
+    return names
+
+
+def _target_names(target: ast.expr) -> set[str]:
+    return {
+        n.id
+        for n in ast.walk(target)
+        if isinstance(n, ast.Name)
+    }
+
+
+def _closure_bound(node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda):
+    """Names a closure binds itself: params and local assignments."""
+    args = node.args
+    bound = {
+        p.arg
+        for p in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    }
+    if args.vararg:
+        bound.add(args.vararg.arg)
+    if args.kwarg:
+        bound.add(args.kwarg.arg)
+    if isinstance(node.body, list):
+        for stmt in node.body:
+            for n in ast.walk(stmt):
+                if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Store):
+                    bound.add(n.id)
+    return bound
+
+
+def _free_reads(node) -> set[str]:
+    body = node.body if isinstance(node.body, list) else [node.body]
+    reads: set[str] = set()
+    for stmt in body:
+        for n in ast.walk(stmt):
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load):
+                reads.add(n.id)
+    return reads
+
+
+class _LoopCaptureVisitor(ast.NodeVisitor):
+    def __init__(self, ctx: ModuleContext) -> None:
+        self.ctx = ctx
+        #: stack of name-sets bound per enclosing loop.
+        self.loop_vars: list[set[str]] = []
+        self.findings: list[Finding] = []
+        #: closures that are invoked on the spot (safe).
+        self._called_now: set[int] = set()
+
+    # -- loops ----------------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        bound = _target_names(node.target) | _assigned_names(node.body)
+        self.loop_vars.append(bound)
+        self.generic_visit(node)
+        self.loop_vars.pop()
+
+    visit_AsyncFor = visit_For
+
+    def visit_While(self, node: ast.While) -> None:
+        self.loop_vars.append(_assigned_names(node.body))
+        self.generic_visit(node)
+        self.loop_vars.pop()
+
+    def _visit_comprehension(self, node) -> None:
+        bound: set[str] = set()
+        for gen in node.generators:
+            bound |= _target_names(gen.target)
+        self.loop_vars.append(bound)
+        self.generic_visit(node)
+        self.loop_vars.pop()
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    # -- closures -------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Lambda):
+            self._called_now.add(id(node.func))
+        self.generic_visit(node)
+
+    def _check_closure(self, node) -> None:
+        if not self.loop_vars or id(node) in self._called_now:
+            return
+        loop_bound = set().union(*self.loop_vars)
+        captured = sorted(
+            (_free_reads(node) - _closure_bound(node)) & loop_bound
+        )
+        if captured:
+            label = getattr(node, "name", "<lambda>")
+            self.findings.append(
+                make_finding(
+                    "R9", self.ctx.path, node.lineno,
+                    f"closure {label!r} captures loop variable(s) "
+                    f"{', '.join(repr(c) for c in captured)} by reference: "
+                    "every closure minted by this loop will see the *last* "
+                    "iteration's value at call time — bind through a "
+                    "factory function or a default argument "
+                    f"({captured[0]}={captured[0]})",
+                )
+            )
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_closure(node)
+        # Do not descend: the lambda body is the closure's scope.
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_closure(node)
+        # Descend with loop context cleared: loops *inside* the closure
+        # are that closure's own business.
+        outer, self.loop_vars = self.loop_vars, []
+        self.generic_visit(node)
+        self.loop_vars = outer
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+
+def check_stale_closure_capture(
+    ctx: ModuleContext, index: ProjectIndex
+) -> list[Finding]:
+    """R9: late-binding loop-variable capture in binding loops."""
+    visitor = _LoopCaptureVisitor(ctx)
+    visitor.visit(ctx.tree)
+    return visitor.findings

@@ -178,7 +178,12 @@ def _check_shape_call(ctx: ModuleContext, node: ast.Call) -> list[Finding]:
     return out
 
 
-def check_constant_provenance(ctx: ModuleContext) -> list[Finding]:
+def check_constant_provenance(
+    ctx: ModuleContext, index: "ProjectIndex | None" = None
+) -> list[Finding]:
+    # Bench drivers build matrices with inline literals by design.
+    if ctx.is_benchmark():
+        return []
     findings: list[Finding] = []
     for node in ast.walk(ctx.tree):
         if isinstance(node, ast.Compare):

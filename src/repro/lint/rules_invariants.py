@@ -11,13 +11,16 @@ R4 guards PR 2's invariant: checked mode (``REPRO_CHECK=1``) is only
 exhaustive if *every* public kernel entry point consults the
 ``repro.check`` runtime hook.  A kernel function is recognised by the
 ``KernelRecord(...)`` it constructs; such a function must call
-``...is_active()`` (or enter a ``checked_region``) somewhere in its body.
+``...is_active()`` (or enter a ``checked_region``) somewhere on its
+call path.
 
-The rule also covers class-based entry points (the setup-engine caches
-expose kernel work as methods): a public method owes the hook when it
-builds a KernelRecord *itself or through the private methods of its own
-class* (``self._helper()`` delegation, followed transitively), and the
-hook consult may likewise live in the method or any of those helpers.
+Since PR 8 the rule runs on the shared project call graph
+(:mod:`repro.lint.callgraph`) instead of its own ``self._helper()``
+pattern match: both facts — "builds a KernelRecord" and "consults the
+hook" — are unioned over everything reachable from the entry point
+through private delegation (``self._helper()``, module-level
+``_helper()``) and closure edges, followed transitively and
+generically.
 
 R6 (advisory) guards the observability PR's invariant: a traced run
 (``REPRO_TRACE=1``) only covers every phase if each public solver entry
@@ -32,6 +35,7 @@ from __future__ import annotations
 import ast
 
 from repro.lint.astutil import dotted_name
+from repro.lint.callgraph import ProjectIndex
 from repro.lint.context import ModuleContext
 from repro.lint.finding import Finding, make_finding
 
@@ -48,7 +52,9 @@ _BANNED_UFUNCS = (
 )
 
 
-def check_scatter_ban(ctx: ModuleContext) -> list[Finding]:
+def check_scatter_ban(
+    ctx: ModuleContext, index: ProjectIndex
+) -> list[Finding]:
     """R2: flag ``np.<ufunc>.at(...)`` calls outside the scatter engine."""
     if ctx.is_scatter_engine():
         return []
@@ -77,41 +83,6 @@ def check_scatter_ban(ctx: ModuleContext) -> list[Finding]:
 def _calls_in(body: list[ast.stmt]):
     for stmt in body:
         yield from (n for n in ast.walk(stmt) if isinstance(n, ast.Call))
-
-
-def _hook_facts(func) -> tuple[bool, bool, set[str]]:
-    """(builds KernelRecord, consults hook, same-class methods called)."""
-    builds = consults = False
-    callees: set[str] = set()
-    for call in _calls_in(func.body):
-        name = dotted_name(call.func) or ""
-        tail = name.rsplit(".", 1)[-1]
-        if tail == "KernelRecord":
-            builds = True
-        elif tail in ("is_active", "checked_region"):
-            consults = True
-        parts = name.split(".")
-        if len(parts) == 2 and parts[0] in ("self", "cls"):
-            callees.add(parts[1])
-    return builds, consults, callees
-
-
-def _class_closure(name: str, facts: dict) -> tuple[bool, bool]:
-    """Facts of *name* plus everything reachable through same-class
-    private calls (``self._helper()``), followed transitively."""
-    builds = consults = False
-    seen: set[str] = set()
-    stack = [name]
-    while stack:
-        current = stack.pop()
-        if current in seen or current not in facts:
-            continue
-        seen.add(current)
-        b, c, callees = facts[current]
-        builds = builds or b
-        consults = consults or c
-        stack.extend(m for m in callees if m.startswith("_"))
-    return builds, consults
 
 
 def _unhooked(label: str) -> str:
@@ -183,7 +154,9 @@ def _span_closure(name: str, facts: dict) -> bool:
     return False
 
 
-def check_root_spans(ctx: ModuleContext) -> list[Finding]:
+def check_root_spans(
+    ctx: ModuleContext, index: ProjectIndex
+) -> list[Finding]:
     """R6: public solver entry points should open a repro.obs span."""
     if not ctx.in_solver_scope():
         return []
@@ -233,40 +206,36 @@ def check_root_spans(ctx: ModuleContext) -> list[Finding]:
     return findings
 
 
-def check_contract_hooks(ctx: ModuleContext) -> list[Finding]:
-    """R4: kernel entry points must route through the repro.check hook."""
+def check_contract_hooks(
+    ctx: ModuleContext, index: ProjectIndex
+) -> list[Finding]:
+    """R4: kernel entry points must route through the repro.check hook.
+
+    Both facts are unioned over the call-graph closure of the entry
+    point: itself, its nested closures, and every ``_``-prefixed project
+    function it reaches transitively (same-class methods and module-level
+    helpers alike — the generic form of the old ``self._helper()``
+    pattern).  Public callees are treated as independent entry points
+    with their own obligation, so the walk stops at them.
+    """
     if not ctx.in_contract_scope():
         return []
     findings: list[Finding] = []
-    for node in ctx.tree.body:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            if node.name.startswith("_"):
-                continue
-            builds, consults, _ = _hook_facts(node)
-            if builds and not consults:
-                findings.append(
-                    make_finding(
-                        "R4", ctx.path, node.lineno,
-                        _unhooked(f"{node.name}()"),
-                    )
-                )
-        elif isinstance(node, ast.ClassDef):
-            facts = {
-                sub.name: _hook_facts(sub)
-                for sub in node.body
-                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
-            }
-            for sub in node.body:
-                if not isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                    continue
-                if sub.name.startswith("_"):
-                    continue
-                builds, consults = _class_closure(sub.name, facts)
-                if builds and not consults:
-                    findings.append(
-                        make_finding(
-                            "R4", ctx.path, sub.lineno,
-                            _unhooked(f"{node.name}.{sub.name}()"),
-                        )
-                    )
+    for fn in index.entry_points(ctx):
+        if not fn.is_public:
+            continue
+        builds = consults = False
+        for reached in index.reachable(fn, private_only=True):
+            for call in reached.calls:
+                name = dotted_name(call.func) or ""
+                tail = name.rsplit(".", 1)[-1]
+                if tail == "KernelRecord":
+                    builds = True
+                elif tail in ("is_active", "checked_region"):
+                    consults = True
+        if builds and not consults:
+            findings.append(
+                make_finding("R4", ctx.path, fn.node.lineno,
+                             _unhooked(fn.label))
+            )
     return findings

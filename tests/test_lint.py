@@ -901,6 +901,918 @@ class TestCLI:
 
 
 # ---------------------------------------------------------------------------
+# Call graph (PR 8 substrate)
+# ---------------------------------------------------------------------------
+
+
+class TestCallGraph:
+    def _index(self, tmp_path, files):
+        from repro.lint.callgraph import ProjectIndex
+        from repro.lint.context import load_module
+
+        ctxs = [
+            load_module(write(tmp_path, rel, src), display_path=rel)
+            for rel, src in files.items()
+        ]
+        return ProjectIndex(ctxs), ctxs
+
+    def test_closure_edge(self, tmp_path):
+        index, (ctx,) = self._index(tmp_path, {
+            "repro/tape/mod.py": """
+            def outer():
+                def inner():
+                    return 1
+                return inner
+            """,
+        })
+        outer = index.module_of(ctx).functions["outer"]
+        assert [c.name for c in outer.children] == ["inner"]
+        assert outer.children[0].qualname == "outer.<locals>.inner"
+        assert outer.children[0].parent is outer
+
+    def test_self_delegation_edge(self, tmp_path):
+        index, (ctx,) = self._index(tmp_path, {
+            "repro/kernels/mod.py": """
+            class Engine:
+                def public(self):
+                    return self._impl()
+
+                def _impl(self):
+                    return 0
+            """,
+        })
+        methods = index.module_of(ctx).classes["Engine"]
+        call = methods["public"].calls[0]
+        resolved = index.resolve_call(methods["public"], call)
+        assert resolved is methods["_impl"]
+
+    def test_module_level_impl_delegation(self, tmp_path):
+        index, (ctx,) = self._index(tmp_path, {
+            "repro/solvers/mod.py": """
+            def solve():
+                return _impl()
+
+            def _impl():
+                return 0
+            """,
+        })
+        funcs = index.module_of(ctx).functions
+        resolved = index.resolve_call(funcs["solve"], funcs["solve"].calls[0])
+        assert resolved is funcs["_impl"]
+
+    def test_cross_file_import_edge(self, tmp_path):
+        index, ctxs = self._index(tmp_path, {
+            "repro/tape/helper.py": """
+            def bind_thing():
+                return 1
+            """,
+            "repro/kernels/user.py": """
+            from repro.tape.helper import bind_thing
+
+            def use():
+                return bind_thing()
+            """,
+        })
+        user_ctx = next(c for c in ctxs if c.path.endswith("user.py"))
+        helper_ctx = next(c for c in ctxs if c.path.endswith("helper.py"))
+        use = index.module_of(user_ctx).functions["use"]
+        resolved = index.resolve_call(use, use.calls[0])
+        assert resolved is index.module_of(helper_ctx).functions["bind_thing"]
+
+    def test_import_alias_edge(self, tmp_path):
+        index, ctxs = self._index(tmp_path, {
+            "repro/tape/helper.py": """
+            def bind_thing():
+                return 1
+            """,
+            "repro/kernels/user.py": """
+            import repro.tape.helper as hp
+
+            def use():
+                return hp.bind_thing()
+            """,
+        })
+        user_ctx = next(c for c in ctxs if c.path.endswith("user.py"))
+        use = index.module_of(user_ctx).functions["use"]
+        assert index.resolve_call(use, use.calls[0]).name == "bind_thing"
+
+    def test_reachable_follows_closures_and_private_calls(self, tmp_path):
+        index, (ctx,) = self._index(tmp_path, {
+            "repro/tape/mod.py": """
+            def entry():
+                def closure():
+                    return _private()
+                return closure
+
+            def _private():
+                return public_other()
+
+            def public_other():
+                return 0
+            """,
+        })
+        entry = index.module_of(ctx).functions["entry"]
+        names = {
+            fn.name for fn in index.reachable(entry, private_only=True)
+        }
+        assert {"entry", "closure", "_private"} <= names
+        assert "public_other" not in names  # walk stops at public callees
+
+
+# ---------------------------------------------------------------------------
+# R7 — workspace-aliasing
+# ---------------------------------------------------------------------------
+
+
+class TestWorkspaceAliasing:
+    def test_dead_slot_write_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/tape/snippet.py",
+            """
+            import numpy as np
+
+            def replay(ws, b, c):
+                np.copyto(ws.b[0], b)
+                np.copyto(ws.b[0], c)
+                return ws.b[0].copy()
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R7" in rules_of(findings)
+        assert any("never read" in f.message for f in findings)
+
+    def test_interleaved_read_is_clean(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/tape/snippet.py",
+            """
+            import numpy as np
+
+            def replay(ws, b, c):
+                np.copyto(ws.b[0], b)
+                r = float(np.linalg.norm(ws.b[0]))
+                np.copyto(ws.b[0], c)
+                return r
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R7" not in rules_of(findings)
+
+    def test_write_through_alias_tracked(self, tmp_path):
+        # `r = ws.r[0]` and a later write through `r` land on one slot key.
+        path = write(
+            tmp_path,
+            "repro/tape/snippet.py",
+            """
+            import numpy as np
+
+            def replay(ws, b, c):
+                r = ws.r[0]
+                np.copyto(r, b)
+                np.copyto(ws.r[0], c)
+                return None
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R7" in rules_of(findings)
+
+    def test_out_aliasing_matmul_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/kernels/snippet.py",
+            """
+            import numpy as np
+
+            def contract(tiles, xblk):
+                np.matmul(tiles, xblk, out=xblk)
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R7" in rules_of(findings)
+        assert any("aliases a read operand" in f.message for f in findings)
+
+    def test_elementwise_out_aliasing_is_clean(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/kernels/snippet.py",
+            """
+            import numpy as np
+
+            def axpy(x, y):
+                np.add(x, y, out=x)
+                np.multiply(y, y, out=y)
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R7" not in rules_of(findings)
+
+    def test_alias_safe_docstring_exempts_project_callee(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/kernels/snippet.py",
+            """
+            def _scale(x, out=None):
+                \"\"\"Scale in place; alias-safe: reads each element once.\"\"\"
+                return x
+
+            def caller(x):
+                _scale(x, out=x)
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R7" not in rules_of(findings)
+
+    def test_suppression(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/tape/snippet.py",
+            """
+            import numpy as np
+
+            def replay(ws, b, c):
+                np.copyto(ws.b[0], b)
+                np.copyto(ws.b[0], c)  # lint: disable=R7 -- staged write, read on next cycle
+                return None
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R7" not in rules_of(findings)
+
+
+# ---------------------------------------------------------------------------
+# R8 — escaping-view
+# ---------------------------------------------------------------------------
+
+
+class TestEscapingView:
+    def test_returned_slot_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/tape/snippet.py",
+            """
+            def fetch(ws):
+                return ws.x[0]
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R8" in rules_of(findings)
+
+    def test_returned_view_of_slot_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/tape/snippet.py",
+            """
+            def fetch(ws):
+                return ws.x[0].reshape(-1)
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R8" in rules_of(findings)
+        assert any("a view of" in f.message for f in findings)
+
+    def test_copy_is_clean(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/tape/snippet.py",
+            """
+            def fetch(ws):
+                return ws.x[0].copy()
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R8" not in rules_of(findings)
+
+    def test_interprocedural_escape_through_helper(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/tape/snippet.py",
+            """
+            def _get_slot(ws, i):
+                return ws.x[i]
+
+            def fetch(ws, i):
+                return _get_slot(ws, i)
+            """,
+        )
+        findings, _ = lint_file(path)
+        r8 = [f for f in findings if f.rule == "R8"]
+        # flagged at the public wrapper, not the private plumbing
+        assert len(r8) == 1
+        assert "fetch()" in r8[0].message
+
+    def test_closure_persistent_buffer_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/kernels/snippet.py",
+            """
+            import numpy as np
+
+            def bind(n):
+                scratch = np.zeros(n, dtype=np.float64)
+
+                def run(v):
+                    np.add(scratch, v, out=scratch)
+                    return scratch
+
+                return run
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R8" in rules_of(findings)
+        assert any("enclosing scope" in f.message for f in findings)
+
+    def test_closure_returning_copy_is_clean(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/kernels/snippet.py",
+            """
+            import numpy as np
+
+            def bind(n):
+                scratch = np.zeros(n, dtype=np.float64)
+
+                def run(v):
+                    np.add(scratch, v, out=scratch)
+                    return scratch.copy()
+
+                return run
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R8" not in rules_of(findings)
+
+    def test_self_store_of_slot_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/tape/snippet.py",
+            """
+            class Holder:
+                def __init__(self, ws):
+                    self.slot = ws.x[0]
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R8" in rules_of(findings)
+
+    def test_frozen_buffer_is_clean(self, tmp_path):
+        # OperatorCache idiom: expose a buffer after setflags(write=False).
+        path = write(
+            tmp_path,
+            "repro/kernels/snippet.py",
+            """
+            import numpy as np
+
+            def build(n):
+                buf = np.zeros(n, dtype=np.float64)
+
+                def expose():
+                    return buf
+
+                buf.setflags(write=False)
+                return expose
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R8" not in rules_of(findings)
+
+    def test_outside_provenance_scope_is_clean(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/obs/snippet.py",
+            """
+            def fetch(ws):
+                return ws.x[0]
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R8" not in rules_of(findings)
+
+    def test_suppression(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/tape/snippet.py",
+            """
+            def fetch(ws):
+                return ws.x[0]  # lint: disable=R8 -- diagnostic peek, documented caller contract
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R8" not in rules_of(findings)
+
+
+# ---------------------------------------------------------------------------
+# R9 — stale-closure-capture
+# ---------------------------------------------------------------------------
+
+
+class TestStaleClosureCapture:
+    def test_lambda_in_loop_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/tape/snippet.py",
+            """
+            def bind_all(items):
+                out = []
+                for item in items:
+                    out.append(lambda: item + 1)
+                return out
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R9" in rules_of(findings)
+        assert any(f.severity is Severity.WARNING for f in findings)
+
+    def test_def_in_loop_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/tape/snippet.py",
+            """
+            def bind_all(levels):
+                ops = []
+                for level in levels:
+                    def op(v):
+                        return v + level
+                    ops.append(op)
+                return ops
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R9" in rules_of(findings)
+
+    def test_default_binding_is_clean(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/tape/snippet.py",
+            """
+            def bind_all(items):
+                out = []
+                for item in items:
+                    out.append(lambda item=item: item + 1)
+                return out
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R9" not in rules_of(findings)
+
+    def test_factory_function_is_clean(self, tmp_path):
+        # The tape/recorder.py convention: mint through a factory.
+        path = write(
+            tmp_path,
+            "repro/tape/snippet.py",
+            """
+            def _bind_one(item):
+                def op():
+                    return item + 1
+                return op
+
+            def bind_all(items):
+                return [_bind_one(item) for item in items]
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R9" not in rules_of(findings)
+
+    def test_immediately_called_lambda_is_clean(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/tape/snippet.py",
+            """
+            def run_all(items):
+                out = []
+                for item in items:
+                    out.append((lambda: item + 1)())
+                return out
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R9" not in rules_of(findings)
+
+    def test_loop_inside_closure_is_its_own_scope(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/tape/snippet.py",
+            """
+            def bind(items):
+                def run():
+                    total = 0
+                    for item in items:
+                        total += item
+                    return total
+                return run
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R9" not in rules_of(findings)
+
+    def test_suppression(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/tape/snippet.py",
+            """
+            def bind_all(items):
+                out = []
+                for item in items:
+                    out.append(lambda: item + 1)  # lint: disable=R9 -- consumed before next iteration
+                return out
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R9" not in rules_of(findings)
+
+
+# ---------------------------------------------------------------------------
+# R4/R5 on the call graph (migration behaviour)
+# ---------------------------------------------------------------------------
+
+
+class TestCallGraphMigrations:
+    def test_r4_module_level_private_delegation(self, tmp_path):
+        # The generic walk follows module-level _helpers, which the old
+        # pattern-based R4 only did for self._helper().
+        path = write(
+            tmp_path,
+            "repro/kernels/snippet.py",
+            """
+            from repro.check import KernelRecord, check_runtime
+
+            def entry(tiles):
+                rec = _build(tiles)
+                return _consult(rec)
+
+            def _build(tiles):
+                return KernelRecord(op="spmv", shapes=())
+
+            def _consult(rec):
+                if check_runtime.is_active():
+                    return rec
+                return rec
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R4" not in rules_of(findings)
+
+    def test_r4_still_flags_unhooked_delegation(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/kernels/snippet.py",
+            """
+            from repro.check import KernelRecord
+
+            def entry(tiles):
+                return _build(tiles)
+
+            def _build(tiles):
+                return KernelRecord(op="spmv", shapes=())
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R4" in rules_of(findings)
+
+    def test_r5_hidden_alloc_through_private_callee(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/solvers/snippet.py",
+            """
+            import numpy as np
+
+            def _scratch(n):
+                return np.zeros(n)
+
+            def iterate(n, iters):
+                total = 0.0
+                for _ in range(iters):
+                    buf = _scratch(n)
+                    total += float(buf.sum())
+                return total
+            """,
+        )
+        findings, _ = lint_file(path)
+        r5 = [f for f in findings if f.rule == "R5"]
+        assert len(r5) == 1
+        assert "_scratch()" in r5[0].message
+        assert "allocates on every iteration" in r5[0].message
+
+    def test_r5_callee_alloc_inside_own_loop_not_charged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/solvers/snippet.py",
+            """
+            import numpy as np
+
+            def _chunked(n):
+                out = []
+                for _ in range(4):
+                    out.append(np.zeros(n))
+                return out
+
+            def iterate(n, iters):
+                for _ in range(iters):
+                    _chunked(n)
+            """,
+        )
+        findings, _ = lint_file(path)
+        # _chunked's own in-loop alloc is flagged at its own site, but
+        # the call site in iterate() is not charged a second time.
+        r5 = [f for f in findings if f.rule == "R5"]
+        assert all("allocates on every iteration" not in f.message for f in r5)
+
+
+# ---------------------------------------------------------------------------
+# SARIF output
+# ---------------------------------------------------------------------------
+
+
+class TestSarif:
+    SEEDED = """
+    import numpy as np
+
+    def kernel(vals, idx, out):
+        np.add.at(out, idx, vals)
+    """
+
+    def test_sarif_structure_round_trip(self, tmp_path):
+        write(tmp_path, "repro/kernels/seeded.py", self.SEEDED)
+        proc = run_cli(
+            [str(tmp_path), "--format=sarif", "--no-baseline"]
+        )
+        assert proc.returncode == 1
+        log = json.loads(proc.stdout)
+        assert log["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in log["$schema"]
+        run = log["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro.lint"
+        rule_ids = [r["id"] for r in driver["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        assert {"R0", "R7", "R8", "R9"} <= set(rule_ids)
+        (res,) = run["results"]
+        assert res["ruleId"] == "R2"
+        assert res["level"] == "error"
+        assert rule_ids[res["ruleIndex"]] == "R2"
+        loc = res["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("seeded.py")
+        assert loc["region"]["startLine"] == 5
+
+    def test_sarif_levels_map_severities(self, tmp_path):
+        write(tmp_path, "repro/kernels/seeded.py", self.SEEDED)
+        proc = run_cli(
+            [str(tmp_path), "--format=sarif", "--no-baseline"]
+        )
+        log = json.loads(proc.stdout)
+        levels = {
+            r["id"]: r["defaultConfiguration"]["level"]
+            for r in log["runs"][0]["tool"]["driver"]["rules"]
+        }
+        assert levels["R2"] == "error"
+        assert levels["R9"] == "warning"
+        assert levels["R5"] == "note"
+
+    def test_sarif_fingerprint_matches_baseline(self, tmp_path):
+        from repro.lint.baseline import fingerprints
+
+        write(tmp_path, "repro/kernels/seeded.py", self.SEEDED)
+        result = lint_paths([tmp_path])
+        (expected,) = [fp for _, fp in fingerprints(
+            result.findings, result.sources
+        )]
+        proc = run_cli(
+            [str(tmp_path), "--format=sarif", "--no-baseline"]
+        )
+        log = json.loads(proc.stdout)
+        (res,) = log["runs"][0]["results"]
+        assert res["partialFingerprints"]["reproLintFingerprint/v1"] == expected
+
+    def test_sarif_out_writes_alongside_text(self, tmp_path):
+        write(tmp_path, "repro/kernels/seeded.py", self.SEEDED)
+        sarif_path = tmp_path / "out.sarif"
+        proc = run_cli(
+            [
+                str(tmp_path), "--no-baseline",
+                "--sarif-out", str(sarif_path),
+            ]
+        )
+        assert proc.returncode == 1
+        assert "R2[scatter-ban]" in proc.stdout  # text report still printed
+        log = json.loads(sarif_path.read_text(encoding="utf-8"))
+        assert log["runs"][0]["results"]
+
+
+# ---------------------------------------------------------------------------
+# Baseline hygiene: stale entries + --prune-baseline
+# ---------------------------------------------------------------------------
+
+
+class TestBaselineHygiene:
+    SEEDED = """
+    import numpy as np
+
+    def kernel(vals, idx, out):
+        np.add.at(out, idx, vals)
+    """
+
+    def _baseline_with_stale(self, tmp_path):
+        write(tmp_path, "repro/kernels/seeded.py", self.SEEDED)
+        baseline = tmp_path / "baseline.json"
+        wrote = run_cli(
+            [str(tmp_path), "--baseline", str(baseline), "--write-baseline"]
+        )
+        assert wrote.returncode == 0
+        data = json.loads(baseline.read_text(encoding="utf-8"))
+        data["entries"]["feedfacefeedface"] = {
+            "rule": "R5",
+            "path": "repro/kernels/deleted.py",
+            "line": 3,
+            "message": "long gone",
+        }
+        baseline.write_text(json.dumps(data), encoding="utf-8")
+        return baseline
+
+    def test_stale_entry_reported(self, tmp_path):
+        baseline = self._baseline_with_stale(tmp_path)
+        proc = run_cli([str(tmp_path), "--baseline", str(baseline)])
+        assert proc.returncode == 0  # stale entries never fail the run
+        assert "stale baseline entry feedfacefeedface" in proc.stdout
+        assert "--prune-baseline" in proc.stdout
+
+    def test_stale_entry_in_json_report(self, tmp_path):
+        baseline = self._baseline_with_stale(tmp_path)
+        proc = run_cli(
+            [str(tmp_path), "--baseline", str(baseline), "--format=json"]
+        )
+        payload = json.loads(proc.stdout)
+        assert payload["stale_baseline"] == [
+            {
+                "fingerprint": "feedfacefeedface",
+                "rule": "R5",
+                "path": "repro/kernels/deleted.py",
+                "line": 3,
+                "message": "long gone",
+            }
+        ]
+
+    def test_prune_baseline_drops_only_stale(self, tmp_path):
+        baseline = self._baseline_with_stale(tmp_path)
+        before = json.loads(baseline.read_text(encoding="utf-8"))
+        proc = run_cli(
+            [str(tmp_path), "--baseline", str(baseline), "--prune-baseline"]
+        )
+        assert proc.returncode == 0
+        assert "pruned 1 stale entry" in proc.stdout
+        after = json.loads(baseline.read_text(encoding="utf-8"))
+        assert "feedfacefeedface" not in after["entries"]
+        assert set(after["entries"]) == set(before["entries"]) - {
+            "feedfacefeedface"
+        }
+        rerun = run_cli([str(tmp_path), "--baseline", str(baseline)])
+        assert rerun.returncode == 0
+        assert "stale" not in rerun.stdout
+
+    def test_fixed_finding_becomes_stale(self, tmp_path):
+        write(tmp_path, "repro/kernels/seeded.py", self.SEEDED)
+        baseline = tmp_path / "baseline.json"
+        run_cli(
+            [str(tmp_path), "--baseline", str(baseline), "--write-baseline"]
+        )
+        # Fix the violation: the baselined fingerprint is no longer
+        # reproduced although the file still exists.
+        write(
+            tmp_path,
+            "repro/kernels/seeded.py",
+            """
+            def kernel(vals, idx, out):
+                return vals
+            """,
+        )
+        proc = run_cli([str(tmp_path), "--baseline", str(baseline)])
+        assert proc.returncode == 0
+        assert "stale baseline entry" in proc.stdout
+
+    def test_write_baseline_does_not_prune(self, tmp_path):
+        baseline = self._baseline_with_stale(tmp_path)
+        proc = run_cli(
+            [str(tmp_path), "--baseline", str(baseline), "--write-baseline"]
+        )
+        assert proc.returncode == 0
+        # --write-baseline records current findings; pruning stays an
+        # explicit decision, so the rewrite contains only live entries —
+        # but the *old* file is only replaced, never silently filtered
+        # during a plain run.
+        data = json.loads(baseline.read_text(encoding="utf-8"))
+        assert "feedfacefeedface" not in data["entries"]
+
+    def test_prune_without_baseline_is_usage_error(self, tmp_path):
+        write(tmp_path, "ok.py", "VALUE = 1\n")
+        proc = run_cli([str(tmp_path), "--no-baseline", "--prune-baseline"])
+        assert proc.returncode == 2
+
+
+# ---------------------------------------------------------------------------
+# --changed: git-scoped reporting
+# ---------------------------------------------------------------------------
+
+
+class TestChangedFlag:
+    SEEDED = """
+    import numpy as np
+
+    def kernel(vals, idx, out):
+        np.add.at(out, idx, vals)
+    """
+
+    def _git(self, cwd, *args):
+        return subprocess.run(
+            ["git", *args], cwd=cwd, capture_output=True, text=True,
+            check=True,
+        )
+
+    def _init_repo(self, tmp_path):
+        self._git(tmp_path, "init", "-q")
+        self._git(tmp_path, "-c", "user.email=t@t", "-c", "user.name=t",
+                  "commit", "--allow-empty", "-q", "-m", "root")
+
+    def test_changed_scopes_reporting(self, tmp_path):
+        self._init_repo(tmp_path)
+        write(tmp_path, "repro/kernels/committed.py", self.SEEDED)
+        self._git(tmp_path, "add", "-A")
+        self._git(tmp_path, "-c", "user.email=t@t", "-c", "user.name=t",
+                  "commit", "-q", "-m", "seed")
+        # A second, uncommitted violation: only this one is reported.
+        write(tmp_path, "repro/kernels/fresh.py", self.SEEDED)
+        proc = run_cli(
+            ["repro", "--changed", "--no-baseline", "--format=json"],
+            cwd=tmp_path,
+        )
+        payload = json.loads(proc.stdout)
+        assert proc.returncode == 1
+        assert [f["path"] for f in payload["findings"]] == [
+            "repro/kernels/fresh.py"
+        ]
+        assert payload["files_checked"] == 1
+
+    def test_changed_clean_when_nothing_changed(self, tmp_path):
+        self._init_repo(tmp_path)
+        write(tmp_path, "repro/kernels/committed.py", self.SEEDED)
+        self._git(tmp_path, "add", "-A")
+        self._git(tmp_path, "-c", "user.email=t@t", "-c", "user.name=t",
+                  "commit", "-q", "-m", "seed")
+        proc = run_cli(["repro", "--changed", "--no-baseline"], cwd=tmp_path)
+        assert proc.returncode == 0
+        assert "0 files checked" in proc.stdout
+
+    def test_changed_cross_file_context_still_resolves(self, tmp_path):
+        # The changed file's finding depends on a summary from an
+        # UNCHANGED file: the full tree must still be indexed.
+        self._init_repo(tmp_path)
+        write(
+            tmp_path,
+            "repro/tape/helper.py",
+            """
+            def _get_slot(ws, i):
+                return ws.x[i]
+            """,
+        )
+        self._git(tmp_path, "add", "-A")
+        self._git(tmp_path, "-c", "user.email=t@t", "-c", "user.name=t",
+                  "commit", "-q", "-m", "seed")
+        write(
+            tmp_path,
+            "repro/tape/user.py",
+            """
+            from repro.tape.helper import _get_slot
+
+            def fetch(ws, i):
+                return _get_slot(ws, i)
+            """,
+        )
+        proc = run_cli(
+            ["repro", "--changed", "--no-baseline", "--format=json"],
+            cwd=tmp_path,
+        )
+        payload = json.loads(proc.stdout)
+        assert proc.returncode == 1
+        assert [f["rule"] for f in payload["findings"]] == ["R8"]
+        assert payload["findings"][0]["path"] == "repro/tape/user.py"
+
+    def test_changed_falls_back_without_git(self, tmp_path):
+        # No .git anywhere up the tree inside tmp: force failure by
+        # pointing GIT_DIR at a nonexistent location.
+        write(tmp_path, "repro/kernels/seeded.py", self.SEEDED)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        env["GIT_DIR"] = str(tmp_path / "no-such-git")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "repro", "--changed",
+             "--no-baseline"],
+            capture_output=True, text=True, cwd=tmp_path, env=env,
+        )
+        assert proc.returncode == 1  # full run still reports the violation
+        assert "falling back to a full run" in proc.stderr
+
+
+# ---------------------------------------------------------------------------
 # Self-check: the merged tree lints clean
 # ---------------------------------------------------------------------------
 
@@ -908,6 +1820,21 @@ class TestCLI:
 class TestSelfCheck:
     def test_src_repro_is_clean(self):
         proc = run_cli(["src/repro"], cwd=REPO_ROOT)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_src_repro_is_clean_under_new_rules(self):
+        # The interprocedural rules alone, no baseline: the tape/binding
+        # layer honours its own memory contract statically.
+        proc = run_cli(
+            ["src/repro", "--select=R7,R8,R9", "--no-baseline", "--strict"],
+            cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_benchmarks_are_clean(self):
+        proc = run_cli(
+            ["benchmarks", "--no-baseline", "--strict"], cwd=REPO_ROOT
+        )
         assert proc.returncode == 0, proc.stdout + proc.stderr
 
     def test_repo_baseline_is_loadable_and_current(self):
