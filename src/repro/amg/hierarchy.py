@@ -96,6 +96,13 @@ class AMGHierarchy:
     #: True when this hierarchy was produced by a structure-reusing
     #: re-setup (frozen coarsening + interpolation, numeric Galerkin only).
     reused: bool = False
+    #: True when this hierarchy was produced by the incremental patch path
+    #: (:mod:`repro.amg.patch`): dirty rows recomputed and spliced into the
+    #: cached operators, bit-identical to a cold setup.
+    patched: bool = False
+    #: Telemetry of the patch path: per-level dirty-row counts/fractions
+    #: plus patched/clean level totals (empty unless ``patched``).
+    patch_stats: dict = field(default_factory=dict)
     #: Monotone invalidation counter for recorded solve tapes
     #: (:mod:`repro.tape`).  Any in-place mutation of the hierarchy that
     #: bypasses object replacement must call :meth:`invalidate_solve_tapes`
@@ -138,6 +145,9 @@ def amg_setup(
     on_level_built: Callable[[int, CSRMatrix], None] | None = None,
     reuse: AMGHierarchy | None = None,
     galerkin_planner: Callable | None = None,
+    patch: bool = False,
+    patcher=None,
+    patch_threshold: float = 0.5,
 ) -> AMGHierarchy:
     """Run the M-level setup phase on *a*.
 
@@ -162,11 +172,34 @@ def amg_setup(
         fine pattern, different params, or a coarse matrix whose recomputed
         pattern drifts from the cached one) falls back to a full setup, so
         ``reuse`` is always safe to pass.
+
+        Reuse (exact or patched) is only implemented for the classical
+        family: with ``amg_family='aggregation'`` the argument is ignored,
+        a full setup runs, and a ``setup_reuse_total{outcome='fallback',
+        reason='amg-family'}`` counter records the miss.
     galerkin_planner:
         Optional ``planner(r, a, p) -> plan`` producing fused RAP plans
         for :func:`~repro.amg.galerkin.galerkin_product` during a reused
         setup (the AmgT backend's ``galerkin_plan``).  Ignored on the full
         path.
+    patch:
+        With ``reuse``, try the *incremental patch path* first
+        (:func:`repro.amg.patch.patched_resetup`): diff per-row value
+        digests level by level, recompute only the dirty interpolation
+        and Galerkin rows, and splice them into the cached operators.
+        The result is bit-identical to a cold setup on *a* (unlike the
+        frozen-interpolation exact re-setup, which keeps stale
+        interpolation weights); on any fallback a full cold setup runs.
+    patcher:
+        Row-ranged product engine for the patch path (the AmgT backend's
+        block-aligned patcher); defaults to the row-local CSR engine
+        wrapping *spgemm*.
+    patch_threshold:
+        Fallback guard for the patch path: when the cumulative dirty-row
+        count across levels exceeds this fraction of the fine-level row
+        count, the patch falls back to a full setup (reason
+        ``'dirty-fraction'``) — patch work scales with the dirty rows,
+        cold work with the fine level.
     """
     if a.nrows != a.ncols:
         raise ValueError("AMG requires a square matrix")
@@ -177,7 +210,20 @@ def amg_setup(
             on_level_built=on_level_built,
             reuse=reuse,
             galerkin_planner=galerkin_planner,
+            patch=patch,
+            patcher=patcher,
+            patch_threshold=patch_threshold,
         )
+
+
+def _count_reuse(outcome: str, reason: str | None = None) -> None:
+    """Fold one reuse decision into ``setup_reuse_total{outcome, reason}``."""
+    from repro.obs import metrics as obs_metrics
+
+    labels = {"outcome": outcome}
+    if reason is not None:
+        labels["reason"] = reason
+    obs_metrics.inc("setup_reuse_total", **labels)
 
 
 def _amg_setup_impl(
@@ -188,15 +234,49 @@ def _amg_setup_impl(
     on_level_built: Callable[[int, CSRMatrix], None] | None,
     reuse: AMGHierarchy | None,
     galerkin_planner: Callable | None,
+    patch: bool = False,
+    patcher=None,
+    patch_threshold: float = 0.5,
 ) -> AMGHierarchy:
-    if reuse is not None and params.amg_family == "classical":
-        hierarchy = _numeric_resetup(
+    if reuse is not None and params.amg_family != "classical":
+        # Reuse is only implemented for the classical family; record the
+        # miss instead of silently ignoring the argument (see docstring).
+        _count_reuse("fallback", "amg-family")
+    elif reuse is not None and patch:
+        from repro.amg.patch import patched_resetup, verify_patched_hierarchy
+
+        hierarchy, reason = patched_resetup(
+            a, reuse, params, spgemm,
+            patcher=patcher,
+            threshold=patch_threshold,
+            on_level_built=on_level_built,
+        )
+        if hierarchy is not None:
+            _count_reuse("patched")
+            from repro.check import runtime as check_runtime
+
+            if check_runtime.is_active():
+                from repro.check.structural import validate_hierarchy
+
+                validate_hierarchy(hierarchy)
+                verify_patched_hierarchy(
+                    hierarchy, a, params, spgemm, on_level_built
+                )
+            return hierarchy
+        # The patch path falls back to a *cold* setup, not the exact
+        # re-setup: exact reuse freezes interpolation weights, which is a
+        # weaker contract than the patch path's cold-identical one.
+        _count_reuse("fallback", reason)
+    elif reuse is not None:
+        hierarchy, reason = _numeric_resetup(
             a, reuse, params, spgemm, galerkin_planner, on_level_built
         )
         if hierarchy is not None:
+            _count_reuse("exact")
             return hierarchy
         # Pattern or parameter mismatch: the cached structure does not
         # apply; run the full setup below.
+        _count_reuse("fallback", reason)
     if params.amg_family == "aggregation":
         from repro.amg.aggregation import sa_setup
 
@@ -300,27 +380,29 @@ def _numeric_resetup(
     spgemm: SpGEMMFn | None,
     galerkin_planner: Callable | None,
     on_level_built: Callable[[int, CSRMatrix], None] | None,
-) -> AMGHierarchy | None:
+) -> tuple[AMGHierarchy | None, str | None]:
     """Re-run only the numeric Galerkin passes against cached structure.
 
     Freezes the cached C/F splittings and interpolation operators (values
     included — interpolation weights are a function of the level matrix,
     but HYPRE's reuse-interpolation mode keeps them, and so does the
     paper's alpha-Setup) and recomputes the smoothing diagonals plus the
-    two Galerkin products per level.  Returns ``None`` when the cached
-    structure does not apply, telling the caller to run a full setup:
-    every recomputed coarse matrix's pattern fingerprint is compared to
-    the cached one, so structural drift is detected level by level, never
-    silently propagated.
+    two Galerkin products per level.  Returns ``(None, reason)`` when the
+    cached structure does not apply, telling the caller to run a full
+    setup: every recomputed coarse matrix's pattern fingerprint is
+    compared to the cached one, so structural drift is detected level by
+    level, never silently propagated.
     """
+    if params != reuse.params:
+        return None, "params"
     if (
-        params != reuse.params
-        or not reuse.pattern_keys
+        not reuse.pattern_keys
         or reuse.num_levels != len(reuse.pattern_keys)
         or a.shape != reuse.levels[0].a.shape
-        or a.pattern_key() != reuse.pattern_keys[0]
     ):
-        return None
+        return None, "shape"
+    if a.pattern_key() != reuse.pattern_keys[0]:
+        return None, "pattern-drift"
 
     levels: list[AMGLevel] = []
     spgemm_calls = 0
@@ -328,7 +410,7 @@ def _numeric_resetup(
     for k in range(reuse.num_levels - 1):
         cached = reuse.levels[k]
         if cached.p is None or cached.r is None:
-            return None
+            return None, "structure"
         level = AMGLevel(
             index=k,
             a=current,
@@ -363,7 +445,7 @@ def _numeric_resetup(
             # Numeric cancellation (or a genuinely different operator)
             # changed the coarse structure: the frozen interpolation no
             # longer matches what a full setup would build.
-            return None
+            return None, "pattern-drift"
         if on_level_built is not None:
             on_level_built(k + 1, coarse)
         current = coarse
@@ -385,4 +467,4 @@ def _numeric_resetup(
         from repro.check.structural import validate_hierarchy
 
         validate_hierarchy(hierarchy)
-    return hierarchy
+    return hierarchy, None

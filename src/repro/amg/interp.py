@@ -66,6 +66,8 @@ def build_interpolation(
     trunc_factor: float = 0.1,
     max_elmts: int = 4,
     spgemm: SpGEMMFn | None = None,
+    rows: np.ndarray | None = None,
+    rows_spgemm: Callable | None = None,
 ) -> CSRMatrix:
     """Build the prolongation operator P for one level.
 
@@ -84,6 +86,21 @@ def build_interpolation(
     spgemm:
         SpGEMM implementation for the distance-two product; defaults to the
         CSR baseline kernel.  The hypre layer injects the timed backend.
+    rows:
+        Sorted full-space row ids to (re)build — the dirty rows of the
+        incremental setup patcher.  Instead of the full P, the return value
+        becomes ``(p_sub, covered)``: a compact CSR of shape
+        ``(len(covered), nc)`` plus the sorted full-space row ids it
+        covers.  ``covered`` contains at least the F points of ``rows``
+        (C rows of P are identity rows and never change) and may be a
+        superset when ``rows_spgemm`` computes at block granularity.
+        Every covered row is bit-identical to the same row of the full P.
+    rows_spgemm:
+        ``(a_op, b_op, fpos) -> (c_sub, covered_fpos)`` computing the
+        selected F-position rows of ``a_op @ b_op`` as a compact CSR, each
+        row bit-identical to the full product's.  Defaults to a
+        row-extracted call of *spgemm* (exact for the row-local CSR
+        kernels); the AmgT patcher supplies a block-aligned mBSR variant.
     """
     if method not in ("direct", "extended+i"):
         raise ValueError(f"unknown interpolation method {method!r}")
@@ -95,7 +112,19 @@ def build_interpolation(
     if nc == 0:
         raise ValueError("no coarse points — cannot interpolate")
     if f_points.shape[0] == 0:
+        if rows is not None:
+            # P is the identity: no row ever needs patching.
+            return CSRMatrix.zeros((0, nc)), np.empty(0, dtype=np.int64)
         return CSRMatrix.identity(n)
+    fpos = None
+    if rows is not None:
+        rows = np.asarray(rows, dtype=np.int64)
+        # Positions within f_points of the dirty F rows (C rows of P are
+        # identity rows — immune to value and pattern drift).
+        dirty_f = rows[cf_marker[rows] == -1]
+        fpos = np.searchsorted(f_points, dirty_f)
+        if fpos.shape[0] == 0:
+            return CSRMatrix.zeros((0, nc)), np.empty(0, dtype=np.int64)
 
     # Strength-filtered A: keep diagonal + strong couplings, with values.
     rows = a.row_ids()
@@ -114,8 +143,14 @@ def build_interpolation(
     diag = a.diagonal().astype(np.float64)
     safe_diag = np.where(diag != 0, diag, 1.0)
 
+    covered = fpos
     if method == "direct":
-        w_tilde = a_fc.scale_rows(1.0 / safe_diag[f_points])
+        if fpos is not None:
+            w_tilde = a_fc.extract_rows(fpos).scale_rows(
+                1.0 / safe_diag[f_points[fpos]]
+            )
+        else:
+            w_tilde = a_fc.scale_rows(1.0 / safe_diag[f_points])
     else:
         # Strong F-F block of A (off-diagonal only).
         a_ff = a_s_f.extract_cols(f_points)
@@ -134,8 +169,18 @@ def build_interpolation(
         # direct term before the global negation, i.e. it reinforces it
         # for M-matrices (two negative couplings multiply to a positive
         # path weight).
-        ext = spgemm(a_ff.scale_rows(1.0 / safe_diag[f_points]), dinv_afc)
-        w_tilde = dinv_afc.add(ext, alpha=-1.0)
+        a_ff_scaled = a_ff.scale_rows(1.0 / safe_diag[f_points])
+        if fpos is not None:
+            if rows_spgemm is None:
+                rows_spgemm = lambda x, y, fp: (  # noqa: E731
+                    spgemm(x.extract_rows(fp), y), fp,
+                )
+            ext, covered = rows_spgemm(a_ff_scaled, dinv_afc, fpos)
+            covered = np.asarray(covered, dtype=np.int64)
+            w_tilde = dinv_afc.extract_rows(covered).add(ext, alpha=-1.0)
+        else:
+            ext = spgemm(a_ff_scaled, dinv_afc)
+            w_tilde = dinv_afc.add(ext, alpha=-1.0)
 
     # Classical direct-interpolation scaling: scale each F row so that the
     # interpolated value reproduces the full off-diagonal weight of the row,
@@ -145,9 +190,13 @@ def build_interpolation(
     rows_a = a.row_ids()
     offdiag = rows_a != a.indices
     off_sums = np.bincount(rows_a[offdiag], weights=a.data[offdiag], minlength=n)
-    target = -off_sums[f_points] / safe_diag[f_points]
+    f_sel = f_points if covered is None else f_points[covered]
+    target = -off_sums[f_sel] / safe_diag[f_sel]
+    # bincount returns int64 (not float64) when the input is empty, even
+    # with weights= — a restricted dirty-row slice can be entirely empty,
+    # and the int64 result would poison the divide's out= buffer below.
     w_sums = np.bincount(w_tilde.row_ids(), weights=w_tilde.data,
-                         minlength=w_tilde.nrows)
+                         minlength=w_tilde.nrows).astype(np.float64, copy=False)
     ok = (np.abs(w_sums) > 1e-12) & (np.abs(target) > 1e-12)
     # Rows with degenerate sums fall back to the plain Jacobi weights -w~.
     scale = np.where(ok, np.divide(target, w_sums, where=ok,
@@ -157,6 +206,14 @@ def build_interpolation(
     scale = np.clip(scale, -16.0, 16.0)
     w = w_tilde.scale_rows(scale)
 
+    if covered is not None:
+        # Compact result over the covered F rows: W's rows are already the
+        # covered positions, and truncation is row-local, so every row is
+        # bit-identical to the same row of the full, truncated P.
+        p_sub = truncate_interpolation(
+            w, trunc_factor=trunc_factor, max_elmts=max_elmts
+        )
+        return p_sub, f_points[covered]
     p = _expand_to_full(w, f_points, c_points, n)
     return truncate_interpolation(p, trunc_factor=trunc_factor, max_elmts=max_elmts)
 

@@ -122,14 +122,21 @@ class AmgTSolver:
         self._driver: BoomerAMG | None = None
 
     # ------------------------------------------------------------------
-    def setup(self, a: CSRMatrix, reuse: bool = False) -> "AmgTSolver":
+    def setup(
+        self, a: CSRMatrix, reuse: bool = False, patch: bool = False
+    ) -> "AmgTSolver":
         """Run the setup phase (Alg. 1) on *a*.
 
         With ``reuse=True`` (after an earlier :meth:`setup`) the previous
         hierarchy's coarsening and interpolation are frozen and only the
         numeric Galerkin passes replay, provided the sparsity pattern of
         *a* matches; on any mismatch the full setup runs — see
-        :meth:`repro.hypre.boomeramg.BoomerAMG.setup`.
+        :meth:`repro.hypre.boomeramg.BoomerAMG.setup`.  With ``patch=True``
+        as well, the incremental patch path is tried first: only the rows
+        whose fingerprints changed are recomputed and spliced into the
+        cached hierarchy, bit-identical to a cold setup.  Cached solve
+        tapes are invalidated either way (the hierarchy's generation
+        moves), so the next taped solve re-records.
         """
         from repro.check import checked_region
         from repro.obs import trace as obs_trace
@@ -137,7 +144,7 @@ class AmgTSolver:
         with obs_trace.span("AmgTSolver.setup", "solver"):
             if reuse and self._driver is not None:
                 with checked_region(enabled=self.checked):
-                    self._driver.setup(a, reuse=True)
+                    self._driver.setup(a, reuse=True, patch=patch)
                 return self
             backend = make_backend(
                 self.backend_name, self.device, precision=self.precision_name

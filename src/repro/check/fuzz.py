@@ -50,6 +50,7 @@ _SMOKE = {
     "conversion_cache": 40,
     "solver": 15,
     "partition": 20,
+    "evolve": 15,
 }
 _FULL_MULTIPLIER = 4
 
@@ -231,6 +232,83 @@ def _fuzz_partition(case) -> None:
     _bump()
 
 
+_evolve_case = st.tuples(
+    st.sampled_from(["newton", "timestep", "refine"]),
+    st.sampled_from([8, 12, 17]),
+    st.sampled_from([0.02, 0.08, 0.25]),
+    st.integers(0, 2**32 - 1),
+)
+
+
+def _fuzz_evolve(case) -> None:
+    """Evolving sequences: diff exactness + patched/cold bit-identity.
+
+    Two contracts per step of the sequence:
+
+    * the per-row fingerprint diff names *exactly* the rows that changed
+      (no misses, no spurious rows);
+    * whatever ``amg_setup(reuse=..., patch=True)`` returns — patched or
+      any fallback — carries the same bits as a cold setup of the new
+      matrix.
+    """
+    from repro.amg.hierarchy import amg_setup
+    from repro.check.fingerprint import diff_rows, row_digests
+    from repro.matrices.generators import evolving_sequence
+
+    kind, nx, frac, seed = case
+    seq = evolving_sequence(kind, nx=nx, steps=2, dirty_frac=frac, seed=seed)
+    prev_mat, prev_h = seq[0], amg_setup(seq[0])
+    for a in seq[1:]:
+        predicted = diff_rows(row_digests(prev_mat, values=True),
+                              row_digests(a, values=True))
+        actual = [
+            i for i in range(a.nrows)
+            if not np.array_equal(prev_mat.indptr[i:i + 2] - prev_mat.indptr[i],
+                                  a.indptr[i:i + 2] - a.indptr[i])
+            or not np.array_equal(
+                prev_mat.indices[prev_mat.indptr[i]:prev_mat.indptr[i + 1]],
+                a.indices[a.indptr[i]:a.indptr[i + 1]])
+            or not np.array_equal(
+                prev_mat.data[prev_mat.indptr[i]:prev_mat.indptr[i + 1]],
+                a.data[a.indptr[i]:a.indptr[i + 1]])
+        ]
+        if predicted.tolist() != actual:
+            raise ContractViolation(
+                "fingerprint.diff_rows", "patch/diff-exact",
+                f"digest diff predicted rows {predicted.tolist()} but "
+                f"{actual} changed ({kind}, nx={nx}, frac={frac}, "
+                f"seed={seed})",
+            )
+        h = amg_setup(a, reuse=prev_h, patch=True)
+        cold = amg_setup(a)
+        if h.num_levels != cold.num_levels:
+            raise ContractViolation(
+                "amg_setup", "patch/cold-identical",
+                f"level count {h.num_levels} != cold {cold.num_levels}",
+            )
+        for k, (lp, lc) in enumerate(zip(h.levels, cold.levels)):
+            for name in ("a", "p", "r"):
+                mp, mc = getattr(lp, name), getattr(lc, name)
+                if (mp is None) != (mc is None):
+                    raise ContractViolation(
+                        "amg_setup", "patch/cold-identical",
+                        f"level {k} operator {name!r} presence differs",
+                    )
+                if mp is None:
+                    continue
+                if not (np.array_equal(mp.indptr, mc.indptr)
+                        and np.array_equal(mp.indices, mc.indices)
+                        and np.array_equal(mp.data, mc.data)):
+                    raise ContractViolation(
+                        "amg_setup", "patch/cold-identical",
+                        f"level {k} operator {name!r} differs from the "
+                        f"cold setup ({kind}, nx={nx}, frac={frac}, "
+                        f"seed={seed}, patched={h.patched})",
+                    )
+        prev_mat, prev_h = a, h
+    _bump()
+
+
 _TARGETS = [
     ("spmv", _fuzz_spmv, _shape2),
     ("spgemm", _fuzz_spgemm, _shape3),
@@ -238,6 +316,7 @@ _TARGETS = [
     ("conversion_cache", _fuzz_conversion_cache, _shape2),
     ("solver", _fuzz_solver, _solver_case),
     ("partition", _fuzz_partition, _partition_case),
+    ("evolve", _fuzz_evolve, _evolve_case),
 ]
 
 

@@ -183,11 +183,29 @@ def _cmd_obs_report(args) -> int:
         solver = AmgTSolver(backend=args.backend, device=args.device,
                             precision=args.precision)
         solver.setup(a)
+        # One patched re-setup on the same operator: exercises the reuse
+        # engine so the report can surface its outcome counters.
+        solver.setup(a, reuse=True, patch=True)
         solver.solve(b, max_iterations=args.iterations)
     print(f"observed setup+solve: {args.matrix} on {args.device} "
           f"({args.backend}, {args.precision}), "
           f"{obs.TRACER.span_count} spans\n")
     print(obs.phase_report(solver.performance, obs.TRACER))
+    reuse = obs.REGISTRY.snapshot().get("setup_reuse_total")
+    if reuse is not None:
+        parts = []
+        for s in reuse["samples"]:
+            outcome = s["labels"].get("outcome", "?")
+            reason = s["labels"].get("reason")
+            tag = f"{outcome}[{reason}]" if reason else outcome
+            parts.append(f"{tag}={s['value']:g}")
+        print(f"setup reuse: {', '.join(sorted(parts))}")
+        h = solver.hierarchy
+        if h.patched:
+            st = h.patch_stats
+            print(f"  patched hierarchy: {st['patched_levels']} patched / "
+                  f"{st['clean_levels']} clean levels, "
+                  f"{st['dirty_rows']} dirty rows")
     tel = obs.CONVERGENCE.last()
     if tel is not None:
         print(f"convergence: {tel.iterations} iterations, "

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.formats.bitmap import BLOCK_SIZE
 from repro.gpu.cost import CostModel
 from repro.gpu.counters import Precision
 from repro.gpu.specs import DeviceSpec
@@ -41,7 +42,13 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.perf.timeline import PerformanceLog
 
-__all__ = ["KernelBackend", "HypreBackend", "AmgTBackend", "make_backend"]
+__all__ = [
+    "KernelBackend",
+    "HypreBackend",
+    "AmgTBackend",
+    "AmgTPatcher",
+    "make_backend",
+]
 
 
 def _kernel_span(name: str, phase: str, level: int):
@@ -141,6 +148,13 @@ class KernelBackend:
     def galerkin_plan(self, r, a, p, perf, phase, level, on_result=None):
         """Fused RAP plan, or None when the backend has no setup engine
         (the baseline runs the plain two-call Galerkin path)."""
+        return None
+
+    def hierarchy_patcher(self, reuse, perf, phase: str = "setup"):
+        """Dirty-row patch engine for incremental re-setups, or None when
+        the backend has no block format — the setup driver then uses the
+        row-local CSR patcher built on the setup's SpGEMM callable (see
+        :class:`repro.amg.patch.CSRPatcher`)."""
         return None
 
     # -- shared helpers ---------------------------------------------------
@@ -325,6 +339,10 @@ class AmgTBackend(KernelBackend):
             rec.counters.mma_issues[prec] = 0.0
             rec.counters.add_flops(prec, mma * 2 * 2 * 64.0)
 
+    def hierarchy_patcher(self, reuse, perf, phase: str = "setup"):
+        """Block-aligned mBSR patch engine over the spliced plan cache."""
+        return AmgTPatcher(self, reuse, perf, phase)
+
     def galerkin_plan(
         self,
         r: HypreCSRMatrix,
@@ -463,6 +481,204 @@ class _BackendGalerkinPlan:
             self.on_result(out)
         self.consumed = True
         return csr
+
+
+class AmgTPatcher:
+    """Block-aligned incremental patch engine for the AmgT backend.
+
+    Implements the ``interp_rows`` / ``galerkin_rows`` protocol of
+    :func:`repro.amg.patch.patched_resetup` in the mBSR domain: products
+    replay only the dirty block-rows (each tile bytewise equal to the same
+    tile of the full product, so the spliced operators stay bit-identical
+    to a cold setup), conversion templates and fused RAP plans are spliced
+    through the pattern-keyed :class:`~repro.kernels.setup_cache.\
+SetupPlanCache`, and every kernel is priced like its cold counterpart.
+
+    The driver's scalar dirty sets arrive block-expanded (see
+    ``repro.amg.patch._expand_blocks``), which is what keeps clean
+    block-rows of a spliced plan from referencing operand block-rows whose
+    tile lists changed.
+    """
+
+    def __init__(self, backend: AmgTBackend, reuse, perf: PerformanceLog,
+                 phase: str = "setup"):
+        self.backend = backend
+        self.reuse = reuse
+        self.perf = perf
+        self.phase = phase
+        #: Wrappers of the operators this patcher touched, keyed by
+        #: ``id(csr)``; the driver seeds it with the previous setup's
+        #: wrappers (old operands convert template-free) and merges the
+        #: patched entries back after the setup.
+        self.wrapped: dict[int, HypreCSRMatrix] = {}
+
+    # -- helpers ----------------------------------------------------------
+    @staticmethod
+    def _valid_scalars(blocks: np.ndarray, nrows: int):
+        """Scalar rows of the given block-rows (clipped to the matrix) and
+        their positions within the compact 4*len(blocks)-row result."""
+        scal = (blocks[:, None] * BLOCK_SIZE
+                + np.arange(BLOCK_SIZE, dtype=np.int64)).ravel()
+        pos = np.flatnonzero(scal < nrows)
+        return scal[pos], pos
+
+    def _price(self, records, level: int) -> None:
+        backend = self.backend
+        prec = backend.schedule.for_level(level)
+        for rec in records:
+            backend._reprice_mma(rec, prec)
+            rec.phase, rec.level = self.phase, level
+            rec.price(backend.cost)
+            self.perf.append(rec)
+            obs_metrics.observe_kernel(rec)
+
+    def _wrap(self, csr) -> HypreCSRMatrix:
+        """Wrapper for an operand of the *cached* hierarchy (mBSR twins
+        usually carried over from the setup that built it)."""
+        w = self.wrapped.get(id(csr))
+        if w is None:
+            w = HypreCSRMatrix(csr=csr, setup_cache=self.backend.setup_cache)
+            self.wrapped[id(csr)] = w
+        if w.setup_cache is None:
+            w.setup_cache = self.backend.setup_cache
+        return w
+
+    def _patched_wrap(self, csr_new, csr_old, dirty_blocks: np.ndarray,
+                      level: int) -> HypreCSRMatrix:
+        """Wrapper for a drifted operand, converted through a spliced
+        CSR->mBSR template (clean block-rows keep the cached layout)."""
+        w = self.wrapped.get(id(csr_new))
+        if w is not None and w.mbsr is not None:
+            return w
+        backend = self.backend
+        cache = backend.setup_cache
+        w = HypreCSRMatrix(csr=csr_new, setup_cache=cache)
+        if csr_new is csr_old:
+            backend._ensure_mbsr(w, self.perf, self.phase, level)
+        else:
+            sp = _kernel_span("csr2mbsr", self.phase, level)
+            with sp:
+                mbsr, stats, _ = cache.patch_csr2mbsr(
+                    csr_new, csr_old.pattern_key(), dirty_blocks
+                )
+            w.mbsr = mbsr
+            w.conversion_stats = stats
+            rec = KernelRecord(kernel="csr2mbsr", backend=backend.name,
+                               precision=Precision.FP64)
+            rec.counters.add_bytes(read=stats.bytes_read,
+                                   written=stats.bytes_written)
+            rec.counters.launches = 2
+            rec.phase, rec.level = self.phase, level
+            rec.price(backend.cost, "amgt_convert")
+            self.perf.append(rec)
+            _finish_record(sp, rec)
+        self.wrapped[id(csr_new)] = w
+        return w
+
+    def _record_sub_mbsr2csr(self, mbsr, csr, level: int) -> None:
+        """Price the dirty rows' MBSR2CSR expansion (Fig. 6 step 5,
+        restricted to the replayed block-rows)."""
+        backend = self.backend
+        rec = KernelRecord(kernel="mbsr2csr", backend=backend.name,
+                           precision=Precision.FP64)
+        rec.counters.add_bytes(
+            read=mbsr.blc_num * (16 * 8 + 8 + 2),
+            written=csr.nnz * (8 + 8) + (csr.nrows + 1) * 8,
+        )
+        rec.counters.launches = 2
+        rec.phase, rec.level = self.phase, level
+        rec.price(backend.cost, "amgt_convert")
+        self.perf.append(rec)
+        obs_metrics.observe_kernel(rec)
+
+    # -- patcher protocol -------------------------------------------------
+    def interp_rows(self, level, a_op, b_op, fpos):
+        """Dirty block-rows of the extended+i product ``a_op @ b_op``.
+
+        The operands are full (their conversions hit the pattern-keyed
+        templates after the first patch); only the product is restricted.
+        Returns the compact CSR over the covered F positions — every
+        block-row's tiles bytewise equal to the full mBSR product's, hence
+        every row bit-identical to the cold interpolation's.
+        """
+        from repro.formats.convert import mbsr_to_csr
+        from repro.kernels.spgemm import mbsr_spgemm_rows
+
+        backend = self.backend
+        wa = self._wrap(a_op)
+        wb = self._wrap(b_op)
+        backend._ensure_mbsr(wa, self.perf, self.phase, level)
+        backend._ensure_mbsr(wb, self.perf, self.phase, level)
+        prec = backend.schedule.for_level(level)
+        am = wa.mbsr_at_precision(prec)
+        bm = wb.mbsr_at_precision(prec)
+        blocks = np.unique(np.asarray(fpos, dtype=np.int64) // 4)
+        sp = _kernel_span("spgemm", self.phase, level)
+        with sp:
+            sub, _, rec = mbsr_spgemm_rows(
+                am, bm, blocks, prec, out_dtype=np.float64,
+                storage_itemsize=backend.storage_itemsize,
+            )
+        self._price([rec], level)
+        if sp:
+            sp.set(patched_rows=int(blocks.shape[0]), sim_us=rec.sim_time_us)
+        csr = mbsr_to_csr(sub).eliminate_zeros(0.0)
+        covered, pos = self._valid_scalars(blocks, a_op.nrows)
+        return csr.extract_rows(pos), covered
+
+    def galerkin_rows(self, level, r_new, a_new, p_new, rows, dirt):
+        """Dirty coarse block-rows of ``R @ A @ P`` via the spliced fused
+        plan: two restricted numeric passes, no symbolic work on clean
+        rows, no CSR round-trip of the intermediate."""
+        from repro.formats.convert import mbsr_to_csr
+
+        backend = self.backend
+        cache = backend.setup_cache
+        cached = self.reuse.levels[level]
+        rows = np.asarray(rows, dtype=np.int64)
+        blocks_c = np.unique(rows // 4)
+
+        wro, wao, wpo = (self._wrap(m)
+                         for m in (cached.r, cached.a, cached.p))
+        for w in (wro, wao, wpo):
+            backend._ensure_mbsr(w, self.perf, self.phase, level)
+        wa = self._patched_wrap(a_new, cached.a,
+                                np.unique(dirt.dv // 4), level)
+        wp = self._patched_wrap(p_new, cached.p,
+                                np.unique(dirt.covered // 4), level)
+        wr = self._patched_wrap(r_new, cached.r, blocks_c, level)
+
+        prec = backend.schedule.for_level(level)
+        rm, am, pm = (w.mbsr_at_precision(prec) for w in (wr, wa, wp))
+        rmo, amo, pmo = (w.mbsr_at_precision(prec) for w in (wro, wao, wpo))
+
+        plan = cache.rap_plan_if_cached(rm, am, pm)
+        if plan is None:
+            prev = cache.rap_plan_if_cached(rmo, amo, pmo)
+            if prev is not None:
+                plan, _ = cache.patch_rap_plan(
+                    rm, am, pm, rmo, amo, pmo, prev, blocks_c
+                )
+            else:
+                # No cached plan to splice (cold setup ran elsewhere):
+                # build one — later patches of this pattern replay it.
+                plan, _ = cache.rap_plan(rm, am, pm)
+        sp = _kernel_span("spgemm", self.phase, level)
+        with sp:
+            rap_sub, records = cache.rap_numeric_rows(
+                plan, rm, am, pm, blocks_c, prec, out_dtype=np.float64,
+                storage_itemsize=backend.storage_itemsize,
+            )
+        self._price(records, level)
+        if sp:
+            sp.set(fused="rap", patched_rows=int(blocks_c.shape[0]),
+                   sim_us=sum(rec.sim_time_us for rec in records))
+        csp = _kernel_span("mbsr2csr", self.phase, level)
+        with csp:
+            csr = mbsr_to_csr(rap_sub).eliminate_zeros(0.0)
+        self._record_sub_mbsr2csr(rap_sub, csr, level)
+        covered, pos = self._valid_scalars(blocks_c, r_new.nrows)
+        return csr.extract_rows(pos), covered
 
 
 def make_backend(name: str, device: DeviceSpec, precision: str = "fp64") -> KernelBackend:

@@ -64,7 +64,12 @@ class BoomerAMG:
     # setup phase
     # ------------------------------------------------------------------
     def setup(
-        self, a: CSRMatrix, reuse: AMGHierarchy | bool | None = None
+        self,
+        a: CSRMatrix,
+        reuse: AMGHierarchy | bool | None = None,
+        *,
+        patch: bool = False,
+        patch_threshold: float = 0.5,
     ) -> AMGHierarchy:
         """Build (or numerically rebuild) the hierarchy for *a*.
 
@@ -79,6 +84,19 @@ class BoomerAMG:
             only the numeric Galerkin passes replay (through the AmgT
             backend's fused RAP plans); on any mismatch the full setup
             runs — see :func:`repro.amg.hierarchy.amg_setup`.
+        patch:
+            With *reuse*, try the incremental patch path first: diff
+            per-row fingerprints level by level, replay SpGEMMs on the
+            dirty rows only and splice them into the cached operators —
+            bit-identical to a cold setup, unlike the frozen-coarsening
+            exact path.  The AmgT backend patches in the mBSR domain
+            through its spliced plan cache.  Falls back to a full setup
+            (counted in ``setup_reuse_total``) when the dirt exceeds
+            *patch_threshold* or the coarsening drifts.
+        patch_threshold:
+            Cumulative dirty-row budget of the patch path, as a fraction
+            of the fine-level rows (see :func:`repro.amg.hierarchy.\
+amg_setup`).
         """
         perf = self.perf
         backend = self.backend
@@ -92,6 +110,13 @@ class BoomerAMG:
             for entry in self._wrapped:
                 for w in entry.values():
                     wrapped_cache.setdefault(id(w.csr), w)
+        patcher = None
+        if reuse is not None and patch:
+            patcher = backend.hierarchy_patcher(reuse, perf)
+            if patcher is not None:
+                # Old operands convert through the carried-over wrappers.
+                for key, w in wrapped_cache.items():
+                    patcher.wrapped.setdefault(key, w)
 
         def wrap(mat: CSRMatrix) -> HypreCSRMatrix:
             w = wrapped_cache.get(id(mat))
@@ -131,10 +156,29 @@ class BoomerAMG:
             hierarchy = amg_setup(a, self.params, spgemm=spgemm,
                                   on_level_built=on_level_built,
                                   reuse=reuse,
-                                  galerkin_planner=galerkin_planner)
+                                  galerkin_planner=galerkin_planner,
+                                  patch=patch, patcher=patcher,
+                                  patch_threshold=patch_threshold)
             # Non-kernel setup work per level.
+            per_level = {}
+            if hierarchy.patched:
+                per_level = {
+                    e["level"]: e for e in hierarchy.patch_stats["levels"]
+                }
             for lvl in hierarchy.levels[:-1]:
-                if hierarchy.reused:
+                if hierarchy.patched:
+                    # Fingerprint diff + full strength/PMIS on dirty
+                    # levels; interpolation assembly and truncation only
+                    # stream the dirty fraction of the level.
+                    frac = per_level.get(lvl.index, {}).get("frac", 0.0)
+                    backend.record_other(
+                        perf, "setup", lvl.index, "patch",
+                        bytes_moved=16.0 * max(lvl.a.nnz, 1)
+                        + _SETUP_OTHER_BYTES_PER_NNZ * lvl.a.nnz * frac,
+                        flops=2.0 * lvl.a.nnz,
+                        launches=3,
+                    )
+                elif hierarchy.reused:
                     # Frozen coarsening/interpolation: only the pattern checks
                     # and the smoothing-diagonal recompute stream the level.
                     backend.record_other(
@@ -150,6 +194,11 @@ class BoomerAMG:
                         flops=4.0 * lvl.a.nnz,
                         launches=6,
                     )
+        if patcher is not None:
+            # Patched operators keep their spliced mBSR twins for the
+            # solve phase.
+            for key, w in patcher.wrapped.items():
+                wrapped_cache.setdefault(key, w)
         self.hierarchy = hierarchy
 
         # Wrap the level operators once; solve-phase SpMVs reuse the

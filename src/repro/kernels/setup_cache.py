@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.check import runtime as check_runtime
 from repro.formats.bitmap import (
+    BLOCK_SIZE,
     TC_NNZ_THRESHOLD,
     TILE_SLOTS,
     bitmap_popcount,
@@ -50,15 +51,84 @@ from repro.formats.bitmap import (
 from repro.formats.convert import ConversionStats, _tile_layout, csr_to_mbsr
 from repro.formats.csr import CSRMatrix
 from repro.formats.mbsr import MBSRMatrix
-from repro.gpu.counters import Precision
+from repro.gpu.counters import KernelCounters, Precision
 from repro.kernels.record import KernelRecord
 from repro.kernels.spgemm import SpGEMMPlan, mbsr_spgemm_symbolic_plan
 from repro.obs import metrics as obs_metrics
+from repro.kernels.spgemm_analysis import analyse_and_bin
 from repro.kernels.spgemm_numeric import numeric_spgemm
+from repro.kernels.spgemm_symbolic import SymbolicResult, symbolic_spgemm
 from repro.util.prefix_sum import counts_to_ptr
 from repro.util.segops import segment_bitwise_or
 
-__all__ = ["RAPPlan", "SetupPlanCache"]
+__all__ = ["RAPPlan", "SetupPlanCache", "splice_segments"]
+
+
+def splice_segments(
+    old_ptr: np.ndarray, dirty_rows: np.ndarray, dirty_counts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Merge geometry for per-row segment splices.
+
+    ``old_ptr`` delimits per-row segments of some entry array (tiles of a
+    block-row, candidate pairs of a block-row, CSR entries of a scalar
+    row); ``dirty_rows`` (sorted) are the rows being replaced by segments
+    of ``dirty_counts[i]`` entries each.  Returns
+
+    a :class:`SpliceGeometry` whose ``old_src`` / ``old_dst`` copy every
+    clean row's segment (``out[old_dst] = old_entries[old_src]``) and
+    whose ``dirty_dst`` lays the replacement segments (concatenated in
+    ``dirty_rows`` order) into place.  Entry order within every segment is
+    preserved — the property that keeps a spliced plan bit-identical to
+    the cold one.
+    """
+    old_ptr = np.asarray(old_ptr, dtype=np.int64)
+    dirty_rows = np.asarray(dirty_rows, dtype=np.int64)
+    dirty_counts = np.asarray(dirty_counts, dtype=np.int64)
+    nrows = old_ptr.shape[0] - 1
+    counts = np.diff(old_ptr)
+    new_counts = counts.copy()
+    new_counts[dirty_rows] = dirty_counts
+    new_ptr = counts_to_ptr(new_counts)
+    dirty_mask = np.zeros(nrows, dtype=bool)
+    dirty_mask[dirty_rows] = True
+    row_of_old = np.repeat(np.arange(nrows, dtype=np.int64), counts)
+    old_src = np.flatnonzero(~dirty_mask[row_of_old])
+    rows_kept = row_of_old[old_src]
+    old_dst = new_ptr[rows_kept] + (old_src - old_ptr[rows_kept])
+    total_dirty = int(dirty_counts.sum())
+    row_of_dirty = np.repeat(dirty_rows, dirty_counts)
+    dptr = counts_to_ptr(dirty_counts)
+    dwithin = np.arange(total_dirty, dtype=np.int64) - np.repeat(
+        dptr[:-1], dirty_counts
+    )
+    dirty_dst = new_ptr[row_of_dirty] + dwithin
+    return SpliceGeometry(new_ptr, old_src, old_dst, dirty_dst, rows_kept)
+
+
+@dataclass
+class SpliceGeometry:
+    """Index plumbing of one per-row segment splice (see
+    :func:`splice_segments`)."""
+
+    new_ptr: np.ndarray
+    old_src: np.ndarray
+    old_dst: np.ndarray
+    dirty_dst: np.ndarray
+    #: Row owning each kept old entry (aligned with ``old_src``).
+    rows_kept: np.ndarray
+
+    def splice(self, old_arr, dirty_arr, old_shift=None):
+        """Merge one per-entry array; ``old_shift`` (per kept entry) is
+        added to the copied old values — the tile/entry-index remap of
+        clean rows whose flat positions moved."""
+        shape = (int(self.new_ptr[-1]),) + old_arr.shape[1:]
+        out = np.zeros(shape, dtype=old_arr.dtype)
+        vals = old_arr[self.old_src]
+        if old_shift is not None:
+            vals = vals + old_shift
+        out[self.old_dst] = vals
+        out[self.dirty_dst] = dirty_arr
+        return out
 
 
 @dataclass
@@ -112,7 +182,10 @@ class _FillTemplate:
     #: Source permutation and flat destination slot per CSR entry.
     order: np.ndarray
     slots: np.ndarray
-    mbsr_pattern_key: str
+    mbsr_pattern_key: str | None
+    #: CSR entry offset at each block-row boundary (``indptr[min(4b, n)]``),
+    #: the segment pointer the template splice shifts clean rows by.
+    row_starts: np.ndarray | None = None
 
 
 @dataclass
@@ -126,6 +199,86 @@ class _GatherTemplate:
     #: Flat source position in ``blc_val`` per CSR entry.
     gather: np.ndarray
     csr_pattern_key: str
+
+
+def _segment_slice(ptr: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Flat indices of all entries in the given per-row segments."""
+    counts = ptr[rows + 1] - ptr[rows]
+    total = int(counts.sum())
+    starts = counts_to_ptr(counts)[:-1]
+    return (
+        np.repeat(ptr[rows], counts)
+        + np.arange(total, dtype=np.int64)
+        - np.repeat(starts, counts)
+    )
+
+
+def _restrict_symbolic(
+    sym: SymbolicResult,
+    rows: np.ndarray,
+    mat_b: MBSRMatrix,
+    compact_a_ptr: np.ndarray | None = None,
+) -> SymbolicResult:
+    """Row-slice a full symbolic result into the compact form the numeric
+    phase consumes: pairs of the selected block-rows only, output tile
+    positions rebased to the compacted C, pair order untouched.
+
+    ``compact_a_ptr`` additionally rebases ``pair_a`` from the full A tile
+    space to the same row-compacted layout — used when the left operand
+    itself is materialised only on the dirty rows (the RA intermediate).
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    mb = sym.blc_ptr_c.shape[0] - 1
+    mask = np.zeros(mb, dtype=bool)
+    mask[rows] = True
+    sel = np.flatnonzero(mask[sym.pair_row])
+    pair_row_sel = sym.pair_row[sel]
+    row_pos = np.searchsorted(rows, pair_row_sel)
+    counts = np.diff(sym.blc_ptr_c)[rows]
+    cptr = counts_to_ptr(counts)
+    cols_all, pos_all = sym.locate_pairs(mat_b)
+    pos = pos_all[sel] - sym.blc_ptr_c[pair_row_sel] + cptr[row_pos]
+    pair_a = sym.pair_a[sel]
+    if compact_a_ptr is not None:
+        a_counts = np.diff(compact_a_ptr)[rows]
+        a_cptr = counts_to_ptr(a_counts)
+        pair_a = pair_a - compact_a_ptr[pair_row_sel] + a_cptr[row_pos]
+    tile_sel = _segment_slice(sym.blc_ptr_c, rows)
+    return SymbolicResult(
+        blc_ptr_c=cptr,
+        blc_idx_c=sym.blc_idx_c[tile_sel],
+        pair_a=pair_a,
+        pair_b=sym.pair_b[sel],
+        pair_map=sym.pair_map[sel],
+        pair_row=row_pos,
+        counters=KernelCounters(),
+        _pair_cols=cols_all[sel],
+        _pair_pos=pos,
+    )
+
+
+def _verify_spliced_plan(plan: SpGEMMPlan, a_new, b_new) -> None:
+    """REPRO_CHECK gate: a spliced plan must be bytewise the cold build."""
+    from repro.check.violation import ContractViolation
+
+    cold = mbsr_spgemm_symbolic_plan(a_new, b_new)
+    pairs = (
+        ("blc_ptr_c", plan.symbolic.blc_ptr_c, cold.symbolic.blc_ptr_c),
+        ("blc_idx_c", plan.symbolic.blc_idx_c, cold.symbolic.blc_idx_c),
+        ("pair_a", plan.symbolic.pair_a, cold.symbolic.pair_a),
+        ("pair_b", plan.symbolic.pair_b, cold.symbolic.pair_b),
+        ("pair_map", plan.symbolic.pair_map, cold.symbolic.pair_map),
+        ("pair_row", plan.symbolic.pair_row, cold.symbolic.pair_row),
+        ("pair_pos", plan.symbolic._pair_pos, cold.symbolic._pair_pos),
+        ("pair_cols", plan.symbolic._pair_cols, cold.symbolic._pair_cols),
+    )
+    for name, got, want in pairs:
+        if not np.array_equal(got, want):
+            raise ContractViolation(
+                "setup_cache", "setup/plan-splice",
+                f"spliced SpGEMM plan diverges from the cold build in "
+                f"{name}: {got.shape} vs {want.shape}",
+            )
 
 
 @dataclass
@@ -258,6 +411,22 @@ class SetupPlanCache:
         self._put(self._rap, key, plan)
         self.stats.count("rap", hit=False)
         return plan, True
+
+    def rap_plan_if_cached(
+        self, r: MBSRMatrix, a: MBSRMatrix, p: MBSRMatrix
+    ) -> RAPPlan | None:
+        """Peek: the cached fused plan for the operands' patterns, or None.
+
+        Unlike :meth:`rap_plan` a miss builds nothing — the incremental
+        patcher uses this to decide between splicing a previous plan and
+        paying a cold build.
+        """
+        key = (
+            r.cache.pattern_key,
+            a.cache.pattern_key,
+            p.cache.pattern_key,
+        )
+        return self._get(self._rap, key)
 
     def rap_numeric(
         self,
@@ -394,6 +563,8 @@ class SetupPlanCache:
         self.stats.count("csr2mbsr", hit=False)
         out, stats = csr_to_mbsr(csr, return_stats=True)
         order, slot, tile_of_entry, _, _ = _tile_layout(csr)
+        mb = out.blc_ptr.shape[0] - 1
+        bounds = np.minimum(np.arange(mb + 1, dtype=np.int64) * 4, csr.nrows)
         tmpl = _FillTemplate(
             shape=csr.shape,
             blc_ptr=out.blc_ptr,
@@ -403,6 +574,7 @@ class SetupPlanCache:
             order=order,
             slots=tile_of_entry * TILE_SLOTS + slot[order],
             mbsr_pattern_key=out.cache.pattern_key,
+            row_starts=csr.indptr[bounds],
         )
         self._put(self._fill, key, tmpl)
         return out, stats
@@ -451,3 +623,420 @@ class SetupPlanCache:
         )
         self._put(self._gather, key, tmpl)
         return out
+
+    # -- incremental patches (dirty-block-row splices) -------------------
+    #
+    # An evolving operator changes its pattern in a few block-rows; the
+    # methods below graft row-restricted symbolic results into cached
+    # plans/templates instead of rebuilding them.  Every splice preserves
+    # per-row entry order, so the spliced plan is bytewise the plan a cold
+    # build on the new operands would produce (verified against the cold
+    # build under REPRO_CHECK).  Spliced entries are stored in the same
+    # LRU stores under the new pattern keys — the next exact-pattern
+    # re-setup replays them numeric-only like any cold-built plan.
+
+    def patch_spgemm_plan(
+        self,
+        a_new: MBSRMatrix,
+        b_new: MBSRMatrix,
+        a_old: MBSRMatrix,
+        b_old: MBSRMatrix,
+        prev: SpGEMMPlan,
+        dirty_rows: np.ndarray,
+    ) -> SpGEMMPlan:
+        """Splice *prev* into a plan for the drifted operands.
+
+        ``dirty_rows`` (sorted block-rows of A) must cover every block-row
+        of the product whose pair list could differ: rows where A's
+        pattern changed plus rows whose A entries reach a changed B
+        block-row.  Clean rows reuse the cached pair lists with their tile
+        indices shifted to the new operands' layouts; dirty rows run the
+        row-ranged symbolic phase.  The result is stored under the new
+        pattern keys and returned.
+        """
+        key = (a_new.cache.pattern_key, b_new.cache.pattern_key)
+        hit = self._get(self._spgemm, key)
+        if hit is not None:
+            self.stats.count("spgemm", hit=True)
+            return hit
+        dirty_rows = np.asarray(dirty_rows, dtype=np.int64)
+        mb = a_new.mb
+        sym_old = prev.symbolic
+        sub = symbolic_spgemm(a_new, b_new, None, dirty_rows)
+        sub.locate_pairs(b_new)
+        cols_old, pos_old = sym_old.locate_pairs(b_old)
+
+        # Pair-list splice.  Kept pairs shift their A/B tile indices by the
+        # per-block-row tile-count deltas of the drifted operands.
+        old_pair_ptr = counts_to_ptr(
+            np.bincount(sym_old.pair_row, minlength=mb)
+        )
+        sub_counts = np.bincount(
+            sub.pair_row, minlength=dirty_rows.shape[0]
+        )
+        geom_p = splice_segments(old_pair_ptr, dirty_rows, sub_counts)
+        shift_a = a_new.blc_ptr[:-1] - a_old.blc_ptr[:-1]
+        shift_b = b_new.blc_ptr[:-1] - b_old.blc_ptr[:-1]
+        pair_a = geom_p.splice(
+            sym_old.pair_a, sub.pair_a, shift_a[geom_p.rows_kept]
+        )
+        b_rows_kept = b_old.block_row_ids()[sym_old.pair_b[geom_p.old_src]]
+        pair_b = geom_p.splice(
+            sym_old.pair_b, sub.pair_b, shift_b[b_rows_kept]
+        )
+        pair_map = geom_p.splice(sym_old.pair_map, sub.pair_map)
+        pair_row = np.repeat(
+            np.arange(mb, dtype=np.int64), np.diff(geom_p.new_ptr)
+        )
+
+        # Output-structure splice (tile segments of C).
+        geom_t = splice_segments(
+            sym_old.blc_ptr_c, dirty_rows, np.diff(sub.blc_ptr_c)
+        )
+        blc_idx_c = geom_t.splice(sym_old.blc_idx_c, sub.blc_idx_c)
+        # Numeric-phase geometry: output tile positions shift with C's
+        # layout; the dirty rows' compact positions are rebased.
+        c_shift = geom_t.new_ptr[:-1] - sym_old.blc_ptr_c[:-1]
+        sub_cols, sub_pos = sub.locate_pairs(b_new)
+        sub_pos_global = (
+            geom_t.new_ptr[dirty_rows[sub.pair_row]]
+            + sub_pos
+            - sub.blc_ptr_c[sub.pair_row]
+        )
+        pos = geom_p.splice(pos_old, sub_pos_global, c_shift[geom_p.rows_kept])
+        cols = geom_p.splice(cols_old, sub_cols)
+        for arr in (pair_a, pair_b, pair_map, pair_row, pos, cols):
+            arr.setflags(write=False)
+
+        symbolic = SymbolicResult(
+            blc_ptr_c=geom_t.new_ptr,
+            blc_idx_c=blc_idx_c,
+            pair_a=pair_a,
+            pair_b=pair_b,
+            pair_map=pair_map,
+            pair_row=pair_row,
+            counters=sub.counters,
+            _pair_cols=cols,
+            _pair_pos=pos,
+        )
+        plan = SpGEMMPlan(
+            analysis=analyse_and_bin(a_new, b_new),
+            symbolic=symbolic,
+            shape_a=a_new.shape,
+            shape_b=b_new.shape,
+            blc_num_a=a_new.blc_num,
+            blc_num_b=b_new.blc_num,
+            pattern_key_a=key[0],
+            pattern_key_b=key[1],
+        )
+        if check_runtime.is_active():
+            _verify_spliced_plan(plan, a_new, b_new)
+        self._put(self._spgemm, key, plan)
+        self.stats.count("spgemm_splice", hit=True)
+        return plan
+
+    def patch_rap_plan(
+        self,
+        r: MBSRMatrix,
+        a: MBSRMatrix,
+        p: MBSRMatrix,
+        r_old: MBSRMatrix,
+        a_old: MBSRMatrix,
+        p_old: MBSRMatrix,
+        prev: RAPPlan,
+        dirty_rows: np.ndarray,
+    ) -> tuple[RAPPlan, bool]:
+        """Splice a fused Galerkin plan for locally drifted operands.
+
+        ``dirty_rows`` are coarse block-rows (rows of R).  Both stage
+        plans are spliced via :meth:`patch_spgemm_plan` and the
+        intermediate RA structure is patched in place: clean rows keep
+        their cached bitmaps, dirty rows re-derive them from the fresh
+        pair lists.  Returns ``(plan, fresh)`` like :meth:`rap_plan`.
+        """
+        key = (
+            r.cache.pattern_key,
+            a.cache.pattern_key,
+            p.cache.pattern_key,
+        )
+        hit = self._get(self._rap, key)
+        if hit is not None:
+            self.stats.count("rap", hit=True)
+            return hit, False
+        dirty_rows = np.asarray(dirty_rows, dtype=np.int64)
+        plan_ra = self.patch_spgemm_plan(
+            r, a, r_old, a_old, prev.plan_ra, dirty_rows
+        )
+        sym = plan_ra.symbolic
+
+        # RA structure splice: dirty rows OR their fresh pair bitmaps.
+        geom = splice_segments(
+            prev.ra_blc_ptr, dirty_rows, np.diff(sym.blc_ptr_c)[dirty_rows]
+        )
+        dmask = np.zeros(r.mb, dtype=bool)
+        dmask[dirty_rows] = True
+        sel = dmask[sym.pair_row]
+        dptr = counts_to_ptr(np.diff(sym.blc_ptr_c)[dirty_rows])
+        row_pos = np.searchsorted(dirty_rows, sym.pair_row[sel])
+        _, pos_all = sym.locate_pairs(a)
+        pos_compact = (
+            pos_all[sel]
+            - sym.blc_ptr_c[sym.pair_row[sel]]
+            + dptr[row_pos]
+        )
+        dirty_map = segment_bitwise_or(
+            sym.pair_map[sel], pos_compact, int(dptr[-1])
+        )
+        ra_map = geom.splice(prev.ra_blc_map, dirty_map)
+        ra_pop = geom.splice(prev.ra_pop_per_tile, bitmap_popcount(dirty_map))
+        ra_shape = (r.nrows, a.ncols)
+        template = MBSRMatrix(
+            ra_shape,
+            sym.blc_ptr_c,
+            sym.blc_idx_c,
+            np.zeros((sym.blc_num_c, 4, 4), dtype=np.float64),
+            ra_map,
+            _trusted=True,
+        )
+        template.cache.seed_pop_per_tile(ra_pop)
+        template_old = MBSRMatrix(
+            prev.ra_shape,
+            prev.ra_blc_ptr,
+            prev.ra_blc_idx,
+            np.zeros((prev.ra_blc_map.shape[0], 4, 4), dtype=np.float64),
+            prev.ra_blc_map,
+            _trusted=True,
+        )
+        template_old.cache.seed_pop_per_tile(prev.ra_pop_per_tile)
+        template_old.cache.seed_pattern_key(prev.ra_pattern_key)
+        plan_rap = self.patch_spgemm_plan(
+            template, p, template_old, p_old, prev.plan_rap, dirty_rows
+        )
+
+        plan = RAPPlan(
+            plan_ra=plan_ra,
+            plan_rap=plan_rap,
+            ra_shape=ra_shape,
+            ra_blc_ptr=sym.blc_ptr_c,
+            ra_blc_idx=sym.blc_idx_c,
+            ra_blc_map=ra_map,
+            ra_pop_per_tile=ra_pop,
+            ra_pattern_key=template.cache.pattern_key,
+            keys=key,
+            built_ra_fresh=False,
+            built_rap_fresh=False,
+        )
+        self._put(self._rap, key, plan)
+        self.stats.count("rap_splice", hit=True)
+        return plan, True
+
+    def rap_numeric_rows(
+        self,
+        plan: RAPPlan,
+        r: MBSRMatrix,
+        a: MBSRMatrix,
+        p: MBSRMatrix,
+        rows: np.ndarray,
+        precision: Precision = Precision.FP64,
+        out_dtype=None,
+        *,
+        tc_threshold: int | None = None,
+        storage_itemsize: int | None = None,
+    ) -> tuple[MBSRMatrix, list[KernelRecord]]:
+        """Dirty-row numeric replay of a (spliced) fused Galerkin plan.
+
+        Runs both numeric passes restricted to the given coarse
+        block-rows and returns the compacted sub-product (block-row ``i``
+        is block-row ``rows[i]`` of the full RAP) — each tile bytewise
+        equal to the full replay's, because the pair subsets keep their
+        per-row order.  The RAP row ``j`` only reads RA row ``j``, so the
+        intermediate is only materialised on the dirty rows too.
+        """
+        if not plan.matches(r, a, p):
+            raise ValueError(
+                "RAP plan was built for operands with a different pattern"
+            )
+        rows = np.asarray(rows, dtype=np.int64)
+        threshold = TC_NNZ_THRESHOLD if tc_threshold is None else tc_threshold
+        sym1 = _restrict_symbolic(plan.plan_ra.symbolic, rows, a)
+        ra_sub, rec_ra = self._numeric_only(
+            r, a, sym1, precision, None, threshold, storage_itemsize,
+            stage="ra", nrows=4 * rows.shape[0], ncols=a.ncols,
+            patched_rows=rows.shape[0],
+        )
+        # Adopt the plan's intermediate structure on the row subset.
+        tile_sel = _segment_slice(plan.ra_blc_ptr, rows)
+        ra_sub.cache.seed_pop_per_tile(plan.ra_pop_per_tile[tile_sel])
+        sym2 = _restrict_symbolic(
+            plan.plan_rap.symbolic, rows, p, compact_a_ptr=plan.ra_blc_ptr
+        )
+        rap_sub, rec_rap = self._numeric_only(
+            ra_sub, p, sym2, precision, out_dtype, threshold,
+            storage_itemsize, stage="rap", nrows=4 * rows.shape[0],
+            ncols=p.ncols, patched_rows=rows.shape[0],
+        )
+        if check_runtime.is_active():
+            from repro.check.violation import ContractViolation
+
+            # Differential oracle: the restricted replay must be a
+            # bytewise slice of the full fused replay on the same rows.
+            full, _ = self.rap_numeric(
+                plan, r, a, p, precision, out_dtype,
+                tc_threshold=tc_threshold,
+                storage_itemsize=storage_itemsize,
+            )
+            sel = _segment_slice(full.blc_ptr, rows)
+            if not (
+                np.array_equal(np.diff(rap_sub.blc_ptr),
+                               full.blc_ptr[rows + 1] - full.blc_ptr[rows])
+                and np.array_equal(rap_sub.blc_idx, full.blc_idx[sel])
+                and np.array_equal(rap_sub.blc_map, full.blc_map[sel])
+                and np.array_equal(rap_sub.blc_val, full.blc_val[sel])
+            ):
+                raise ContractViolation(
+                    "setup_cache", "setup/rap-rows-slice",
+                    f"restricted RAP replay diverges from the full fused "
+                    f"replay on {rows.shape[0]} block-rows",
+                )
+        return rap_sub, [rec_ra, rec_rap]
+
+    def _numeric_only(
+        self, mat_a, mat_b, symbolic, precision, out_dtype, threshold,
+        storage_itemsize, stage, nrows, ncols, patched_rows,
+    ):
+        """One restricted numeric pass over a row-sliced symbolic result."""
+        record = KernelRecord(kernel="spgemm", backend="amgt",
+                              precision=precision)
+        numeric = numeric_spgemm(
+            mat_a, mat_b, symbolic, precision,
+            tc_threshold=threshold, storage_itemsize=storage_itemsize,
+        )
+        record.counters.merge(numeric.counters)
+        record.detail = {
+            "tc_pairs": numeric.tc_pairs,
+            "cuda_pairs": numeric.cuda_pairs,
+            "blc_num_c": symbolic.blc_num_c,
+            "symbolic_reused": True,
+            "fused_rap": stage,
+            "patched_rows": int(patched_rows),
+        }
+        val = numeric.blc_val_c
+        if out_dtype is not None:
+            val = val.astype(out_dtype)
+        mask = bitmap_to_mask(numeric.blc_map_c)
+        val = np.where(mask, val, val.dtype.type(0))
+        out = MBSRMatrix(
+            (nrows, ncols),
+            symbolic.blc_ptr_c,
+            symbolic.blc_idx_c,
+            val,
+            numeric.blc_map_c,
+            _trusted=True,
+        )
+        return out, record
+
+    def patch_csr2mbsr(
+        self,
+        csr_new: CSRMatrix,
+        prev_key: str,
+        dirty_block_rows: np.ndarray,
+    ) -> tuple[MBSRMatrix, ConversionStats, bool]:
+        """``AmgT_CSR2mBSR`` through a spliced tile-layout template.
+
+        Splices the fill template cached under ``prev_key`` (the pattern
+        key of the pre-drift CSR): clean block-rows keep their captured
+        entry permutation and slot targets with shifted offsets, dirty
+        block-rows re-run the layout pass on just their scalar rows.  The
+        spliced template is stored under the new pattern key and the
+        values are scattered through it — bit-identical to a cold
+        conversion.  Falls back to :meth:`csr2mbsr` (and reports
+        ``patched=False``) when no usable template is cached.  Returns
+        ``(matrix, stats, patched)``.
+        """
+        tmpl_old = self._get(self._fill, prev_key)
+        if (
+            tmpl_old is None
+            or tmpl_old.shape != csr_new.shape
+            or tmpl_old.row_starts is None
+        ):
+            out, stats = self.csr2mbsr(csr_new)
+            self.stats.count("csr2mbsr_splice", hit=False)
+            return out, stats, False
+        key = csr_new.pattern_key()
+        if self._get(self._fill, key) is None:
+            dirty_block_rows = np.asarray(dirty_block_rows, dtype=np.int64)
+            nrows = csr_new.nrows
+            mb = tmpl_old.blc_ptr.shape[0] - 1
+            bounds = np.minimum(
+                np.arange(mb + 1, dtype=np.int64) * 4, nrows
+            )
+            new_row_starts = csr_new.indptr[bounds]
+
+            # Dirty-row layout on the extracted scalar rows (block-aligned:
+            # every dirty block-row contributes its full row group).
+            scalar_rows = (
+                (dirty_block_rows[:, None] * BLOCK_SIZE
+                 + np.arange(BLOCK_SIZE, dtype=np.int64)[None, :]).reshape(-1)
+            )
+            scalar_rows = scalar_rows[scalar_rows < nrows]
+            sub_csr = csr_new.extract_rows(scalar_rows)
+            sub_mbsr = csr_to_mbsr(sub_csr)
+            order_s, slot_s, tile_of_entry_s, _, _ = _tile_layout(sub_csr)
+            # Map sub entry/tile ids to global positions.
+            sub_counts = np.diff(sub_csr.indptr)
+            sub2glob = (
+                np.repeat(csr_new.indptr[scalar_rows], sub_counts)
+                + np.arange(sub_csr.nnz, dtype=np.int64)
+                - np.repeat(sub_csr.indptr[:-1], sub_counts)
+            )
+            geom_t = splice_segments(
+                tmpl_old.blc_ptr, dirty_block_rows, np.diff(sub_mbsr.blc_ptr)
+            )
+            sub_tile_row = sub_mbsr.block_row_ids()
+            tile2glob = (
+                geom_t.new_ptr[dirty_block_rows[sub_tile_row]]
+                + np.arange(sub_mbsr.blc_num, dtype=np.int64)
+                - sub_mbsr.blc_ptr[sub_tile_row]
+            )
+            geom_e = splice_segments(
+                tmpl_old.row_starts,
+                dirty_block_rows,
+                np.diff(new_row_starts)[dirty_block_rows],
+            )
+            entry_shift = (new_row_starts[:-1] - tmpl_old.row_starts[:-1])
+            order = geom_e.splice(
+                tmpl_old.order, sub2glob[order_s],
+                entry_shift[geom_e.rows_kept],
+            )
+            tile_shift = geom_t.new_ptr[:-1] - tmpl_old.blc_ptr[:-1]
+            slots = geom_e.splice(
+                tmpl_old.slots,
+                tile2glob[tile_of_entry_s] * TILE_SLOTS + slot_s[order_s],
+                TILE_SLOTS * tile_shift[geom_e.rows_kept],
+            )
+            blc_idx = geom_t.splice(tmpl_old.blc_idx, sub_mbsr.blc_idx)
+            blc_map = geom_t.splice(tmpl_old.blc_map, sub_mbsr.blc_map)
+            tmpl = _FillTemplate(
+                shape=csr_new.shape,
+                blc_ptr=geom_t.new_ptr,
+                blc_idx=blc_idx,
+                blc_map=blc_map,
+                pop_per_tile=bitmap_popcount(blc_map),
+                order=order,
+                slots=slots,
+                mbsr_pattern_key=None,
+                row_starts=new_row_starts,
+            )
+            self._put(self._fill, key, tmpl)
+        out, stats = self.csr2mbsr(csr_new)
+        tmpl = self._get(self._fill, key)
+        if tmpl is not None and tmpl.mbsr_pattern_key is None:
+            # First scatter through the spliced template: backfill the
+            # mBSR key so later hits skip the pattern hash.
+            tmpl.mbsr_pattern_key = out.cache.pattern_key
+        if check_runtime.is_active():
+            from repro.check import oracle
+
+            oracle.verify_conversion(csr_new, out)
+        self.stats.count("csr2mbsr_splice", hit=True)
+        return out, stats, True

@@ -28,7 +28,12 @@ from repro.kernels.spgemm_analysis import AnalysisResult, analyse_and_bin
 from repro.kernels.spgemm_numeric import numeric_spgemm
 from repro.kernels.spgemm_symbolic import SymbolicResult, symbolic_spgemm
 
-__all__ = ["mbsr_spgemm", "mbsr_spgemm_symbolic_plan", "SpGEMMPlan"]
+__all__ = [
+    "mbsr_spgemm",
+    "mbsr_spgemm_rows",
+    "mbsr_spgemm_symbolic_plan",
+    "SpGEMMPlan",
+]
 
 
 @dataclass
@@ -77,6 +82,104 @@ def mbsr_spgemm_symbolic_plan(
         pattern_key_a=mat_a.cache.pattern_key,
         pattern_key_b=mat_b.cache.pattern_key,
     )
+
+
+def mbsr_spgemm_rows(
+    mat_a: MBSRMatrix,
+    mat_b: MBSRMatrix,
+    rows: np.ndarray,
+    precision: Precision = Precision.FP64,
+    out_dtype=None,
+    *,
+    tc_threshold: int | None = None,
+    storage_itemsize: int | None = None,
+) -> tuple[MBSRMatrix, "SymbolicResult", KernelRecord]:
+    """Dirty-row replay: C[rows, :] = A[rows, :] @ B for sorted block-rows.
+
+    Runs the symbolic + numeric phases restricted to the given block-rows
+    of A and returns the compacted sub-product (block-row ``i`` of the
+    result is block-row ``rows[i]`` of the full product) together with the
+    restricted :class:`SymbolicResult` (pair lists indexing the *full*
+    operand tile arrays — the splice machinery of
+    :mod:`repro.kernels.setup_cache` grafts them into cached plans) and a
+    merged :class:`KernelRecord`.
+
+    Bit-identity: within every selected block-row the candidate-pair order
+    equals the full traversal's, and the segmented accumulation follows
+    pair order, so each returned tile is bytewise equal to the same tile
+    of ``mbsr_spgemm(mat_a, mat_b)`` — the property the incremental setup
+    patcher's contract gate relies on.
+    """
+    if mat_a.ncols != mat_b.nrows:
+        raise ValueError(
+            f"inner dimensions differ: A is {mat_a.shape}, B is {mat_b.shape}"
+        )
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size and (np.any(np.diff(rows) <= 0) or rows[0] < 0
+                      or rows[-1] >= mat_a.mb):
+        raise ValueError("rows must be sorted, unique block-row ids of A")
+    record = KernelRecord(kernel="spgemm", backend="amgt", precision=precision)
+    symbolic = symbolic_spgemm(mat_a, mat_b, None, rows)
+    from repro.formats.bitmap import TC_NNZ_THRESHOLD, bitmap_to_mask
+
+    threshold = TC_NNZ_THRESHOLD if tc_threshold is None else tc_threshold
+    numeric = numeric_spgemm(mat_a, mat_b, symbolic, precision,
+                             tc_threshold=threshold,
+                             storage_itemsize=storage_itemsize)
+    record.counters.merge(symbolic.counters)
+    record.counters.merge(numeric.counters)
+    record.detail = {
+        "rows": int(rows.shape[0]),
+        "tc_pairs": numeric.tc_pairs,
+        "cuda_pairs": numeric.cuda_pairs,
+        "blc_num_c": symbolic.blc_num_c,
+    }
+    val = numeric.blc_val_c
+    if out_dtype is not None:
+        val = val.astype(out_dtype)
+    mask = bitmap_to_mask(numeric.blc_map_c)
+    val = np.where(mask, val, val.dtype.type(0))
+    out = MBSRMatrix(
+        (4 * rows.shape[0], mat_b.ncols),
+        symbolic.blc_ptr_c,
+        symbolic.blc_idx_c,
+        val,
+        numeric.blc_map_c,
+        _trusted=True,
+    )
+    if check_runtime.is_active():
+        _verify_rows_slice(mat_a, mat_b, out, rows, precision, out_dtype,
+                           tc_threshold=threshold,
+                           storage_itemsize=storage_itemsize)
+    return out, symbolic, record
+
+
+def _verify_rows_slice(mat_a, mat_b, out, rows, precision, out_dtype, *,
+                       tc_threshold, storage_itemsize) -> None:
+    """Checked-mode oracle: the restricted product must be a bytewise
+    slice of the full product on the selected block-rows."""
+    from repro.check.violation import ContractViolation
+
+    full, _ = mbsr_spgemm(mat_a, mat_b, precision, out_dtype,
+                          tc_threshold=tc_threshold,
+                          storage_itemsize=storage_itemsize)
+    s0, s1 = full.blc_ptr[rows], full.blc_ptr[rows + 1]
+    counts = (s1 - s0).astype(np.int64)
+    total = int(counts.sum())
+    offs = np.repeat(s0, counts) + (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(np.cumsum(counts) - counts, counts)
+    )
+    if not (np.array_equal(np.diff(out.blc_ptr), counts)
+            and np.array_equal(out.blc_idx, full.blc_idx[offs])
+            and np.array_equal(out.blc_map, full.blc_map[offs])
+            and np.array_equal(out.blc_val, full.blc_val[offs])):
+        raise ContractViolation(
+            "mbsr_spgemm_rows", "spgemm/rows-slice",
+            f"restricted product diverges from the full product on "
+            f"{rows.shape[0]} block-rows",
+            operands=(mat_a, mat_b),
+        )
 
 
 def mbsr_spgemm(

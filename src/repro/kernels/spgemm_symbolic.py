@@ -83,24 +83,49 @@ class SymbolicResult:
 
 
 def expand_candidate_pairs(
-    mat_a: MBSRMatrix, mat_b: MBSRMatrix
+    mat_a: MBSRMatrix, mat_b: MBSRMatrix, rows: np.ndarray | None = None
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """All (tileA, tileB) index pairs visited by the row-wise traversal.
 
     Returns ``(pair_a, pair_b, pair_row)``: for each tile ``p`` of A with
     block-column ``k``, every tile of B's block-row ``k`` forms a pair, and
     the pair lands in the block-row of C that owns tile ``p``.
+
+    ``rows`` (sorted block-row ids of A) restricts the traversal to those
+    block-rows — the dirty-row replay of the incremental setup patcher.
+    ``pair_a`` / ``pair_b`` still index the *full* operand tile arrays
+    (the restriction selects rows, it does not renumber tiles), while
+    ``pair_row`` becomes the compact position within ``rows``.  Within
+    every selected block-row the pair order is identical to the full
+    traversal, which is what makes a row-restricted numeric phase
+    bit-identical to the corresponding rows of the full product.
     """
-    colA = mat_a.blc_idx
+    if rows is None:
+        tiles = np.arange(mat_a.blc_num, dtype=np.int64)
+        row_of_tile = mat_a.block_row_ids()
+    else:
+        rows = np.asarray(rows, dtype=np.int64)
+        tile_counts = mat_a.blc_ptr[rows + 1] - mat_a.blc_ptr[rows]
+        total_tiles = int(tile_counts.sum())
+        tile_starts = counts_to_ptr(tile_counts)[:-1]
+        tiles = (
+            np.repeat(mat_a.blc_ptr[rows], tile_counts)
+            + np.arange(total_tiles, dtype=np.int64)
+            - np.repeat(tile_starts, tile_counts)
+        )
+        row_of_tile = np.repeat(
+            np.arange(rows.shape[0], dtype=np.int64), tile_counts
+        )
+    colA = mat_a.blc_idx[tiles]
     b_counts = np.diff(mat_b.blc_ptr)
     per_tile = b_counts[colA]
-    pair_a = np.repeat(np.arange(mat_a.blc_num, dtype=np.int64), per_tile)
+    pair_a = np.repeat(tiles, per_tile)
     total = int(per_tile.sum())
     # Within-pair offsets: ranges [0, per_tile[t]) concatenated.
     starts = counts_to_ptr(per_tile)[:-1]
     within = np.arange(total, dtype=np.int64) - np.repeat(starts, per_tile)
-    pair_b = mat_b.blc_ptr[colA][pair_a] + within
-    pair_row = mat_a.block_row_ids()[pair_a]
+    pair_b = np.repeat(mat_b.blc_ptr[colA], per_tile) + within
+    pair_row = np.repeat(row_of_tile, per_tile)
     return pair_a, pair_b, pair_row
 
 
@@ -108,10 +133,20 @@ def symbolic_spgemm(
     mat_a: MBSRMatrix,
     mat_b: MBSRMatrix,
     analysis: AnalysisResult,
+    rows: np.ndarray | None = None,
 ) -> SymbolicResult:
-    """Run the two-step symbolic phase; returns the structure of C."""
+    """Run the two-step symbolic phase; returns the structure of C.
+
+    With ``rows`` (sorted block-row ids of A) the result describes only
+    those block-rows of C, compacted: ``blc_ptr_c`` has ``len(rows) + 1``
+    entries and ``pair_row`` holds positions within ``rows``, while the
+    pair lists keep indexing the full operand tile arrays.  Each selected
+    block-row's structure and pair order are bit-identical to the same
+    block-row of the unrestricted result.
+    """
     counters = KernelCounters()
-    pair_a, pair_b, pair_row = expand_candidate_pairs(mat_a, mat_b)
+    pair_a, pair_b, pair_row = expand_candidate_pairs(mat_a, mat_b, rows)
+    out_rows = mat_a.mb if rows is None else int(np.asarray(rows).shape[0])
 
     # BITMAPMULTIPLY prunes structurally-zero products (Alg. 3 lines 7-8).
     n_candidates = pair_a.shape[0]
@@ -128,7 +163,7 @@ def symbolic_spgemm(
     # Segment the surviving pairs by block-row of C.  The pairs are already
     # grouped by row (the expansion walks A row-wise), so a bincount gives
     # the segment pointer directly.
-    seg_counts = np.bincount(pair_row, minlength=mat_a.mb)
+    seg_counts = np.bincount(pair_row, minlength=out_rows)
     seg_ptr = counts_to_ptr(seg_counts)
 
     # Step 1: count distinct columns per block-row -> BlcPtrC by prefix sum.

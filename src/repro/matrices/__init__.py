@@ -13,6 +13,7 @@ from repro.matrices.generators import (
     convection_diffusion_2d,
     elasticity_2d,
     epidemiology_grid,
+    evolving_sequence,
     poisson2d,
     poisson3d,
     power_network,
@@ -34,6 +35,7 @@ __all__ = [
     "power_network",
     "random_block_spd",
     "rotated_anisotropy_2d",
+    "evolving_sequence",
     "SUITE",
     "SuiteEntry",
     "load_suite_matrix",

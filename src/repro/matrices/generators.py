@@ -28,6 +28,7 @@ __all__ = [
     "epidemiology_grid",
     "power_network",
     "random_block_spd",
+    "evolving_sequence",
 ]
 
 
@@ -309,3 +310,133 @@ def rotated_anisotropy_2d(
         (1, -1, a12 / 2.0), (-1, 1, a12 / 2.0),
     ]
     return _stencil_2d(nx, ny, offsets)
+
+
+# ----------------------------------------------------------------------
+# evolving problem sequences (incremental setup workloads)
+# ----------------------------------------------------------------------
+
+def _window_rows(nx: int, ny: int, center: tuple[int, int], count: int) -> np.ndarray:
+    """Scalar rows of a square grid window around *center* with ~*count* rows.
+
+    The window is clamped to the grid, so the returned set can be slightly
+    smaller than *count* near a boundary.  Rows come back sorted and unique,
+    matching what the incremental-setup diff reports as dirty.
+    """
+    side = max(int(np.ceil(np.sqrt(max(count, 1)))), 1)
+    cx, cy = center
+    x0 = min(max(cx - side // 2, 0), max(nx - side, 0))
+    y0 = min(max(cy - side // 2, 0), max(ny - side, 0))
+    xs = np.arange(x0, min(x0 + side, nx))
+    ys = np.arange(y0, min(y0 + side, ny))
+    return np.sort((ys[:, None] * nx + xs[None, :]).ravel())
+
+
+def _scale_rows(a: CSRMatrix, rows: np.ndarray, eps: float, rng) -> CSRMatrix:
+    """Scale every entry of *rows* by a per-row factor ``1 + eps * u_r``.
+
+    Uniform per-row scaling leaves each row's relative coupling strengths
+    unchanged, so the strength-of-connection pattern (and hence the C/F
+    split) stays put for small *eps* — the regime where incremental setup
+    is supposed to win.
+    """
+    factor = np.ones(a.nrows)
+    factor[rows] = 1.0 + eps * rng.uniform(0.5, 1.0, size=rows.shape[0])
+    data = a.data * factor[a.row_ids()]
+    return CSRMatrix(a.shape, a.indptr.copy(), a.indices.copy(), data, _canonical=True)
+
+
+def _grow_rows(a: CSRMatrix, rows: np.ndarray, offset: int, value: float) -> CSRMatrix:
+    """Add a weak coupling ``(r, r + offset)`` for each row in *rows*.
+
+    The new entries model a Jacobian picking up fill (or a refinement adding
+    couplings).  Each addition is compensated on the diagonal by ``|value|``
+    so diagonal dominance is preserved; the couplings are weak relative to
+    the stencil, so the strength pattern is unaffected.
+    """
+    n = a.nrows
+    rr = rows[(rows + offset >= 0) & (rows + offset < n)]
+    if rr.size == 0:
+        return a
+    rows_c = np.concatenate([a.row_ids(), rr, rr])
+    cols_c = np.concatenate([a.indices, rr + offset, rr])
+    vals_c = np.concatenate([a.data, np.full(rr.size, value), np.full(rr.size, abs(value))])
+    return CSRMatrix.from_coo(rows_c, cols_c, vals_c, a.shape)
+
+
+def evolving_sequence(
+    kind: str,
+    nx: int = 32,
+    steps: int = 4,
+    dirty_frac: float = 0.02,
+    seed: int = 0,
+) -> list[CSRMatrix]:
+    """A deterministic sequence of matrices that evolve by localized edits.
+
+    Models the workloads where incremental hierarchy patching pays off: the
+    sparsity pattern and values change only inside a small grid window (a
+    fraction *dirty_frac* of the rows) from one matrix to the next, so a
+    solver can re-setup by patching the previous hierarchy instead of
+    rebuilding it.  Returns ``steps + 1`` matrices (the base plus one per
+    step), all with the same shape.
+
+    Kinds:
+
+    - ``"newton"`` — a Newton chain on a Poisson operator: a fixed local
+      window gets value updates of decreasing magnitude (quadratic-ish
+      convergence) and the first two steps also grow the Jacobian pattern
+      with weak next-nearest couplings (diagonally compensated).
+    - ``"timestep"`` — a convection-diffusion operator with a moving
+      source: the dirty window slides along the grid diagonal and each
+      step perturbs values only (the pattern never changes).
+    - ``"refine"`` — anisotropic diffusion with local refinement: nested
+      windows (each half the previous size) get coefficient scaling plus
+      added diagonal-neighbour couplings on the first step.
+    """
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    if not (0.0 < dirty_frac <= 1.0):
+        raise ValueError("dirty_frac must be in (0, 1]")
+    ny = nx
+    n = nx * ny
+    count = max(int(round(dirty_frac * n)), 4)
+    rng = np.random.default_rng(seed)
+    if kind == "newton":
+        base = poisson2d(nx, ny)
+        center = (nx // 3, ny // 3)
+        seq = [base]
+        a = base
+        for t in range(steps):
+            rows = _window_rows(nx, ny, center, count)
+            if t < 2:
+                a = _grow_rows(a, rows[:: max(rows.size // 8, 1)], 2 + t, -1e-3)
+            a = _scale_rows(a, rows, 0.02 / (t + 1) ** 2, rng)
+            seq.append(a)
+        return seq
+    if kind == "timestep":
+        base = convection_diffusion_2d(nx, ny)
+        side = max(int(np.ceil(np.sqrt(count))), 1)
+        seq = [base]
+        a = base
+        for t in range(steps):
+            c = (
+                (nx // 4 + t * side) % max(nx - side, 1),
+                (ny // 4 + t * side) % max(ny - side, 1),
+            )
+            rows = _window_rows(nx, ny, c, count)
+            a = _scale_rows(a, rows, 0.01, rng)
+            seq.append(a)
+        return seq
+    if kind == "refine":
+        base = anisotropic_diffusion_2d(nx, ny)
+        center = (2 * nx // 3, 2 * ny // 3)
+        seq = [base]
+        a = base
+        for t in range(steps):
+            rows = _window_rows(nx, ny, center, max(count >> t, 4))
+            if t == 0:
+                a = _grow_rows(a, rows[:: max(rows.size // 8, 1)], nx + 1, -5e-4)
+            a = _scale_rows(a, rows, 0.01, rng)
+            seq.append(a)
+        return seq
+    raise ValueError(f"unknown evolving-sequence kind: {kind!r}")
