@@ -117,7 +117,7 @@ def bench_family(kind: str, frac: float, repeats: int) -> list[dict]:
             _assert_bit_identical(h_cold, out)
             return out
 
-        patched_s = _median_time(patched_setup, repeats)
+        patched_s, spread = common.median_time_stats(patched_setup, repeats)
         cold_s = _median_time(lambda a=a: _cold_setup(a), repeats)
         # Exact numeric re-setup (frozen coarsening) as the pre-existing
         # reuse baseline; the repeats hold it in steady state (after the
@@ -138,6 +138,7 @@ def bench_family(kind: str, frac: float, repeats: int) -> list[dict]:
             "resetup_median_s": resetup_s,
             "speedup": cold_s / patched_s,
             "resetup_speedup": resetup_s / patched_s,
+            "spread_rel": spread,
         })
         prev = h
     return records

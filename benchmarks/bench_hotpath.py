@@ -128,7 +128,8 @@ def bench_spmv(mbsr, rng, repeats):
         for _ in range(SPMV_CALLS):
             naive_spmv_values(mbsr, x, precision)
 
-    return _median_time(run_new, repeats), _median_time(run_naive, repeats)
+    new_s, spread = common.median_time_stats(run_new, repeats)
+    return new_s, _median_time(run_naive, repeats), spread
 
 
 def bench_spgemm_rap(hierarchy, repeats):
@@ -166,7 +167,8 @@ def bench_spgemm_rap(hierarchy, repeats):
         naive_numeric_values(a, p, plan_ap.symbolic, precision)
         naive_numeric_values(r, ap_mat, plan_rap.symbolic, precision)
 
-    return _median_time(run_new, repeats), _median_time(run_naive, repeats)
+    new_s, spread = common.median_time_stats(run_new, repeats)
+    return new_s, _median_time(run_naive, repeats), spread
 
 
 def _wrap_levels(hierarchy):
@@ -215,10 +217,10 @@ def bench_v_cycle(hierarchy, rng, repeats):
     x_naive = one_cycle(spmv_naive)
     np.testing.assert_array_equal(x_new, x_naive)
 
-    return (
-        _median_time(lambda: one_cycle(spmv_new), repeats),
-        _median_time(lambda: one_cycle(spmv_naive), repeats),
+    new_s, spread = common.median_time_stats(
+        lambda: one_cycle(spmv_new), repeats
     )
+    return new_s, _median_time(lambda: one_cycle(spmv_naive), repeats), spread
 
 
 def bench_v_cycle_taped(hierarchy, rng, repeats):
@@ -256,10 +258,8 @@ def bench_v_cycle_taped(hierarchy, rng, repeats):
     x_interp = interpreted()
     np.testing.assert_array_equal(x_taped, x_interp)
 
-    return (
-        _median_time(lambda: tape.cycle(b), repeats),
-        _median_time(interpreted, repeats),
-    )
+    new_s, spread = common.median_time_stats(lambda: tape.cycle(b), repeats)
+    return new_s, _median_time(interpreted, repeats), spread
 
 
 def _instrumented_pass(mbsr, hierarchy, rng):
@@ -303,7 +303,7 @@ def run(matrices=None, repeats=None, out_path=OUT_PATH):
         csr = load_suite_matrix(name)
         mbsr = csr_to_mbsr(csr)
         hierarchy = amg_setup(csr, SetupParams())
-        for op, (new_s, naive_s) in (
+        for op, (new_s, naive_s, spread) in (
             ("spmv_warm", bench_spmv(mbsr, rng, repeats)),
             ("spgemm_rap", bench_spgemm_rap(hierarchy, repeats)),
             ("v_cycle", bench_v_cycle(hierarchy, rng, repeats)),
@@ -315,6 +315,7 @@ def run(matrices=None, repeats=None, out_path=OUT_PATH):
                 "median_s": new_s,
                 "naive_median_s": naive_s,
                 "speedup": naive_s / new_s if new_s > 0 else float("inf"),
+                "spread_rel": spread,
             }
             results.append(rec)
             print(

@@ -104,7 +104,7 @@ def bench_matrix(name: str, widths: list[int], repeats: int, rng) -> list[dict]:
 
         sim_us = sim_cycle_us(tape_w)
         per_rhs_us = sim_us / width
-        host_s = common.median_time(
+        host_s, spread = common.median_time_stats(
             lambda tape_w=tape_w, cycle_arg=cycle_arg: tape_w.cycle(cycle_arg),
             repeats,
         )
@@ -119,6 +119,7 @@ def bench_matrix(name: str, widths: list[int], repeats: int, rng) -> list[dict]:
             "arithmetic_intensity": arithmetic_intensity(tape_w.records),
             "cycle_host_s": host_s,
             "per_rhs_host_s": host_s / width,
+            "spread_rel": spread,
         }
         records.append(rec)
         print(

@@ -99,10 +99,8 @@ def bench_resetup(csr, repeats):
         return h
 
     resetup()  # steady state reached: every plan and template hits
-    return (
-        _median_time(resetup, repeats),
-        _median_time(lambda: _cold_setup(csr), repeats),
-    )
+    new_s, spread = common.median_time_stats(resetup, repeats)
+    return new_s, _median_time(lambda: _cold_setup(csr), repeats), spread
 
 
 def bench_spgemm_plan_hit(csr, repeats):
@@ -122,10 +120,8 @@ def bench_spgemm_plan_hit(csr, repeats):
         np.testing.assert_array_equal(out.blc_map, cold.blc_map)
         return out
 
-    return (
-        _median_time(hit, repeats),
-        _median_time(lambda: mbsr_spgemm(pt, mbsr), repeats),
-    )
+    new_s, spread = common.median_time_stats(hit, repeats)
+    return new_s, _median_time(lambda: mbsr_spgemm(pt, mbsr), repeats), spread
 
 
 def bench_conversion_replay(csr, repeats):
@@ -140,10 +136,10 @@ def bench_conversion_replay(csr, repeats):
         np.testing.assert_array_equal(out.blc_map, cold.blc_map)
         return out, stats
 
-    return (
-        _median_time(hit, repeats),
-        _median_time(lambda: csr_to_mbsr(csr, return_stats=True), repeats),
-    )
+    new_s, spread = common.median_time_stats(hit, repeats)
+    return (new_s,
+            _median_time(lambda: csr_to_mbsr(csr, return_stats=True), repeats),
+            spread)
 
 
 def _instrumented_pass(csr):
@@ -167,7 +163,7 @@ def run(matrices=None, repeats=None, out_path=OUT_PATH):
         # configurations, or a later snapshot would claim earlier work.
         common.reset_metrics()
         csr = load_suite_matrix(name)
-        for op, (new_s, cold_s) in (
+        for op, (new_s, cold_s, spread) in (
             ("resetup", bench_resetup(csr, repeats)),
             ("spgemm_plan_hit", bench_spgemm_plan_hit(csr, repeats)),
             ("conversion_replay", bench_conversion_replay(csr, repeats)),
@@ -178,6 +174,7 @@ def run(matrices=None, repeats=None, out_path=OUT_PATH):
                 "median_s": new_s,
                 "cold_median_s": cold_s,
                 "speedup": cold_s / new_s if new_s > 0 else float("inf"),
+                "spread_rel": spread,
             }
             results.append(rec)
             print(

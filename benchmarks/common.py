@@ -29,11 +29,16 @@ __all__ = [
     "matrices_from_env",
     "repeats_from_env",
     "median_time",
+    "median_time_stats",
     "summarize_speedups",
     "reset_metrics",
     "collect_metrics",
     "write_payload",
 ]
+
+#: Device the payload's roofline attribution is priced on (the payloads
+#: record *work*; any device can re-price them via repro.obs.profile).
+ATTRIBUTION_DEVICE = "H100"
 
 
 def matrices_from_env(env_var: str, default: list[str]) -> list[str]:
@@ -48,14 +53,26 @@ def repeats_from_env(env_var: str, default: int = 5) -> int:
     return int(os.environ.get(env_var, str(default)))
 
 
-def median_time(fn: Callable[[], object], repeats: int) -> float:
-    """Median wall-clock seconds of *repeats* calls to *fn*."""
+def median_time_stats(fn: Callable[[], object], repeats: int) -> tuple[float, float]:
+    """``(median, spread_rel)`` wall-clock seconds of *repeats* calls.
+
+    ``spread_rel`` is ``(max - min) / median`` — the run-to-run jitter the
+    regression sentinel (``repro obs diff``) folds into its tolerance, so
+    a noisy op does not trip the gate while a tight one still can.
+    """
     times = []
     for _ in range(repeats):
         t0 = time.perf_counter()
         fn()
         times.append(time.perf_counter() - t0)
-    return statistics.median(times)
+    med = statistics.median(times)
+    spread = (max(times) - min(times)) / med if med > 0 else 0.0
+    return med, spread
+
+
+def median_time(fn: Callable[[], object], repeats: int) -> float:
+    """Median wall-clock seconds of *repeats* calls to *fn*."""
+    return median_time_stats(fn, repeats)[0]
 
 
 def summarize_speedups(results: list[dict], ops) -> dict:
@@ -97,6 +114,18 @@ def collect_metrics(workload: Callable[[], object]) -> dict:
     return snapshot
 
 
+def _attribution(metrics: dict) -> dict:
+    """Roofline attribution per benchmarked matrix, derived from its
+    metrics snapshot (see :mod:`repro.obs.profile`)."""
+    from repro.obs import profile
+
+    out = {}
+    for name, snapshot in metrics.items():
+        records = profile.attribute_snapshot(snapshot, ATTRIBUTION_DEVICE)
+        out[name] = profile.roofline_payload(records, ATTRIBUTION_DEVICE)
+    return out
+
+
 def write_payload(
     out_path: str,
     generated_by: str,
@@ -106,13 +135,24 @@ def write_payload(
     metrics: dict,
     op_width: int = 10,
 ) -> dict:
-    """Assemble the payload, write it as JSON, print the summary lines."""
+    """Assemble the payload, write it as JSON, print the summary lines.
+
+    Every payload is stamped with run provenance (``meta``: git SHA +
+    dirty flag, timestamp, host, interpreter/numpy versions) and carries
+    a roofline ``attribution`` section derived from the metrics
+    snapshots.  When ``REPRO_LEDGER`` names a path, the run is also
+    appended to that JSONL perf ledger.
+    """
+    from repro.obs import ledger
+
     payload = {
         "generated_by": generated_by,
         "config": config,
         "results": results,
         "summary": summary,
         "metrics": metrics,
+        "meta": ledger.run_metadata(),
+        "attribution": _attribution(metrics),
     }
     with open(out_path, "w") as f:
         json.dump(payload, f, indent=2)
@@ -121,4 +161,8 @@ def write_payload(
     for op, s in summary.items():
         print(f"  {op:<{op_width}} median speedup {s['median_speedup']:.2f}x "
               f"(min {s['min_speedup']:.2f}x)")
+    ledger_path = os.environ.get("REPRO_LEDGER", "").strip()
+    if ledger_path:
+        ledger.append_run(ledger_path, payload, bench=generated_by)
+        print(f"appended run to ledger {os.path.abspath(ledger_path)}")
     return payload

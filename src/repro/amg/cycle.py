@@ -24,6 +24,7 @@ from repro.amg.precision import accumulator
 from repro.check import runtime as check_runtime
 from repro.obs import convergence as obs_conv
 from repro.obs import trace as obs_trace
+from repro.obs import names as obs_names
 from repro.util.validation import normalize_rhs, normalize_rhs_panel
 
 __all__ = ["SolveParams", "SolveStats", "mg_cycle", "v_cycle", "amg_solve",
@@ -125,7 +126,7 @@ def _smooth(
             {"smoother": params.smoother, "level": level, "sweeps": num_sweeps},
         )
         obs_metrics.REGISTRY.counter(
-            "repro_smoother_sweeps_total",
+            obs_names.SMOOTHER_SWEEPS,
             smoother=params.smoother, level=level,
         ).inc(num_sweeps)
     else:
@@ -367,6 +368,30 @@ def amg_solve(
                     break
         if tel is not None:
             tel.converged = stats.converged
+        from repro.obs import blackbox as obs_blackbox
+
+        final = stats.residual_history[-1]
+        rel = final / norm0 if norm0 else 0.0
+        obs_blackbox.record(
+            "amg_solve", iterations=stats.iterations,
+            converged=stats.converged, rel_residual=rel,
+        )
+        # A residual that *grew* an order of magnitude is a diverged
+        # solve, not merely an unconverged one — postmortem material.
+        if not stats.converged and rel > 10.0:
+            obs_blackbox.trigger(
+                "divergence",
+                detail=(
+                    f"amg_solve: residual grew {rel:.3g}x over "
+                    f"{stats.iterations} cycles"
+                ),
+                extra={
+                    "iterations": stats.iterations,
+                    "residual_tail": [
+                        float(r) for r in stats.residual_history[-10:]
+                    ],
+                },
+            )
     return x, stats
 
 

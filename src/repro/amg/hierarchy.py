@@ -26,6 +26,7 @@ from repro.amg.smoothers import l1_jacobi_diagonal
 from repro.amg.strength import strength_of_connection
 from repro.formats.csr import CSRMatrix
 from repro.obs import trace as obs_trace
+from repro.obs import names as obs_names
 
 __all__ = ["SetupParams", "AMGLevel", "AMGHierarchy", "amg_setup"]
 
@@ -217,13 +218,16 @@ def amg_setup(
 
 
 def _count_reuse(outcome: str, reason: str | None = None) -> None:
-    """Fold one reuse decision into ``setup_reuse_total{outcome, reason}``."""
+    """Fold one reuse decision into ``setup_reuse_total{outcome, reason}``
+    and the flight recorder's event ring."""
+    from repro.obs import blackbox
     from repro.obs import metrics as obs_metrics
 
     labels = {"outcome": outcome}
     if reason is not None:
         labels["reason"] = reason
-    obs_metrics.inc("setup_reuse_total", **labels)
+    obs_metrics.inc(obs_names.SETUP_REUSE, **labels)
+    blackbox.record("setup_reuse", **labels)
 
 
 def _amg_setup_impl(
@@ -265,8 +269,13 @@ def _amg_setup_impl(
             return hierarchy
         # The patch path falls back to a *cold* setup, not the exact
         # re-setup: exact reuse freezes interpolation weights, which is a
-        # weaker contract than the patch path's cold-identical one.
+        # weaker contract than the patch path's cold-identical one.  A
+        # cold fallback on an evolving problem is the forensic case the
+        # flight recorder exists for: dump a postmortem bundle.
         _count_reuse("fallback", reason)
+        from repro.obs import blackbox
+
+        blackbox.trigger("patch-fallback", detail=reason or "")
     elif reuse is not None:
         hierarchy, reason = _numeric_resetup(
             a, reuse, params, spgemm, galerkin_planner, on_level_built

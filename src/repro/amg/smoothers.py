@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.formats.csr import CSRMatrix
 from repro.obs import metrics as obs_metrics
+from repro.obs import names as obs_names
 
 __all__ = [
     "l1_jacobi_diagonal",
@@ -73,7 +74,7 @@ def jacobi_sweep(
     """
     x = np.asarray(x, dtype=np.float64).copy()
     b = np.asarray(b, dtype=np.float64)
-    obs_metrics.inc("repro_smoother_applications_total", kind="jacobi",
+    obs_metrics.inc(obs_names.SMOOTHER_APPLICATIONS, kind="jacobi",
                     amount=num_sweeps)
     for _ in range(num_sweeps):
         r = b - np.asarray(spmv(x), dtype=np.float64)
@@ -99,7 +100,7 @@ def gauss_seidel_sweep(
     """
     if not (0.0 < omega < 2.0):
         raise ValueError(f"SOR omega must lie in (0, 2), got {omega}")
-    obs_metrics.inc("repro_smoother_applications_total", kind="gauss-seidel",
+    obs_metrics.inc(obs_names.SMOOTHER_APPLICATIONS, kind="gauss-seidel",
                     amount=num_sweeps)
     x = np.asarray(x, dtype=np.float64).copy()
     b = np.asarray(b, dtype=np.float64)
@@ -171,7 +172,7 @@ def chebyshev_smooth(
     """
     if degree < 1:
         raise ValueError("degree must be >= 1")
-    obs_metrics.inc("repro_smoother_applications_total", kind="chebyshev")
+    obs_metrics.inc(obs_names.SMOOTHER_APPLICATIONS, kind="chebyshev")
     x = np.asarray(x, dtype=np.float64).copy()
     b = np.asarray(b, dtype=np.float64)
     lam_min = lam_min_fraction * lam_max

@@ -48,3 +48,22 @@ class ContractViolation(AssertionError):
             ops = ", ".join(f"{k}={v}" for k, v in sorted(self.operands.items()))
             parts.append(f"operands: {ops}")
         super().__init__("; ".join(parts))
+        # Constructing a violation IS the crash event: freeze the flight
+        # recorder into a postmortem bundle before the raise unwinds the
+        # solver state the bundle describes.  Lazy import (obs.blackbox
+        # imports nothing at module level) and best-effort: the dump must
+        # never mask the violation itself.
+        try:
+            from repro.obs import blackbox
+
+            blackbox.trigger(
+                "contract-violation",
+                detail=str(self),
+                extra={
+                    "kernel": self.kernel,
+                    "invariant": self.invariant,
+                    "operands": self.operands,
+                },
+            )
+        except Exception:  # pragma: no cover - defensive
+            pass

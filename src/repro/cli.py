@@ -175,6 +175,7 @@ def _cmd_obs_report(args) -> int:
     """Run one traced setup+solve; print measured vs simulated breakdown."""
     import repro.obs as obs
     from repro import AmgTSolver
+    from repro.obs import names as obs_names
 
     a = load_matrix_arg(args.matrix)
     b = np.ones(a.nrows)
@@ -187,30 +188,50 @@ def _cmd_obs_report(args) -> int:
         # engine so the report can surface its outcome counters.
         solver.setup(a, reuse=True, patch=True)
         solver.solve(b, max_iterations=args.iterations)
-    print(f"observed setup+solve: {args.matrix} on {args.device} "
-          f"({args.backend}, {args.precision}), "
-          f"{obs.TRACER.span_count} spans\n")
-    print(obs.phase_report(solver.performance, obs.TRACER))
-    reuse = obs.REGISTRY.snapshot().get("setup_reuse_total")
-    if reuse is not None:
-        parts = []
-        for s in reuse["samples"]:
-            outcome = s["labels"].get("outcome", "?")
-            reason = s["labels"].get("reason")
-            tag = f"{outcome}[{reason}]" if reason else outcome
-            parts.append(f"{tag}={s['value']:g}")
-        print(f"setup reuse: {', '.join(sorted(parts))}")
-        h = solver.hierarchy
-        if h.patched:
-            st = h.patch_stats
-            print(f"  patched hierarchy: {st['patched_levels']} patched / "
-                  f"{st['clean_levels']} clean levels, "
-                  f"{st['dirty_rows']} dirty rows")
+    reuse = obs.REGISTRY.snapshot().get(obs_names.SETUP_REUSE)
     tel = obs.CONVERGENCE.last()
-    if tel is not None:
-        print(f"convergence: {tel.iterations} iterations, "
-              f"average contraction {tel.average_contraction:.3f}, "
-              f"final residual {tel.residual_norms[-1]:.3e}")
+    if getattr(args, "format", "text") == "json":
+        import json as _json
+
+        doc = {
+            "matrix": args.matrix,
+            "backend": args.backend,
+            "device": args.device,
+            "precision": args.precision,
+            "spans": obs.TRACER.span_count,
+            "phases": obs.phase_report_data(solver.performance, obs.TRACER),
+            "reuse": reuse["samples"] if reuse is not None else [],
+        }
+        if tel is not None:
+            doc["convergence"] = {
+                "iterations": tel.iterations,
+                "average_contraction": tel.average_contraction,
+                "final_residual": tel.residual_norms[-1],
+            }
+        print(_json.dumps(doc, indent=2))
+    else:
+        print(f"observed setup+solve: {args.matrix} on {args.device} "
+              f"({args.backend}, {args.precision}), "
+              f"{obs.TRACER.span_count} spans\n")
+        print(obs.phase_report(solver.performance, obs.TRACER))
+        if reuse is not None:
+            parts = []
+            for s in reuse["samples"]:
+                outcome = s["labels"].get("outcome", "?")
+                reason = s["labels"].get("reason")
+                tag = f"{outcome}[{reason}]" if reason else outcome
+                parts.append(f"{tag}={s['value']:g}")
+            print(f"setup reuse: {', '.join(sorted(parts))}")
+            h = solver.hierarchy
+            if h.patched:
+                st = h.patch_stats
+                print(f"  patched hierarchy: {st['patched_levels']} patched / "
+                      f"{st['clean_levels']} clean levels, "
+                      f"{st['dirty_rows']} dirty rows")
+        if tel is not None:
+            print(f"convergence: {tel.iterations} iterations, "
+                  f"average contraction {tel.average_contraction:.3f}, "
+                  f"final residual {tel.residual_norms[-1]:.3e}")
     if args.trace_out:
         obs.write_chrome_trace(args.trace_out, obs.TRACER)
         print(f"wrote Chrome trace to {args.trace_out} "
@@ -220,6 +241,64 @@ def _cmd_obs_report(args) -> int:
             f.write(obs.prometheus_text(obs.REGISTRY))
         print(f"wrote Prometheus metrics to {args.metrics_out}")
     obs.reset()
+    return 0
+
+
+def _cmd_obs_roofline(args) -> int:
+    """Run one traced setup+solve; print per-kernel roofline attribution."""
+    import repro.obs as obs
+    from repro import AmgTSolver
+
+    a = load_matrix_arg(args.matrix)
+    b = np.ones(a.nrows)
+    obs.reset()
+    with obs.trace_region():
+        solver = AmgTSolver(backend=args.backend, device=args.device,
+                            precision=args.precision)
+        solver.setup(a)
+        solver.solve(b, max_iterations=args.iterations)
+    records = obs.attribute_log(solver.performance, args.device)
+    if args.format == "json":
+        import json as _json
+
+        doc = obs.roofline_payload(records, args.device)
+        doc["matrix"] = args.matrix
+        print(_json.dumps(doc, indent=2))
+    else:
+        print(f"{args.matrix} ({args.backend}, {args.precision}): "
+              f"{len(records)} attribution records")
+        print(obs.format_roofline(records, args.device))
+    obs.reset()
+    return 0
+
+
+def _cmd_obs_diff(args) -> int:
+    """Noise-aware payload comparison; exit 1 on any regression."""
+    from repro.obs import ledger
+
+    old = ledger.load_payload(args.old)
+    new = ledger.load_payload(args.new)
+    report = ledger.diff_payloads(
+        old, new,
+        tolerance=args.tolerance,
+        spread_factor=args.spread_factor,
+        include_times=args.include_times,
+    )
+    if args.format == "json":
+        import json as _json
+
+        print(_json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.format_text(), end="")
+    return 0 if report.ok else 1
+
+
+def _cmd_obs_postmortem(args) -> int:
+    """Render a flight-recorder postmortem bundle."""
+    from repro.obs import blackbox
+
+    bundle = blackbox.load_bundle(args.bundle)
+    print(blackbox.render_postmortem(bundle), end="")
     return 0
 
 
@@ -284,7 +363,45 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the span tree as Chrome-trace JSON (Perfetto)")
     p.add_argument("--metrics-out", default=None,
                    help="write the metrics registry in Prometheus text format")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="json mirrors the text table for machine consumers")
     p.set_defaults(func=_cmd_obs_report)
+
+    p = obs_sub.add_parser(
+        "roofline",
+        help="per-kernel roofline attribution of one traced setup+solve",
+    )
+    p.add_argument("--matrix", default="thermal1",
+                   help="suite name, poisson2d:N / poisson3d:N, or .mtx path")
+    p.add_argument("--backend", choices=["amgt", "hypre"], default="amgt")
+    p.add_argument("--device", choices=["A100", "H100", "MI210"], default="H100")
+    p.add_argument("--precision", choices=["fp64", "mixed"], default="fp64")
+    p.add_argument("--iterations", type=int, default=10)
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.set_defaults(func=_cmd_obs_roofline)
+
+    p = obs_sub.add_parser(
+        "diff",
+        help="compare two BENCH payloads; exit 1 on perf regression",
+    )
+    p.add_argument("old", help="baseline BENCH_*.json payload")
+    p.add_argument("new", help="candidate BENCH_*.json payload")
+    p.add_argument("--tolerance", type=float, default=0.10,
+                   help="relative-change floor before a pair regresses")
+    p.add_argument("--spread-factor", type=float, default=1.0,
+                   help="how much measured run-to-run spread widens the "
+                        "tolerance")
+    p.add_argument("--include-times", action="store_true",
+                   help="also gate raw medians (same-machine diffs only)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.set_defaults(func=_cmd_obs_diff)
+
+    p = obs_sub.add_parser(
+        "postmortem",
+        help="render a flight-recorder postmortem bundle",
+    )
+    p.add_argument("bundle", help="postmortem-*.json written on a failure")
+    p.set_defaults(func=_cmd_obs_postmortem)
 
     p = sub.add_parser("info", help="device / suite metadata")
     p.add_argument("--device", default=None)

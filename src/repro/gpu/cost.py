@@ -59,14 +59,29 @@ class CostModel:
 
     device: DeviceSpec
 
-    def kernel_time_us(self, counters: KernelCounters, kernel_class: str = "generic") -> float:
-        """Simulated execution time of a kernel call, in microseconds."""
+    @staticmethod
+    def sustained_fraction(kernel_class: str) -> float:
         frac = SUSTAINED_FRACTION.get(kernel_class)
         if frac is None:
             raise KeyError(
                 f"unknown kernel class {kernel_class!r}; "
                 f"known: {sorted(SUSTAINED_FRACTION)}"
             )
+        return frac
+
+    def compute_us(
+        self,
+        counters: KernelCounters,
+        kernel_class: str = "generic",
+        *,
+        sustained: float | None = None,
+    ) -> float:
+        """Compute-side roofline time: recorded MMA flops at the sustained
+        tensor-core rate plus scalar flops at the sustained scalar rate.
+
+        ``sustained=1.0`` prices against raw peak (the efficiency
+        denominator in :mod:`repro.obs.profile`)."""
+        frac = self.sustained_fraction(kernel_class) if sustained is None else sustained
         dev = self.device
         compute_us = 0.0
         for prec in Precision:
@@ -76,7 +91,25 @@ class CostModel:
             flops = counters.scalar_flops[prec]
             if flops:
                 compute_us += flops / (dev.scalar_flops_per_us(prec) * frac)
-        memory_us = counters.total_bytes / (dev.bytes_per_us() * frac / 0.5 * 0.5)
+        return compute_us
+
+    def memory_us(
+        self,
+        counters: KernelCounters,
+        kernel_class: str = "generic",
+        *,
+        sustained: float | None = None,
+    ) -> float:
+        """Memory-side roofline time: total bytes at sustained bandwidth."""
+        frac = self.sustained_fraction(kernel_class) if sustained is None else sustained
+        return counters.total_bytes / (self.device.bytes_per_us() * frac / 0.5 * 0.5)
+
+    def kernel_time_us(self, counters: KernelCounters, kernel_class: str = "generic") -> float:
+        """Simulated execution time of a kernel call, in microseconds."""
+        frac = self.sustained_fraction(kernel_class)
+        dev = self.device
+        compute_us = self.compute_us(counters, kernel_class, sustained=frac)
+        memory_us = self.memory_us(counters, kernel_class, sustained=frac)
         body = max(compute_us, memory_us) * max(counters.imbalance, 1.0)
         launches = max(counters.launches, 1)
         return launches * dev.launch_overhead_us + body

@@ -26,6 +26,7 @@ from repro.formats.csr import CSRMatrix
 from repro.hypre.backends import KernelBackend
 from repro.hypre.csr_matrix import HypreCSRMatrix
 from repro.obs import metrics as obs_metrics
+from repro.obs import names as obs_names
 from repro.obs import trace as obs_trace
 from repro.perf.timeline import PerformanceLog
 
@@ -214,7 +215,45 @@ amg_setup`).
         # Every setup invalidates recorded solve tapes: even a numeric
         # re-setup produces a new hierarchy object with new operators.
         self._tapes = {}
+        self._register_postmortem_context()
         return hierarchy
+
+    def _register_postmortem_context(self) -> None:
+        """Point the flight recorder's context providers at this solver.
+
+        Bundles dumped on a violation/breakdown then carry the hierarchy
+        shape, the per-level pattern keys, and every recorded tape's
+        ``describe()``.  Providers hold a weakref so a dropped solver does
+        not linger in the process-wide recorder.
+        """
+        import weakref
+
+        from repro.obs import blackbox as obs_blackbox
+
+        ref = weakref.ref(self)
+
+        def _hierarchy_context():
+            solver = ref()
+            if solver is None or solver.hierarchy is None:
+                return None
+            h = solver.hierarchy
+            return {
+                "describe": h.describe(),
+                "pattern_keys": [str(k) for k in h.pattern_keys],
+                "generation": h.generation,
+                "reused": h.reused,
+                "patched": h.patched,
+                "patch_stats": h.patch_stats,
+            }
+
+        def _tapes_context():
+            solver = ref()
+            if solver is None:
+                return None
+            return {repr(k): t.describe() for k, t in solver._tapes.items()}
+
+        obs_blackbox.set_context("hierarchy", _hierarchy_context)
+        obs_blackbox.set_context("tapes", _tapes_context)
 
     # ------------------------------------------------------------------
     # solve phase
@@ -248,6 +287,12 @@ amg_setup`).
         key = shape if batch is None else (shape, batch)
         tape = self._tapes.get(key)
         if tape is None or tape.is_stale():
+            from repro.obs import blackbox as obs_blackbox
+
+            obs_blackbox.record(
+                "tape_record", batch=batch or 1,
+                rerecord=tape is not None,
+            )
             backend, perf = self.backend, self.perf
 
             def bindings(level: int, op: str):
@@ -273,7 +318,7 @@ amg_setup`).
                                         batch=batch,
                                         scalar_bindings=bindings)
             self._tapes[key] = tape
-            obs_metrics.inc("repro_tape_records_total")
+            obs_metrics.inc(obs_names.TAPE_RECORDS)
         return tape
 
     def solve(

@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import blackbox as obs_blackbox
 from repro.obs import metrics as obs_metrics
+from repro.obs import names as obs_names
 
 __all__ = ["OperatorCache"]
 
@@ -178,8 +180,9 @@ class OperatorCache:
         if cached is None:
             self.misses += 1
             obs_metrics.inc(
-                "repro_operator_cache_requests_total", entry="tiles", result="miss"
+                obs_names.OPERATOR_CACHE_REQUESTS, entry="tiles", result="miss"
             )
+            obs_blackbox.record("operator_cache_miss", entry="tiles")
             vals = self._mat.blc_val
             quant = vals if vals.dtype == key[0] else vals.astype(key[0])
             cached = quant if quant.dtype == key[1] else quant.astype(key[1])
@@ -188,7 +191,7 @@ class OperatorCache:
         else:
             self.hits += 1
             obs_metrics.inc(
-                "repro_operator_cache_requests_total", entry="tiles", result="hit"
+                obs_names.OPERATOR_CACHE_REQUESTS, entry="tiles", result="hit"
             )
         return cached
 
@@ -204,7 +207,7 @@ class OperatorCache:
         if plan is None:
             self.misses += 1
             obs_metrics.inc(
-                "repro_operator_cache_requests_total", entry="spmv_plan",
+                obs_names.OPERATOR_CACHE_REQUESTS, entry="spmv_plan",
                 result="miss",
             )
             plan = build_spmv_plan(
@@ -213,10 +216,16 @@ class OperatorCache:
                 tc_threshold=threshold,
             )
             self._spmv_plans[key] = plan
+            obs_blackbox.record(
+                "dispatch_decision",
+                kernel="spmv",
+                core="tc" if plan.use_tensor_cores else "cuda",
+                schedule="balanced" if plan.load_balanced else "row-warp",
+            )
         else:
             self.hits += 1
             obs_metrics.inc(
-                "repro_operator_cache_requests_total", entry="spmv_plan",
+                obs_names.OPERATOR_CACHE_REQUESTS, entry="spmv_plan",
                 result="hit",
             )
         return plan
@@ -245,8 +254,12 @@ class OperatorCache:
         if binding is None:
             self.misses += 1
             obs_metrics.inc(
-                "repro_operator_cache_requests_total", entry="spmv_binding",
+                obs_names.OPERATOR_CACHE_REQUESTS, entry="spmv_binding",
                 result="miss",
+            )
+            obs_blackbox.record(
+                "operator_cache_miss", entry="spmv_binding",
+                precision=precision.name.lower(),
             )
             binding = bind_spmv(
                 self._mat,
@@ -260,7 +273,7 @@ class OperatorCache:
         else:
             self.hits += 1
             obs_metrics.inc(
-                "repro_operator_cache_requests_total", entry="spmv_binding",
+                obs_names.OPERATOR_CACHE_REQUESTS, entry="spmv_binding",
                 result="hit",
             )
         return binding
@@ -292,8 +305,12 @@ class OperatorCache:
         if binding is None:
             self.misses += 1
             obs_metrics.inc(
-                "repro_operator_cache_requests_total", entry="spmm_binding",
+                obs_names.OPERATOR_CACHE_REQUESTS, entry="spmm_binding",
                 result="miss",
+            )
+            obs_blackbox.record(
+                "operator_cache_miss", entry="spmm_binding",
+                precision=precision.name.lower(),
             )
             binding = bind_spmm(
                 self._mat,
@@ -308,7 +325,7 @@ class OperatorCache:
         else:
             self.hits += 1
             obs_metrics.inc(
-                "repro_operator_cache_requests_total", entry="spmm_binding",
+                obs_names.OPERATOR_CACHE_REQUESTS, entry="spmm_binding",
                 result="hit",
             )
         return binding

@@ -55,6 +55,7 @@ from repro.gpu.counters import KernelCounters, Precision
 from repro.kernels.record import KernelRecord
 from repro.kernels.spgemm import SpGEMMPlan, mbsr_spgemm_symbolic_plan
 from repro.obs import metrics as obs_metrics
+from repro.obs import names as obs_names
 from repro.kernels.spgemm_analysis import analyse_and_bin
 from repro.kernels.spgemm_numeric import numeric_spgemm
 from repro.kernels.spgemm_symbolic import SymbolicResult, symbolic_spgemm
@@ -292,7 +293,7 @@ class CacheStats:
         bucket = self.hits if hit else self.misses
         bucket[kind] = bucket.get(kind, 0) + 1
         obs_metrics.inc(
-            "repro_setup_cache_requests_total",
+            obs_names.SETUP_CACHE_REQUESTS,
             kind=kind,
             result="hit" if hit else "miss",
         )
@@ -332,7 +333,13 @@ class SetupPlanCache:
         while len(store) > self.max_entries:
             store.popitem(last=False)
             self.evictions += 1
-            obs_metrics.inc("repro_setup_cache_evictions_total")
+            obs_metrics.inc(obs_names.SETUP_CACHE_EVICTIONS)
+            from repro.obs import blackbox as obs_blackbox
+
+            obs_blackbox.record(
+                "setup_cache_eviction", entries=len(store),
+                max_entries=self.max_entries,
+            )
 
     # -- SpGEMM plans ---------------------------------------------------
     def spgemm_plan(

@@ -22,6 +22,7 @@ import numpy as np
 from repro.check import runtime as check_runtime
 from repro.formats.mbsr import MBSRMatrix
 from repro.obs import trace as obs_trace
+from repro.obs import names as obs_names
 from repro.gpu.counters import Precision
 from repro.kernels.record import KernelRecord
 from repro.kernels.spgemm_analysis import AnalysisResult, analyse_and_bin
@@ -310,18 +311,18 @@ def mbsr_spgemm(
         # for dense-enough tiles, CUDA cores otherwise (Sec. IV.C).
         if numeric.tc_pairs:
             obs_metrics.REGISTRY.counter(
-                "repro_spgemm_pair_dispatch_total", core="tc"
+                obs_names.SPGEMM_PAIR_DISPATCH, core="tc"
             ).inc(numeric.tc_pairs)
         if numeric.cuda_pairs:
             obs_metrics.REGISTRY.counter(
-                "repro_spgemm_pair_dispatch_total", core="cuda"
+                obs_names.SPGEMM_PAIR_DISPATCH, core="cuda"
             ).inc(numeric.cuda_pairs)
         obs_metrics.inc(
-            "repro_spgemm_symbolic_total",
+            obs_names.SPGEMM_SYMBOLIC,
             result="reused" if not fresh_symbolic else "built",
         )
         obs_metrics.REGISTRY.histogram(
-            "repro_spgemm_tile_popcount",
+            obs_names.SPGEMM_TILE_POPCOUNT,
             buckets=obs_metrics.POP_BUCKETS,
             kernel="spgemm",
         ).observe_counts(out.cache.pop_hist)

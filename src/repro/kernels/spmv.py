@@ -26,6 +26,7 @@ import numpy as np
 from repro.check import runtime as check_runtime
 from repro.formats.bitmap import BLOCK_SIZE, TC_NNZ_THRESHOLD, TILE_SLOTS
 from repro.obs import trace as obs_trace
+from repro.obs import names as obs_names
 from repro.formats.mbsr import MBSRMatrix
 from repro.gpu.counters import Precision, effective_value_bytes
 from repro.kernels.record import KernelRecord
@@ -258,12 +259,12 @@ def mbsr_spmv(
         from repro.obs import metrics as obs_metrics
 
         obs_metrics.REGISTRY.counter(
-            "repro_spmv_dispatch_total",
+            obs_names.SPMV_DISPATCH,
             core="tc" if plan.use_tensor_cores else "cuda",
             schedule="balanced" if plan.load_balanced else "row-warp",
         ).inc()
         obs_metrics.REGISTRY.histogram(
-            "repro_spmv_tile_popcount",
+            obs_names.SPMV_TILE_POPCOUNT,
             buckets=obs_metrics.POP_BUCKETS,
             kernel="spmv",
         ).observe_counts(cache.pop_hist)
@@ -701,13 +702,13 @@ def mbsr_spmm(
         from repro.obs import metrics as obs_metrics
 
         obs_metrics.REGISTRY.counter(
-            "repro_spmm_dispatch_total",
+            obs_names.SPMM_DISPATCH,
             core="tc" if plan.use_tensor_cores else "cuda",
             schedule="balanced" if plan.load_balanced else "row-warp",
             width=width,
         ).inc()
         obs_metrics.REGISTRY.histogram(
-            "repro_spmv_tile_popcount",
+            obs_names.SPMV_TILE_POPCOUNT,
             buckets=obs_metrics.POP_BUCKETS,
             kernel="spmm",
         ).observe_counts(cache.pop_hist)

@@ -37,6 +37,7 @@ from repro.lint.rules_invariants import (
     check_root_spans,
     check_scatter_ban,
 )
+from repro.lint.rules_metrics import check_metric_name_provenance
 from repro.lint.suppress import apply_suppressions, parse_suppressions
 
 #: rule id -> checker.  R0 has no checker; it is emitted by the machinery.
@@ -53,6 +54,7 @@ CHECKERS: dict[
     "R7": check_workspace_aliasing,
     "R8": check_escaping_views,
     "R9": check_stale_closure_capture,
+    "R10": check_metric_name_provenance,
 }
 
 #: Rules that resolve call edges across files: when any of these is

@@ -3,7 +3,7 @@
 The analyzer is deliberately repo-specific: its rules encode invariants of
 *this* reproduction (the FP64/FP32/FP16 level policy, the segmented-
 reduction engine, the paper's tile constants, the runtime contract hooks)
-rather than generic style.  Each rule has a stable id (``R1``..``R9``,
+rather than generic style.  Each rule has a stable id (``R1``..``R10``,
 plus ``R0`` for problems with the lint machinery itself) used in
 suppression comments and baseline entries.
 """
@@ -125,6 +125,16 @@ RULES: dict[str, Rule] = {
             "name by reference: every closure sees the last iteration's "
             "value at call time.  Bind through a factory function (the "
             "tape/recorder.py convention) or a default argument.",
+        ),
+        Rule(
+            "R10",
+            "metric-name-provenance",
+            Severity.ERROR,
+            "A string-literal metric name passed to the repro.obs metrics "
+            "API (inc/set_gauge/observe/observe_counts or a registry's "
+            "counter/gauge/histogram/value/total) outside obs/names.py. "
+            "Metric names have one home: rename the constant and a "
+            "re-typed literal silently forks the series.",
         ),
     )
 }

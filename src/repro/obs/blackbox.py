@@ -1,0 +1,276 @@
+"""Flight recorder: a bounded ring of events, dumped when something breaks.
+
+Tracing (:mod:`repro.obs.trace`) is opt-in and heavy; the flight recorder
+is the opposite — *always on*, bounded, and recording only the sparse
+structural events of a run: dispatch/plan decisions, cache misses and
+evictions, setup-reuse outcomes, tape (re-)records, solve summaries with
+residual tails, and Krylov breakdown/fallback reasons.  Every event site
+sits on a cold path (a plan build, an eviction, the end of a solve), so
+the warm kernel loops never touch the recorder and the overhead with
+spans disabled stays within noise (asserted by a ``perf_smoke`` test).
+
+When a :class:`~repro.check.violation.ContractViolation` is raised, a
+Krylov solver breaks down, a solve diverges, or a patched re-setup falls
+back cold, :func:`trigger` freezes the ring into a self-contained
+*postmortem bundle*: the event tail, whatever context providers are
+registered (hierarchy fingerprints / pattern keys, tape ``describe()``,
+solver config), and the environment (versions, ``REPRO_*`` gates).  The
+bundle is held on ``RECORDER.last_bundle``, written to
+``$REPRO_BLACKBOX_DIR`` when set, and rendered by
+``repro obs postmortem <bundle.json>``.
+
+Set ``REPRO_BLACKBOX=0`` to disable recording entirely (the overhead
+baseline in the perf test).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from collections import deque
+from typing import Callable
+
+__all__ = [
+    "ENV_VAR",
+    "DIR_VAR",
+    "FlightRecorder",
+    "RECORDER",
+    "get_recorder",
+    "record",
+    "set_context",
+    "trigger",
+    "load_bundle",
+    "render_postmortem",
+]
+
+ENV_VAR = "REPRO_BLACKBOX"
+DIR_VAR = "REPRO_BLACKBOX_DIR"
+
+#: Ring capacity: enough for the structural events of a full setup+solve
+#: (tens of levels x a handful of decisions each) without ever growing.
+DEFAULT_CAPACITY = 512
+
+#: How many trailing events a bundle carries.
+BUNDLE_TAIL = 200
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(ENV_VAR, "1").strip().lower() not in ("0", "false", "off")
+
+
+def _environment() -> dict:
+    import numpy as np
+
+    return {
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "argv": list(sys.argv),
+        "repro_env": {
+            k: v for k, v in sorted(os.environ.items()) if k.startswith("REPRO_")
+        },
+    }
+
+
+class FlightRecorder:
+    """Bounded, always-on event ring with postmortem dump."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.capacity = int(capacity)
+        self.enabled = _env_enabled()
+        self._events: deque[dict] = deque(maxlen=self.capacity)
+        self._seq = 0
+        #: Named providers called (defensively) at trigger time to attach
+        #: structural context: hierarchy fingerprints, tape describes, ...
+        self._context: dict[str, Callable[[], object]] = {}
+        self.last_bundle: dict | None = None
+        self.dumps = 0
+
+    # -- recording -------------------------------------------------------
+    def record(self, kind: str, **fields) -> None:
+        """Append one structured event (cold call sites only)."""
+        if not self.enabled:
+            return
+        self._seq += 1
+        event = {"seq": self._seq, "t": time.time(), "kind": kind}
+        event.update(fields)
+        self._events.append(event)
+        from repro.obs import metrics as obs_metrics
+        from repro.obs import names as obs_names
+
+        obs_metrics.inc(obs_names.BLACKBOX_EVENTS, kind=kind)
+
+    def events(self) -> list[dict]:
+        return list(self._events)
+
+    # -- context providers ----------------------------------------------
+    def set_context(self, key: str, provider: Callable[[], object]) -> None:
+        """Register a zero-arg provider whose result lands in bundles
+        under ``context[key]``.  Last registration per key wins."""
+        self._context[key] = provider
+
+    def clear_context(self, key: str | None = None) -> None:
+        if key is None:
+            self._context.clear()
+        else:
+            self._context.pop(key, None)
+
+    # -- postmortem ------------------------------------------------------
+    def trigger(self, reason: str, detail: str = "", extra: dict | None = None) -> dict:
+        """Freeze the ring into a postmortem bundle and return it.
+
+        Providers are called defensively: a provider that raises
+        contributes its error string instead of taking the dump down
+        with it (the dump path runs while an exception is unwinding).
+        """
+        context: dict = {}
+        for key, provider in self._context.items():
+            try:
+                context[key] = provider()
+            except Exception as exc:  # pragma: no cover - defensive
+                context[key] = f"<context provider failed: {exc!r}>"
+        bundle = {
+            "schema": "repro.obs.blackbox/1",
+            "reason": reason,
+            "detail": detail,
+            "time": time.time(),
+            "events": self.events()[-BUNDLE_TAIL:],
+            "events_recorded": self._seq,
+            "context": context,
+            "env": _environment(),
+        }
+        if extra:
+            bundle["extra"] = extra
+        self.last_bundle = bundle
+        self.dumps += 1
+        from repro.obs import metrics as obs_metrics
+        from repro.obs import names as obs_names
+
+        obs_metrics.inc(obs_names.BLACKBOX_DUMPS, reason=reason)
+        out_dir = os.environ.get(DIR_VAR)
+        if out_dir:
+            try:
+                os.makedirs(out_dir, exist_ok=True)
+                path = os.path.join(
+                    out_dir, f"postmortem-{self.dumps:03d}-{reason}.json"
+                )
+                with open(path, "w") as fh:
+                    json.dump(bundle, fh, indent=1, default=str)
+                bundle["path"] = path
+            except OSError:  # pragma: no cover - dump dir unwritable
+                pass
+        return bundle
+
+    def reset(self) -> None:
+        self._events.clear()
+        self._seq = 0
+        self._context.clear()
+        self.last_bundle = None
+        self.dumps = 0
+        self.enabled = _env_enabled()
+
+
+#: The process-wide recorder every event site appends to.
+RECORDER = FlightRecorder()
+
+
+def get_recorder() -> FlightRecorder:
+    return RECORDER
+
+
+def record(kind: str, **fields) -> None:
+    RECORDER.record(kind, **fields)
+
+
+def set_context(key: str, provider: Callable[[], object]) -> None:
+    RECORDER.set_context(key, provider)
+
+
+def trigger(reason: str, detail: str = "", extra: dict | None = None) -> dict:
+    return RECORDER.trigger(reason, detail, extra)
+
+
+def observe_solve(solver: str, result) -> None:
+    """Solve-end hook for the Krylov wrappers: one summary event per
+    solve (with the residual tail), plus a postmortem dump when the
+    solver reported a numerical breakdown."""
+    history = list(getattr(result, "residual_history", None) or [])
+    RECORDER.record(
+        "krylov_solve",
+        solver=solver,
+        iterations=int(getattr(result, "iterations", len(history))),
+        converged=bool(getattr(result, "converged", False)),
+        residual_tail=[float(r) for r in history[-5:]],
+    )
+    breakdown = getattr(result, "breakdown", None)
+    if breakdown:
+        trigger(
+            "krylov-breakdown",
+            detail=f"{solver}: {breakdown}",
+            extra={
+                "solver": solver,
+                "breakdown": str(breakdown),
+                "iterations": int(getattr(result, "iterations", len(history))),
+                "residual_tail": [float(r) for r in history[-10:]],
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+# bundle inspection (repro obs postmortem)
+# ----------------------------------------------------------------------
+
+def load_bundle(path) -> dict:
+    with open(path) as fh:
+        bundle = json.load(fh)
+    if bundle.get("schema") != "repro.obs.blackbox/1":
+        raise ValueError(
+            f"{path}: not a flight-recorder bundle "
+            f"(schema={bundle.get('schema')!r})"
+        )
+    return bundle
+
+
+def render_postmortem(bundle: dict) -> str:
+    """Human-readable rendering of a bundle (the CLI body)."""
+    lines = [
+        f"postmortem: {bundle['reason']}",
+        f"  detail: {bundle.get('detail') or '-'}",
+        f"  events: {len(bundle.get('events', []))} in bundle "
+        f"({bundle.get('events_recorded', 0)} recorded)",
+    ]
+    env = bundle.get("env", {})
+    if env:
+        lines.append(
+            f"  env: python {env.get('python')}, numpy {env.get('numpy')}, "
+            f"{env.get('platform')}"
+        )
+        gates = env.get("repro_env") or {}
+        if gates:
+            flat = ", ".join(f"{k}={v}" for k, v in gates.items())
+            lines.append(f"  gates: {flat}")
+    extra = bundle.get("extra")
+    if extra:
+        for k, v in extra.items():
+            lines.append(f"  {k}: {v}")
+    context = bundle.get("context", {})
+    if context:
+        lines.append("context:")
+        for key, value in context.items():
+            text = json.dumps(value, default=str) if not isinstance(value, str) else value
+            if len(text) > 500:
+                text = text[:500] + "..."
+            lines.append(f"  {key}: {text}")
+    events = bundle.get("events", [])
+    if events:
+        lines.append(f"event tail (last {min(len(events), 40)}):")
+        for ev in events[-40:]:
+            fields = {
+                k: v for k, v in ev.items() if k not in ("seq", "t", "kind")
+            }
+            flat = ", ".join(f"{k}={v}" for k, v in fields.items())
+            lines.append(f"  #{ev['seq']:>5} {ev['kind']:<24} {flat}")
+    return "\n".join(lines) + "\n"

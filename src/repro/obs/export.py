@@ -31,6 +31,7 @@ __all__ = [
     "parse_prometheus",
     "measured_phase_totals",
     "phase_report",
+    "phase_report_data",
 ]
 
 # ----------------------------------------------------------------------
@@ -231,6 +232,42 @@ def measured_phase_totals(tracer: Tracer | None = None) -> dict[str, dict[str, f
 
 def _pct(part: float, total: float) -> float:
     return 100.0 * part / total if total > 0 else 0.0
+
+
+def phase_report_data(perf, tracer: Tracer | None = None) -> dict:
+    """The :func:`phase_report` table as data: per phase, the measured and
+    simulated µs per bucket with their shares.  ``repro obs report
+    --format=json`` and the ledger consume this instead of parsing text."""
+    measured = measured_phase_totals(tracer)
+    out: dict = {}
+    for phase in ("setup", "solve"):
+        sim = perf.phase_totals(phase)
+        sim_parts = {
+            "spgemm": sim.spgemm_us,
+            "spmv": sim.spmv_us,
+            "conversion": sim.conversion_us,
+            "other": sim.other_us,
+        }
+        meas = measured.get(
+            phase,
+            {"spgemm": 0.0, "spmv": 0.0, "conversion": 0.0, "other": 0.0,
+             "total": 0.0},
+        )
+        out[phase] = {
+            "measured_us": {
+                **{b: meas[b] for b in ("spgemm", "spmv", "conversion", "other")},
+                "total": meas["total"],
+            },
+            "measured_pct": {
+                b: _pct(meas[b], meas["total"])
+                for b in ("spgemm", "spmv", "conversion", "other")
+            },
+            "simulated_us": {**sim_parts, "total": sim.total_us},
+            "simulated_pct": {
+                b: _pct(sim_parts[b], sim.total_us) for b in sim_parts
+            },
+        }
+    return out
 
 
 def phase_report(perf, tracer: Tracer | None = None) -> str:

@@ -1,0 +1,306 @@
+"""Perf ledger and regression sentinel for the BENCH_* payloads.
+
+Every benchmark run already produces a structured payload (results +
+summary + metrics snapshot).  This module gives those payloads a memory
+and a gate:
+
+* :func:`run_metadata` — provenance stamp (git SHA + dirty flag,
+  timestamp, hostname, interpreter/numpy versions) that
+  ``benchmarks/common.write_payload`` attaches to every payload under
+  ``meta``.
+* :func:`append_run` / :func:`read_ledger` — an append-only JSONL
+  history, one line per run, keyed by (bench, matrix, op).  Benches
+  append automatically when ``REPRO_LEDGER`` names a path.
+* :func:`diff_payloads` — noise-aware comparison of two payloads:
+  record pairs are matched on (matrix, op, width, step) and compared on
+  their ``speedup``-style ratios (machine-portable — CI diffs a fresh
+  run against a committed baseline from different hardware) and, when
+  ``include_times`` is set, on raw medians for same-machine runs.  The
+  effective tolerance widens with the measured run-to-run spread
+  (``spread_rel``, recorded from the existing ``repeats``), so a noisy
+  op does not fire the sentinel while a tight one still trips on a real
+  regression.  ``repro obs diff`` exits nonzero when any pair regresses.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import socket
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "run_metadata",
+    "append_run",
+    "read_ledger",
+    "record_key",
+    "DiffEntry",
+    "DiffReport",
+    "diff_payloads",
+    "load_payload",
+]
+
+#: BENCH-record fields the sentinel understands, with their direction:
+#: +1 = higher is better (ratios), -1 = lower is better (times).
+RATIO_FIELDS = {"speedup": 1, "resetup_speedup": 1}
+TIME_FIELDS = {
+    "median_s": -1,
+    "naive_median_s": -1,
+    "cold_median_s": -1,
+    "resetup_median_s": -1,
+    "cycle_host_s": -1,
+    "per_rhs_host_s": -1,
+}
+
+
+def _git(*args: str) -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", *args],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip()
+
+
+def run_metadata() -> dict:
+    """Provenance stamp for a bench run (best effort: no git, no problem)."""
+    import numpy as np
+
+    sha = _git("rev-parse", "HEAD")
+    status = _git("status", "--porcelain")
+    return {
+        "git_sha": sha or "unknown",
+        "git_dirty": bool(status) if status is not None else None,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "hostname": socket.gethostname(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+    }
+
+
+# ----------------------------------------------------------------------
+# the ledger: JSONL, one line per run
+# ----------------------------------------------------------------------
+
+def append_run(ledger_path, payload: dict, bench: str | None = None) -> dict:
+    """Append one bench payload to the ledger; returns the entry written.
+
+    The entry carries the run's provenance (``meta``), config, results,
+    and summary — everything the sentinel needs; the bulky ``metrics`` /
+    ``attribution`` sections stay in the payload file.
+    """
+    entry = {
+        "bench": bench or payload.get("generated_by", "unknown"),
+        "meta": payload.get("meta") or run_metadata(),
+        "config": payload.get("config", {}),
+        "results": payload.get("results", []),
+        "summary": payload.get("summary", {}),
+    }
+    with open(ledger_path, "a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def read_ledger(ledger_path) -> list[dict]:
+    entries = []
+    with open(ledger_path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    return entries
+
+
+def load_payload(path) -> dict:
+    """A BENCH payload or a ledger file (last entry wins) as a payload."""
+    with open(path) as fh:
+        first = fh.read(1)
+        fh.seek(0)
+        if first == "{":
+            doc = json.load(fh)
+            if "results" in doc:
+                return doc
+            raise ValueError(f"{path}: no 'results' section")
+        raise ValueError(f"{path}: not a JSON payload")
+
+
+def record_key(rec: dict) -> tuple:
+    """Identity of a result record across runs: (matrix, op) plus the
+    width/step qualifiers some benches add."""
+    key = [rec.get("matrix", "?"), rec.get("op", "?")]
+    for qualifier in ("width", "step"):
+        if qualifier in rec:
+            key.append(f"{qualifier}={rec[qualifier]}")
+    return tuple(key)
+
+
+# ----------------------------------------------------------------------
+# the sentinel: noise-aware payload diff
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One compared field of one matched record pair."""
+
+    key: tuple
+    metric: str
+    old: float
+    new: float
+    #: +1 higher-is-better (speedups), -1 lower-is-better (times).
+    direction: int
+    tolerance: float
+
+    @property
+    def change(self) -> float:
+        """Signed relative change, positive = better."""
+        if self.old == 0:
+            return 0.0
+        return self.direction * (self.new - self.old) / abs(self.old)
+
+    @property
+    def status(self) -> str:
+        if self.change < -self.tolerance:
+            return "regression"
+        if self.change > self.tolerance:
+            return "improvement"
+        return "ok"
+
+    def to_dict(self) -> dict:
+        return {
+            "key": list(self.key),
+            "metric": self.metric,
+            "old": self.old,
+            "new": self.new,
+            "change_pct": 100.0 * self.change,
+            "tolerance_pct": 100.0 * self.tolerance,
+            "status": self.status,
+        }
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one payload comparison."""
+
+    entries: list[DiffEntry] = field(default_factory=list)
+    #: Record keys present in only one payload (coverage drift is
+    #: reported, not gated — CI matrices legitimately differ by config).
+    only_old: list[tuple] = field(default_factory=list)
+    only_new: list[tuple] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[DiffEntry]:
+        return [e for e in self.entries if e.status == "regression"]
+
+    @property
+    def improvements(self) -> list[DiffEntry]:
+        return [e for e in self.entries if e.status == "improvement"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_json(self) -> dict:
+        return {
+            "ok": self.ok,
+            "compared": len(self.entries),
+            "regressions": [e.to_dict() for e in self.regressions],
+            "improvements": [e.to_dict() for e in self.improvements],
+            "entries": [e.to_dict() for e in self.entries],
+            "only_old": [list(k) for k in self.only_old],
+            "only_new": [list(k) for k in self.only_new],
+        }
+
+    def format_text(self) -> str:
+        lines = []
+        header = (
+            f"{'record':<42}{'metric':<18}{'old':>12}{'new':>12}"
+            f"{'change':>9}{'tol':>7}  status"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for e in self.entries:
+            key = "/".join(str(p) for p in e.key)
+            lines.append(
+                f"{key:<42}{e.metric:<18}{e.old:>12.5g}{e.new:>12.5g}"
+                f"{100.0 * e.change:>+8.1f}%{100.0 * e.tolerance:>6.0f}%"
+                f"  {e.status}"
+            )
+        for key in self.only_old:
+            lines.append(f"{'/'.join(str(p) for p in key):<42} only in old payload")
+        for key in self.only_new:
+            lines.append(f"{'/'.join(str(p) for p in key):<42} only in new payload")
+        n_reg = len(self.regressions)
+        lines.append(
+            f"compared {len(self.entries)} metric pairs: "
+            + (f"{n_reg} REGRESSION(S)" if n_reg else "no regressions")
+            + (f", {len(self.improvements)} improvement(s)"
+               if self.improvements else "")
+        )
+        return "\n".join(lines) + "\n"
+
+
+def _spread(rec: dict) -> float:
+    value = rec.get("spread_rel", 0.0)
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        return 0.0
+    return value if math.isfinite(value) and value > 0 else 0.0
+
+
+def diff_payloads(
+    old: dict,
+    new: dict,
+    *,
+    tolerance: float = 0.10,
+    spread_factor: float = 1.0,
+    include_times: bool = False,
+) -> DiffReport:
+    """Compare two BENCH payloads record by record.
+
+    The effective tolerance per pair is
+    ``max(tolerance, spread_factor * (old_spread + new_spread))`` — the
+    baseline floor widened by the measured run-to-run jitter of both
+    runs.  Ratio fields always compare; raw time fields only with
+    ``include_times`` (they are meaningless across machines).
+    """
+    old_recs = {record_key(r): r for r in old.get("results", [])}
+    new_recs = {record_key(r): r for r in new.get("results", [])}
+    report = DiffReport(
+        only_old=sorted(k for k in old_recs if k not in new_recs),
+        only_new=sorted(k for k in new_recs if k not in old_recs),
+    )
+    fields = dict(RATIO_FIELDS)
+    if include_times:
+        fields.update(TIME_FIELDS)
+    for key in sorted(k for k in old_recs if k in new_recs):
+        rec_old, rec_new = old_recs[key], new_recs[key]
+        tol = max(
+            tolerance, spread_factor * (_spread(rec_old) + _spread(rec_new))
+        )
+        for metric, direction in fields.items():
+            if metric not in rec_old or metric not in rec_new:
+                continue
+            try:
+                v_old = float(rec_old[metric])
+                v_new = float(rec_new[metric])
+            except (TypeError, ValueError):
+                continue
+            if not (math.isfinite(v_old) and math.isfinite(v_new)):
+                continue
+            report.entries.append(
+                DiffEntry(
+                    key=key, metric=metric, old=v_old, new=v_new,
+                    direction=direction, tolerance=tol,
+                )
+            )
+    return report

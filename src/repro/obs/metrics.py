@@ -21,6 +21,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.obs import names
 from repro.obs.trace import is_active
 
 __all__ = [
@@ -251,19 +252,21 @@ def observe_kernel(record) -> None:
         "phase": record.phase,
         "backend": record.backend,
         "precision": record.precision.name.lower(),
+        # Cost-model class at pricing time: lets the roofline attributor
+        # (repro.obs.profile) re-price counter totals on any device.
+        "kernel_class": record.kernel_class
+        or f"{record.backend}_{record.kernel}",
     }
-    REGISTRY.counter("repro_kernel_calls_total", **labels).inc()
-    REGISTRY.counter("repro_kernel_sim_us_total", **labels).inc(record.sim_time_us)
+    REGISTRY.counter(names.KERNEL_CALLS, **labels).inc()
+    REGISTRY.counter(names.KERNEL_SIM_US, **labels).inc(record.sim_time_us)
     counters = record.counters
-    REGISTRY.counter("repro_kernel_bytes_read_total", **labels).inc(
-        counters.bytes_read
-    )
-    REGISTRY.counter("repro_kernel_bytes_written_total", **labels).inc(
+    REGISTRY.counter(names.KERNEL_BYTES_READ, **labels).inc(counters.bytes_read)
+    REGISTRY.counter(names.KERNEL_BYTES_WRITTEN, **labels).inc(
         counters.bytes_written
     )
     mma = counters.total_mma
     if mma:
-        REGISTRY.counter("repro_kernel_mma_issues_total", **labels).inc(mma)
+        REGISTRY.counter(names.KERNEL_MMA_ISSUES, **labels).inc(mma)
     flops = counters.total_scalar_flops
     if flops:
-        REGISTRY.counter("repro_kernel_scalar_flops_total", **labels).inc(flops)
+        REGISTRY.counter(names.KERNEL_SCALAR_FLOPS, **labels).inc(flops)

@@ -193,6 +193,23 @@ class Tracer:
         null span once the cap is hit)."""
         if self._count >= self.max_spans:
             self.dropped += 1
+            # Cold branch: the local imports keep this module free of
+            # package imports on the hot path (metrics imports trace, so
+            # a top-level import would cycle).
+            from repro.obs import metrics as obs_metrics
+            from repro.obs import names as obs_names
+
+            obs_metrics.REGISTRY.counter(obs_names.TRACE_SPANS_DROPPED).inc()
+            if self.dropped == 1:
+                import warnings
+
+                warnings.warn(
+                    f"span cap reached ({self.max_spans}): further spans "
+                    "are dropped and counted in "
+                    f"{obs_names.TRACE_SPANS_DROPPED} / Tracer.dropped",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
             return NULL_SPAN
         sp = Span(name=name, kind=kind, start_ns=time.perf_counter_ns())
         if attrs:
@@ -207,7 +224,11 @@ class Tracer:
         self._count += 1
         return sp
 
-    def close(self, sp: Span) -> None:
+    def close(self, sp) -> None:
+        if sp is NULL_SPAN:
+            # A span dropped at the cap: nothing was opened, nothing to
+            # close (manual open/close pairing must survive the cap too).
+            return
         sp.end_ns = time.perf_counter_ns()
         # Tolerate unbalanced exits (an exception unwinding through
         # several spans closes them outside-in): pop everything above

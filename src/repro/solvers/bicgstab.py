@@ -60,6 +60,7 @@ def bicgstab(
     max_iterations: int = 500,
 ) -> BiCGStabResult:
     """Solve ``A x = b`` with preconditioned BiCGStab (van der Vorst)."""
+    from repro.obs import blackbox as obs_blackbox
     from repro.obs import convergence as obs_conv
     from repro.obs import trace as obs_trace
 
@@ -71,6 +72,7 @@ def bicgstab(
         "bicgstab", result.residual_history, result.converged,
         breakdown=result.breakdown,
     )
+    obs_blackbox.observe_solve("bicgstab", result)
     return result
 
 

@@ -73,6 +73,7 @@ def pcg(
     tolerance:
         Relative residual stopping criterion (2-norm).
     """
+    from repro.obs import blackbox as obs_blackbox
     from repro.obs import convergence as obs_conv
     from repro.obs import trace as obs_trace
 
@@ -80,6 +81,7 @@ def pcg(
         result = _pcg_impl(a, b, preconditioner, x0, tolerance, max_iterations)
     obs_conv.observe_history("pcg", result.residual_history, result.converged,
                              breakdown=result.breakdown)
+    obs_blackbox.observe_solve("pcg", result)
     return result
 
 

@@ -62,6 +62,7 @@ def gmres(
     """
     if restart < 1:
         raise ValueError("restart must be >= 1")
+    from repro.obs import blackbox as obs_blackbox
     from repro.obs import convergence as obs_conv
     from repro.obs import trace as obs_trace
 
@@ -72,6 +73,7 @@ def gmres(
     obs_conv.observe_history(
         "gmres", result.residual_history, result.converged, restart=restart
     )
+    obs_blackbox.observe_solve("gmres", result)
     return result
 
 

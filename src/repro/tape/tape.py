@@ -31,6 +31,7 @@ from repro.amg.precision import accumulator
 from repro.check import runtime as check_runtime
 from repro.kernels.record import KernelRecord
 from repro.obs import convergence as obs_conv
+from repro.obs import names as obs_names
 from repro.obs import trace as obs_trace
 from repro.util.validation import normalize_rhs, normalize_rhs_panel
 
@@ -167,12 +168,12 @@ class CycleTape:
         interpreted cycle emits call by call."""
         from repro.obs import metrics as obs_metrics
 
-        obs_metrics.REGISTRY.counter("repro_tape_replay_cycles_total").inc()
+        obs_metrics.REGISTRY.counter(obs_names.TAPE_REPLAY_CYCLES).inc()
         for rec in self.records:
             obs_metrics.observe_kernel(rec)
         for level, sweeps in self.smoother_sweeps:
             obs_metrics.REGISTRY.counter(
-                "repro_smoother_sweeps_total",
+                obs_names.SMOOTHER_SWEEPS,
                 smoother=self.params.smoother, level=level,
             ).inc(sweeps)
 

@@ -688,6 +688,135 @@ class TestHotLoopAlloc:
 
 
 # ---------------------------------------------------------------------------
+# R10 — metric-name provenance
+# ---------------------------------------------------------------------------
+
+
+class TestMetricNameProvenance:
+    def test_literal_helper_call_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/kernels/custom.py",
+            """
+            from repro.obs import metrics as obs_metrics
+
+            def dispatch(core):
+                obs_metrics.inc("repro_spmv_dispatch_total", core=core)
+            """,
+        )
+        findings, _ = lint_file(path)
+        r10 = [f for f in findings if f.rule == "R10"]
+        assert len(r10) == 1
+        assert "repro_spmv_dispatch_total" in r10[0].message
+        assert r10[0].severity is Severity.ERROR
+
+    def test_literal_registry_call_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/obs/custom.py",
+            """
+            from repro.obs.metrics import REGISTRY
+
+            def drop():
+                REGISTRY.counter("repro_trace_spans_dropped_total").inc()
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert any(
+            f.rule == "R10" and "counter" in f.message for f in findings
+        )
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            'set_gauge("repro_levels", 3)',
+            'observe("repro_popcount", 7.0)',
+            'observe_counts("repro_popcount", {1: 2})',
+        ],
+    )
+    def test_each_helper_covered(self, tmp_path, call):
+        path = write(
+            tmp_path,
+            "repro/obs/custom.py",
+            f"""
+            from repro.obs.metrics import set_gauge, observe, observe_counts
+
+            def emit():
+                {call}
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R10" in rules_of(findings)
+
+    def test_names_constant_clean(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/kernels/custom.py",
+            """
+            from repro.obs import metrics as obs_metrics
+            from repro.obs import names as obs_names
+
+            def dispatch(core):
+                obs_metrics.inc(obs_names.SPMV_DISPATCH, core=core)
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R10" not in rules_of(findings)
+
+    def test_names_module_exempt(self, tmp_path):
+        """obs/names.py itself may do whatever it likes — it is the home."""
+        path = write(
+            tmp_path,
+            "repro/obs/names.py",
+            """
+            from repro.obs import metrics as obs_metrics
+
+            def selfcheck():
+                obs_metrics.inc("repro_selfcheck_total")
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R10" not in rules_of(findings)
+
+    def test_unrelated_value_method_clean(self, tmp_path):
+        """.value()/.total() on non-registry receivers must not trip."""
+        path = write(
+            tmp_path,
+            "repro/kernels/custom.py",
+            """
+            def lookup(config, table):
+                return config.value("tolerance") + table.total("rows")
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R10" not in rules_of(findings)
+
+    def test_tests_and_benches_in_scope(self, tmp_path):
+        """Files outside the package read the same constants."""
+        path = write(
+            tmp_path,
+            "benchmarks/custom.py",
+            """
+            from repro.obs.metrics import inc
+
+            def record():
+                inc("repro_kernel_calls_total", kernel="spmv")
+            """,
+        )
+        findings, _ = lint_file(path)
+        assert "R10" in rules_of(findings)
+
+    def test_tree_is_r10_clean(self):
+        """Every metric name in the shipped tree routes through
+        repro.obs.names."""
+        result = lint_paths(
+            [REPO_ROOT / "src" / "repro", REPO_ROOT / "benchmarks"],
+            select=["R10"],
+        )
+        assert [f.format_text() for f in result.findings] == []
+
+
+# ---------------------------------------------------------------------------
 # Suppressions
 # ---------------------------------------------------------------------------
 

@@ -393,7 +393,8 @@ def test_bench_evolve_smoke(tmp_path, monkeypatch):
         out_path=str(tmp_path / "BENCH_evolve.json"),
     )
     assert set(payload) == {
-        "generated_by", "config", "results", "summary", "metrics"
+        "generated_by", "config", "results", "summary", "metrics",
+        "meta", "attribution",
     }
     assert {r["op"] for r in payload["results"]} == {"patch@0.02"}
     assert all(r["outcome"] == "patched" for r in payload["results"])

@@ -416,7 +416,8 @@ def test_bench_setup_smoke(tmp_path):
         out_path=str(tmp_path / "BENCH_setup.json"),
     )
     assert set(payload) == {
-        "generated_by", "config", "results", "summary", "metrics"
+        "generated_by", "config", "results", "summary", "metrics",
+        "meta", "attribution",
     }
     # One metrics snapshot per benchmarked matrix (registry reset between
     # configurations).  The instrumented pass runs a re-setup, so the
